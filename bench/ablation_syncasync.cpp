@@ -1,0 +1,63 @@
+// Ablation: synchronous (BSP) vs asynchronous boundary updates (the §3.3
+// design choice DESIGN.md §5.4 calls out).
+//
+// Sync engines pay a barrier per level but batch boundary traffic into one
+// packet per machine pair; the async engine streams discoveries
+// immediately (lower latency per hop, more packets, redundant relaxation
+// work on longer-first paths). The crossover depends on hop depth and
+// machine count — both are swept here.
+#include "bench/common.hpp"
+#include "query/async_khop.hpp"
+#include "query/distributed_khop.hpp"
+
+using namespace cgraph;
+using namespace cgraph::bench;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const int shift = static_cast<int>(opts.get_int("scale-shift", 2));
+  const auto num_queries =
+      static_cast<std::size_t>(opts.get_int("queries", 16));
+
+  print_header("Ablation: sync (BSP) vs async boundary updates",
+               std::to_string(num_queries) + " k-hop queries per cell");
+
+  const Graph graph = make_dataset("FR-1B", shift, /*build_in_edges=*/false);
+  std::printf("graph: %s\n", graph.summary().c_str());
+
+  AsciiTable table({"machines", "k", "engine", "edges scanned", "packets",
+                    "sim (ms)"});
+  for (const PartitionId machines : {2u, 4u, 8u}) {
+    const auto partition =
+        RangePartition::balanced_by_edges(graph, machines);
+    ShardOptions sopt;
+    sopt.build_in_edges = false;
+    const auto shards = build_shards(graph, partition, sopt);
+    Cluster cluster(machines, paper_cost_model());
+
+    for (const Depth k : {Depth{2}, Depth{6}}) {
+      const auto queries =
+          make_random_queries(graph, num_queries, k, /*seed=*/1313);
+      for (const bool async : {false, true}) {
+        const MsBfsBatchResult r =
+            async ? run_async_khop(cluster, shards, partition, queries)
+                  : run_distributed_khop(cluster, shards, partition,
+                                         queries);
+        table.add_row(
+            {AsciiTable::fmt_int(machines), AsciiTable::fmt_int(k),
+             async ? "async" : "sync",
+             AsciiTable::humanize(r.edges_scanned),
+             AsciiTable::humanize(cluster.fabric().total_packets()),
+             AsciiTable::fmt(r.sim_seconds * 1e3, 3)});
+      }
+    }
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("expected shape: async avoids per-level barriers but sends "
+              "many small packets and redoes relaxations on longer-first "
+              "paths; under an alpha-dominated fabric (25us/packet, as "
+              "modeled) sync batching wins across the board -- async pays "
+              "off only on low-overhead transports (RDMA, cf. Wukong in "
+              "the paper's related work).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Shared fixtures for the figure-reproduction harnesses.
+//
+// Every harness accepts:
+//   --scale-shift N   shrink the Table-1 analogue graphs by 2^N (default
+//                     per harness, chosen so it finishes in seconds)
+//   --queries N, --k N, --machines N   where meaningful
+//
+// Results are printed as the same rows/series the paper plots; simulated
+// cluster time is labeled "sim". EXPERIMENTS.md records paper-vs-measured.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "cgraph/cgraph.hpp"
+
+namespace cgraph::bench {
+
+struct ShardedGraph {
+  Graph graph;
+  RangePartition partition;
+  std::vector<SubgraphShard> shards;
+};
+
+inline ShardedGraph make_sharded(Graph graph, PartitionId machines,
+                                 bool build_in_edges = true) {
+  ShardedGraph sg{std::move(graph), {}, {}};
+  sg.partition = RangePartition::balanced_by_edges(sg.graph, machines);
+  ShardOptions opts;
+  opts.build_in_edges = build_in_edges;
+  sg.shards = build_shards(sg.graph, sg.partition, opts);
+  return sg;
+}
+
+inline ShardedGraph make_dataset_sharded(const std::string& name,
+                                         int scale_shift,
+                                         PartitionId machines,
+                                         bool build_in_edges = true) {
+  return make_sharded(make_dataset(name, scale_shift, build_in_edges),
+                      machines, build_in_edges);
+}
+
+/// The cluster cost model used by every figure harness (documented in
+/// DESIGN.md §2): 2.6 GHz Xeon-class compute, 10 GbE-class fabric.
+inline CostModel paper_cost_model() { return CostModel{}; }
+
+inline void print_header(const char* figure, const std::string& detail) {
+  std::printf("\n################################################------\n");
+  std::printf("# %s\n# %s\n", figure, detail.c_str());
+  std::printf("################################################------\n");
+}
+
+}  // namespace cgraph::bench

@@ -1,0 +1,105 @@
+// Figure 7 (plus the §2 Titan anecdote): single-machine comparison of 100
+// concurrent 3-hop queries, C-Graph vs the TitanLike graph database, on
+// the Orkut analogue. Per-query average response times sorted ascending,
+// exactly the curve the paper plots.
+//
+// Paper result: C-Graph 21x-74x faster; all C-Graph queries < 1 s while
+// Titan reaches 70 s; C-Graph variance far lower. The absolute gap here
+// depends on the storage-latency constants (see EXPERIMENTS.md); the
+// ordering, tail, and variance shape are the reproduced claims.
+#include "bench/common.hpp"
+
+using namespace cgraph;
+using namespace cgraph::bench;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const int shift = static_cast<int>(opts.get_int("scale-shift", 3));
+  const auto num_queries =
+      static_cast<std::size_t>(opts.get_int("queries", 100));
+  const auto sources_per_query =
+      static_cast<std::size_t>(opts.get_int("sources", 3));
+  const auto read_latency_us = opts.get_double("titan-read-us", 10.0);
+
+  print_header(
+      "Figure 7: 100 concurrent 3-hop queries, single machine, OR graph",
+      "C-Graph vs TitanLike; per-query avg over " +
+          std::to_string(sources_per_query) + " source traversals");
+
+  ShardedGraph sg = make_dataset_sharded("OR-100M", shift, /*machines=*/1,
+                                         /*build_in_edges=*/false);
+  std::printf("graph: %s\n", sg.graph.summary().c_str());
+
+  // Paper protocol: each of the `num_queries` queries runs
+  // `sources_per_query` random subgraph traversals; the per-query response
+  // is the average of its traversals.
+  const auto all_queries = make_random_queries(
+      sg.graph, num_queries * sources_per_query, /*k=*/3, /*seed=*/404);
+
+  // --- C-Graph: all traversals issued concurrently, batched.
+  Cluster cluster(1, paper_cost_model());
+  const auto cg_run = run_concurrent_queries(cluster, sg.shards,
+                                             sg.partition, all_queries);
+  ResponseTimeSeries cg("C-Graph");
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    double sum = 0;
+    for (std::size_t s = 0; s < sources_per_query; ++s) {
+      sum += cg_run.queries[q * sources_per_query + s].wall_seconds;
+    }
+    cg.add(sum / static_cast<double>(sources_per_query));
+  }
+
+  // --- TitanLike: the same traversals through the storage stack.
+  TitanLikeOptions topt;
+  topt.storage.read_latency_us = read_latency_us;
+  topt.storage.write_latency_us = 0;  // don't bill the bulk load
+  TitanLikeDb titan(topt);
+  titan.load(sg.graph);
+  const auto titan_results = titan.run_concurrent(all_queries);
+  ResponseTimeSeries ti("TitanLike");
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    double sum = 0;
+    for (std::size_t s = 0; s < sources_per_query; ++s) {
+      sum += titan_results[q * sources_per_query + s].wall_seconds;
+    }
+    ti.add(sum / static_cast<double>(sources_per_query));
+  }
+
+  Reporter rep("per-query response time, sorted ascending (wall seconds)");
+  rep.print_sorted_series({cg, ti}, std::max<std::size_t>(1,
+                                                          num_queries / 10));
+  const double speedup_mean = ti.mean() / cg.mean();
+  const double speedup_max = ti.max() / cg.max();
+  rep.note("speedup (mean): " + AsciiTable::fmt(speedup_mean, 1) +
+           "x   speedup (upper bound): " + AsciiTable::fmt(speedup_max, 1) +
+           "x   (paper: 21x-74x)");
+  rep.note("C-Graph max/min ratio: " +
+           AsciiTable::fmt(cg.max() / std::max(cg.min(), 1e-12), 1) +
+           "x vs TitanLike " +
+           AsciiTable::fmt(ti.max() / std::max(ti.min(), 1e-12), 1) +
+           "x (variance claim)");
+  Reporter::maybe_write_csv(cg, "fig07");
+  Reporter::maybe_write_csv(ti, "fig07");
+
+  // §4.2 text claim: "For the Orkut (OR-100M) graph, Titan execution time
+  // was hours for a single [PageRank] iteration while C-Graph only took
+  // seconds." Same deployment, one iteration each.
+  {
+    // Rebuild the shard with in-edges (PageRank gathers over the CSC).
+    ShardedGraph pr_sg = make_dataset_sharded("OR-100M", shift, 1,
+                                              /*build_in_edges=*/true);
+    Cluster pr_cluster(1, paper_cost_model());
+    const GasResult pr =
+        run_pagerank(pr_cluster, pr_sg.shards, pr_sg.partition, 1);
+    const double titan_iter = titan.pagerank_iteration_seconds();
+    rep.note("PageRank single iteration: C-Graph " +
+             AsciiTable::fmt(pr.stats.wall_seconds, 4) + "s wall vs " +
+             "TitanLike " + AsciiTable::fmt(titan_iter, 4) +
+             "s (" + AsciiTable::fmt(titan_iter /
+                                         std::max(pr.stats.wall_seconds,
+                                                  1e-9),
+                                     0) +
+             "x; paper: hours vs seconds)");
+  }
+  return 0;
+}

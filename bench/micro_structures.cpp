@@ -1,0 +1,208 @@
+// google-benchmark micro-benchmarks for the data structures behind the
+// engines: CSR vs edge-set scans, bitmap vs hash-set visited tracking,
+// packet serialization throughput, and frontier word operations.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <unordered_set>
+
+#include "cgraph/cgraph.hpp"
+
+namespace cgraph {
+namespace {
+
+// In-edge gather benchmarks use a graph built WITH in-edges.
+const Graph& bench_graph2() {
+  static const Graph g = [] {
+    RmatParams p;
+    p.scale = 14;
+    p.edge_factor = 16;
+    p.seed = 7;
+    return Graph::build(generate_rmat(p), VertexId{1} << p.scale);
+  }();
+  return g;
+}
+
+const Graph& bench_graph() {
+  static const Graph g = [] {
+    RmatParams p;
+    p.scale = 14;
+    p.edge_factor = 16;
+    p.seed = 7;
+    return Graph::build(generate_rmat(p), VertexId{1} << p.scale,
+                        {.build_in_edges = false});
+  }();
+  return g;
+}
+
+void BM_CsrFullScan(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (VertexId t : g.out_neighbors(v)) sum += t;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_CsrFullScan);
+
+void BM_EdgeSetFullScan(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  // One cached grid per block-size argument.
+  static std::map<std::int64_t, EdgeSetGrid> grids;
+  if (!grids.count(state.range(0))) {
+    std::vector<Edge> edges;
+    edges.reserve(g.num_edges());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (VertexId t : g.out_neighbors(v)) edges.push_back({v, t, 1.f});
+    }
+    EdgeSetOptions opts;
+    opts.target_bytes = static_cast<std::size_t>(state.range(0)) * 1024;
+    grids.emplace(state.range(0),
+                  EdgeSetGrid::build({0, g.num_vertices()},
+                                     g.num_vertices(), edges, opts));
+  }
+  const EdgeSetGrid& grid = grids.at(state.range(0));
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (std::size_t r = 0; r < grid.num_rows(); ++r) {
+      const VertexRange rr = grid.row_range(r);
+      for (const EdgeSet& es : grid.row_sets(r)) {
+        for (VertexId v = rr.begin; v < rr.end; ++v) {
+          for (VertexId t : es.neighbors(v)) sum += t;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_EdgeSetFullScan)->Arg(256)->Arg(2048);
+
+void BM_VisitedBitmap(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  for (auto _ : state) {
+    Bitmap visited(g.num_vertices());
+    std::uint64_t news = 0;
+    for (VertexId v = 0; v < g.num_vertices(); v += 2) {
+      if (visited.atomic_test_and_set(v)) ++news;
+      if (visited.atomic_test_and_set(v)) ++news;  // duplicate probe
+    }
+    benchmark::DoNotOptimize(news);
+  }
+}
+BENCHMARK(BM_VisitedBitmap);
+
+void BM_VisitedHashSet(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  for (auto _ : state) {
+    std::unordered_set<VertexId> visited;
+    std::uint64_t news = 0;
+    for (VertexId v = 0; v < g.num_vertices(); v += 2) {
+      if (visited.insert(v).second) ++news;
+      if (visited.insert(v).second) ++news;
+    }
+    benchmark::DoNotOptimize(news);
+  }
+}
+BENCHMARK(BM_VisitedHashSet);
+
+void BM_PacketSerializeRoundTrip(benchmark::State& state) {
+  std::vector<std::uint32_t> payload(
+      static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint32_t>(i * 2654435761u);
+  }
+  for (auto _ : state) {
+    PacketWriter w;
+    w.write_span(std::span<const std::uint32_t>(payload));
+    const Packet p = w.take();
+    PacketReader r(p);
+    auto out = r.read_vector<std::uint32_t>();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size() * 4));
+}
+BENCHMARK(BM_PacketSerializeRoundTrip)->Arg(1024)->Arg(65536);
+
+void BM_BatchFrontierDiscover(benchmark::State& state) {
+  const std::size_t queries = static_cast<std::size_t>(state.range(0));
+  BatchFrontier bf(1 << 14, queries);
+  Word bits[QueryBitRows::kMaxBatchWords];
+  for (auto& w : bits) w = 0x5555555555555555ULL;
+  std::size_t v = 0;
+  for (auto _ : state) {
+    bf.discover(v, bits);
+    v = (v + 97) & ((1 << 14) - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(queries));
+}
+BENCHMARK(BM_BatchFrontierDiscover)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_GatherCsc(benchmark::State& state) {
+  const Graph& g = bench_graph2();
+  static const auto part = RangePartition::balanced_by_edges(g, 1);
+  static const auto shard = SubgraphShard::build(g, part, 0);
+  std::vector<double> contrib(g.num_vertices(), 1.0);
+  for (auto _ : state) {
+    double total = 0;
+    for (VertexId i = 0; i < g.num_vertices(); ++i) {
+      double sum = 0;
+      for (VertexId p : shard.in_csr().neighbors(i)) sum += contrib[p];
+      total += sum;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_GatherCsc);
+
+void BM_GatherInEdgeSets(benchmark::State& state) {
+  const Graph& g = bench_graph2();
+  static const auto part = RangePartition::balanced_by_edges(g, 1);
+  static const auto shard = [] {
+    ShardOptions opts;
+    opts.build_in_edge_sets = true;
+    return SubgraphShard::build(bench_graph2(),
+                                RangePartition::balanced_by_edges(
+                                    bench_graph2(), 1),
+                                0, opts);
+  }();
+  std::vector<double> contrib(g.num_vertices(), 1.0);
+  for (auto _ : state) {
+    double total = 0;
+    for (VertexId i = 0; i < g.num_vertices(); ++i) {
+      double sum = 0;
+      shard.in_sets().for_each_neighbor(i, [&](VertexId p) {
+        sum += contrib[p];
+      });
+      total += sum;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_GatherInEdgeSets);
+
+void BM_MsBfsBatch64(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const auto queries = make_random_queries(g, 64, 3, 42);
+  for (auto _ : state) {
+    auto r = msbfs_batch(g, queries);
+    benchmark::DoNotOptimize(r.visited.data());
+  }
+}
+BENCHMARK(BM_MsBfsBatch64);
+
+}  // namespace
+}  // namespace cgraph
+
+BENCHMARK_MAIN();

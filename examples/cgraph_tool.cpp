@@ -1,0 +1,255 @@
+// cgraph_tool — command-line front end for the library, the kind of
+// utility an operator would use around the query service.
+//
+//   cgraph_tool gen      --out g.bin [--model rmat|uniform|ws] [--scale 16]
+//                        [--edge-factor 16] [--seed 1] [--n ...] [--m ...]
+//   cgraph_tool convert  --in edges.txt --out g.bin      (text -> binary)
+//   cgraph_tool stats    --in g.bin [--machines 4] [--hop-samples 8]
+//   cgraph_tool query    --in g.bin --source 0 [--k 3] [--machines 4]
+//                        [--paths] [--target 42]
+//   cgraph_tool batch    --in g.bin --queries 100 [--k 3] [--machines 4]
+//   cgraph_tool pagerank --in g.bin [--iterations 10] [--machines 4]
+#include <cstdio>
+#include <string>
+
+#include "cgraph/cgraph.hpp"
+
+using namespace cgraph;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cgraph_tool <gen|convert|stats|query|batch|pagerank> "
+               "[options]\n(see header comment of examples/cgraph_tool.cpp "
+               "for the full option list)\n");
+  return 2;
+}
+
+LoadResult load_any(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".bin") {
+    return load_edge_list_binary(path);
+  }
+  return load_edge_list_text(path);
+}
+
+int cmd_gen(const Options& opts) {
+  const std::string out = opts.get("out");
+  if (out.empty()) return usage();
+  const std::string model = opts.get("model", "rmat");
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+
+  EdgeList edges;
+  VertexId n = 0;
+  if (model == "rmat") {
+    RmatParams p;
+    p.scale = static_cast<unsigned>(opts.get_int("scale", 16));
+    p.edge_factor = opts.get_double("edge-factor", 16.0);
+    p.seed = seed;
+    edges = generate_rmat(p);
+    n = VertexId{1} << p.scale;
+  } else if (model == "uniform") {
+    n = static_cast<VertexId>(opts.get_int("n", 65536));
+    edges = generate_uniform(
+        n, static_cast<EdgeIndex>(opts.get_int("m", 1048576)), seed);
+  } else if (model == "ws") {
+    n = static_cast<VertexId>(opts.get_int("n", 65536));
+    edges = generate_watts_strogatz(
+        n, static_cast<unsigned>(opts.get_int("k-ring", 8)),
+        opts.get_double("beta", 0.1), seed);
+  } else {
+    return usage();
+  }
+  if (opts.has("weights")) {
+    assign_random_weights(edges, 0.5f, 5.0f, seed + 1);
+  }
+  save_edge_list_binary(out, edges, n);
+  std::printf("wrote %s: %llu vertices, %zu edges (%s)\n", out.c_str(),
+              static_cast<unsigned long long>(n), edges.size(),
+              model.c_str());
+  return 0;
+}
+
+int cmd_convert(const Options& opts) {
+  const std::string in = opts.get("in");
+  const std::string out = opts.get("out");
+  if (in.empty() || out.empty()) return usage();
+  const LoadResult r = load_edge_list_text(in);
+  save_edge_list_binary(out, r.edges, r.num_vertices);
+  std::printf("converted %s -> %s: %u vertices, %zu edges "
+              "(%zu raw ids re-indexed)\n",
+              in.c_str(), out.c_str(), r.num_vertices, r.edges.size(),
+              r.id_map.size());
+  return 0;
+}
+
+int cmd_stats(const Options& opts) {
+  const std::string in = opts.get("in");
+  if (in.empty()) return usage();
+  const LoadResult loaded = load_any(in);
+  const Graph g =
+      Graph::build(EdgeList(loaded.edges.edges()), loaded.num_vertices);
+  std::printf("%s\n", g.summary().c_str());
+
+  const auto machines = static_cast<PartitionId>(opts.get_int("machines", 4));
+  const auto part = RangePartition::balanced_by_edges(g, machines);
+  std::printf("partition balance over %u machines: %.3f (max/mean edges)\n",
+              machines, part.edge_balance(g));
+  const auto shards = build_shards(g, part);
+  for (const auto& shard : shards) {
+    const auto s = shard.out_sets().stats();
+    std::printf("  shard %u: V=[%u,%u) E=%llu edge-sets=%zu "
+                "boundary=%zu mem=%s\n",
+                shard.id(), shard.local_range().begin,
+                shard.local_range().end,
+                static_cast<unsigned long long>(s.edges), s.sets,
+                shard.boundary_out().size(),
+                AsciiTable::humanize(shard.memory_bytes()).c_str());
+  }
+
+  std::printf("out-%s", degree_stats_to_string(
+                            compute_degree_stats(g.out_csr())).c_str());
+
+  const auto samples =
+      static_cast<std::uint32_t>(opts.get_int("hop-samples", 0));
+  if (samples > 0) {
+    const HopPlot plot = compute_hop_plot(g, samples);
+    std::printf("hop plot (%u samples): delta=%u delta0.5=%.2f "
+                "delta0.9=%.2f\n",
+                samples, unsigned{plot.diameter},
+                plot.effective_diameter_50, plot.effective_diameter_90);
+  }
+  return 0;
+}
+
+int cmd_query(const Options& opts) {
+  const std::string in = opts.get("in");
+  if (in.empty()) return usage();
+  const LoadResult loaded = load_any(in);
+  const Graph g =
+      Graph::build(EdgeList(loaded.edges.edges()), loaded.num_vertices);
+  const auto machines = static_cast<PartitionId>(opts.get_int("machines", 4));
+  const auto source = static_cast<VertexId>(opts.get_int("source", 0));
+  const auto k = static_cast<Depth>(opts.get_int("k", 3));
+  if (source >= g.num_vertices()) {
+    std::fprintf(stderr, "source %u out of range (V=%u)\n", source,
+                 g.num_vertices());
+    return 1;
+  }
+
+  const auto part = RangePartition::balanced_by_edges(g, machines);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(machines);
+  const KHopQuery q{0, source, k};
+
+  if (opts.has("paths")) {
+    const auto r = run_distributed_khop_paths(cluster, shards, part,
+                                              std::span(&q, 1));
+    std::printf("%u-hop from %u: %llu vertices reached in %.4f s sim "
+                "(%s of path data)\n",
+                unsigned{k}, source,
+                static_cast<unsigned long long>(r.base.visited[0]),
+                r.base.sim_seconds,
+                AsciiTable::humanize(r.result_bytes()).c_str());
+    if (opts.has("target")) {
+      const auto target = static_cast<VertexId>(opts.get_int("target", 0));
+      const auto path = reconstruct_path(r.parents[0], source, target);
+      if (path.empty()) {
+        std::printf("target %u not reachable within %u hops\n", target,
+                    unsigned{k});
+      } else {
+        std::printf("path:");
+        for (VertexId v : path) std::printf(" %u", v);
+        std::printf("  (%zu hops)\n", path.size() - 1);
+      }
+    }
+  } else {
+    const auto r =
+        run_distributed_msbfs(cluster, shards, part, std::span(&q, 1));
+    std::printf("%u-hop from %u: %llu vertices reached, %u levels, "
+                "%.4f s sim / %.4f s wall\n",
+                unsigned{k}, source,
+                static_cast<unsigned long long>(r.visited[0]),
+                unsigned{r.levels[0]}, r.sim_seconds, r.wall_seconds);
+  }
+  return 0;
+}
+
+int cmd_batch(const Options& opts) {
+  const std::string in = opts.get("in");
+  if (in.empty()) return usage();
+  const LoadResult loaded = load_any(in);
+  const Graph g =
+      Graph::build(EdgeList(loaded.edges.edges()), loaded.num_vertices);
+  const auto machines = static_cast<PartitionId>(opts.get_int("machines", 4));
+  const auto count = static_cast<std::size_t>(opts.get_int("queries", 100));
+  const auto k = static_cast<Depth>(opts.get_int("k", 3));
+
+  const auto part = RangePartition::balanced_by_edges(g, machines);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(machines);
+  const auto queries = make_random_queries(
+      g, count, k, static_cast<std::uint64_t>(opts.get_int("seed", 1)));
+  const auto run = run_concurrent_queries(cluster, shards, part, queries);
+
+  ResponseTimeSeries times("batch");
+  for (const auto& qr : run.queries) times.add(qr.sim_seconds);
+  std::printf("%zu concurrent %u-hop queries on %u machines: "
+              "mean %.4fs p50 %.4fs p90 %.4fs max %.4fs "
+              "(%zu batches, %s peak memory)\n",
+              count, unsigned{k}, machines, times.mean(),
+              times.percentile(50), times.percentile(90), times.max(),
+              run.batches,
+              AsciiTable::humanize(run.peak_memory_bytes).c_str());
+  return 0;
+}
+
+int cmd_pagerank(const Options& opts) {
+  const std::string in = opts.get("in");
+  if (in.empty()) return usage();
+  const LoadResult loaded = load_any(in);
+  const Graph g =
+      Graph::build(EdgeList(loaded.edges.edges()), loaded.num_vertices);
+  const auto machines = static_cast<PartitionId>(opts.get_int("machines", 4));
+  const auto iters =
+      static_cast<std::uint64_t>(opts.get_int("iterations", 10));
+
+  const auto part = RangePartition::balanced_by_edges(g, machines);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(machines);
+  const GasResult r = run_pagerank(cluster, shards, part, iters);
+
+  // Top 5 vertices by rank.
+  std::vector<VertexId> order(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) order[v] = v;
+  std::partial_sort(order.begin(),
+                    order.begin() + std::min<std::size_t>(5, order.size()),
+                    order.end(), [&](VertexId a, VertexId b) {
+                      return r.values[a] > r.values[b];
+                    });
+  std::printf("pagerank: %llu iterations in %.4f s sim (%.4f s wall), "
+              "%s traffic\n",
+              static_cast<unsigned long long>(iters), r.stats.sim_seconds,
+              r.stats.wall_seconds,
+              AsciiTable::humanize(r.stats.bytes).c_str());
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, order.size()); ++i) {
+    std::printf("  #%zu vertex %u rank %.3f\n", i + 1, order[i],
+                r.values[order[i]]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Options opts(argc - 1, argv + 1);
+  if (cmd == "gen") return cmd_gen(opts);
+  if (cmd == "convert") return cmd_convert(opts);
+  if (cmd == "stats") return cmd_stats(opts);
+  if (cmd == "query") return cmd_query(opts);
+  if (cmd == "batch") return cmd_batch(opts);
+  if (cmd == "pagerank") return cmd_pagerank(opts);
+  return usage();
+}

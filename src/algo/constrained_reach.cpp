@@ -1,0 +1,233 @@
+#include "algo/constrained_reach.hpp"
+
+#include <atomic>
+#include <limits>
+
+#include "net/serialize.hpp"
+#include "query/bfs.hpp"
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+
+namespace cgraph {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::uint32_t kRelaxTag = 0x52454c58;  // 'RELX'
+constexpr std::uint32_t kHopTag = 0x484f5056;    // 'HOPV'
+
+struct RelaxRecord {
+  VertexId target;
+  double distance;
+};
+
+ConstrainedReachResult summarize(std::vector<double> dist,
+                                 const std::vector<char>& hop_reached,
+                                 VertexId source, double budget) {
+  ConstrainedReachResult r;
+  r.distance = std::move(dist);
+  for (VertexId v = 0; v < r.distance.size(); ++v) {
+    if (v == source) continue;
+    if (hop_reached[v]) ++r.hop_reachable;
+    if (r.distance[v] <= budget) {
+      ++r.admitted;
+      r.worst_admitted = std::max(r.worst_admitted, r.distance[v]);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+ConstrainedReachResult constrained_reach(const Graph& graph, VertexId source,
+                                         Depth max_hops, double budget) {
+  CGRAPH_CHECK(source < graph.num_vertices());
+  const VertexId n = graph.num_vertices();
+  std::vector<double> dist(n, kInf);
+  dist[source] = 0.0;
+
+  // Hop-bounded Bellman-Ford: after round h, dist[v] is the cheapest path
+  // of <= h edges. Budget pruning is safe with non-negative weights.
+  // Expansions read the *round-start* snapshot (dist) and write into
+  // next_dist — in-round cascading would credit paths longer than the hop
+  // bound.
+  std::vector<double> next_dist = dist;
+  std::vector<VertexId> frontier{source};
+  std::vector<VertexId> next;
+  Bitmap queued(n);
+  const bool weighted = graph.has_weights();
+  for (Depth round = 0; round < max_hops && !frontier.empty(); ++round) {
+    next.clear();
+    queued.clear_all();
+    for (VertexId v : frontier) {
+      const double base = dist[v];
+      const auto nbrs = graph.out_neighbors(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId t = nbrs[i];
+        const double w =
+            weighted ? static_cast<double>(graph.out_csr().weights(v)[i])
+                     : 1.0;
+        const double cand = base + w;
+        if (cand >= next_dist[t] || cand > budget) continue;
+        next_dist[t] = cand;
+        if (!queued.test(t)) {
+          queued.set(t);
+          next.push_back(t);
+        }
+      }
+    }
+    dist = next_dist;
+    frontier.swap(next);
+  }
+
+  // Hop reachability ignores the budget entirely: plain BFS.
+  const auto depth = bfs_levels(graph, source, max_hops);
+  std::vector<char> hop_reached(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    hop_reached[v] = depth[v] != kUnvisitedDepth ? 1 : 0;
+  }
+  return summarize(std::move(dist), hop_reached, source, budget);
+}
+
+ConstrainedReachResult run_constrained_reach(
+    Cluster& cluster, const std::vector<SubgraphShard>& shards,
+    const RangePartition& partition, VertexId source, Depth max_hops,
+    double budget) {
+  CGRAPH_CHECK(shards.size() == cluster.num_machines());
+  const VertexId n = shards[0].num_global_vertices();
+  CGRAPH_CHECK(source < n);
+
+  std::vector<double> global_dist(n, kInf);
+  std::vector<char> global_hop(n, 0);
+  std::vector<std::atomic<std::uint8_t>> round_active(
+      static_cast<std::size_t>(max_hops) + 1);
+  for (auto& a : round_active) a.store(0, std::memory_order_relaxed);
+
+  cluster.run([&](MachineContext& mc) {
+    const SubgraphShard& shard = shards[mc.id()];
+    const VertexRange range = shard.local_range();
+    const VertexId nlocal = range.size();
+
+    // Two traversals ride the same superstep loop:
+    //   (a) budget-pruned relaxation -> dist
+    //   (b) plain hop-bounded BFS -> hop_reached (budget ignored)
+    std::vector<double> dist(nlocal, kInf);
+    Bitmap hop_visited(nlocal);
+    std::vector<VertexId> relax_frontier, relax_next;
+    std::vector<VertexId> hop_frontier, hop_next;
+    Bitmap queued(nlocal);
+    if (range.contains(source)) {
+      dist[source - range.begin] = 0.0;
+      hop_visited.set(source - range.begin);
+      relax_frontier.push_back(source);
+      hop_frontier.push_back(source);
+    }
+    // Round-start snapshot discipline (see the serial engine): reads come
+    // from dist, writes go to next_dist, merged at the round barrier.
+    std::vector<double> next_dist = dist;
+    std::vector<std::vector<RelaxRecord>> relax_out(mc.num_machines());
+    std::vector<std::vector<VertexId>> hop_out(mc.num_machines());
+
+    for (Depth round = 0; round < max_hops; ++round) {
+      std::uint64_t edges = 0;
+
+      // (a) relaxation expansion
+      for (VertexId s : relax_frontier) {
+        const double base = dist[s - range.begin];
+        shard.out_sets().for_each_edge(s, [&](VertexId t, Weight w) {
+          ++edges;
+          const double cand = base + static_cast<double>(w);
+          if (cand > budget) return;
+          if (range.contains(t)) {
+            if (cand < next_dist[t - range.begin]) {
+              next_dist[t - range.begin] = cand;
+              if (!queued.test(t - range.begin)) {
+                queued.set(t - range.begin);
+                relax_next.push_back(t);
+              }
+            }
+          } else {
+            relax_out[partition.owner(t)].push_back({t, cand});
+          }
+        });
+      }
+      // (b) plain BFS expansion
+      for (VertexId s : hop_frontier) {
+        shard.out_sets().for_each_neighbor(s, [&](VertexId t) {
+          ++edges;
+          if (range.contains(t)) {
+            if (hop_visited.atomic_test_and_set(t - range.begin)) {
+              hop_next.push_back(t);
+            }
+          } else {
+            hop_out[partition.owner(t)].push_back(t);
+          }
+        });
+      }
+      mc.charge_compute(edges);
+
+      for (PartitionId to = 0; to < mc.num_machines(); ++to) {
+        if (!relax_out[to].empty()) {
+          PacketWriter pw;
+          pw.write_span(std::span<const RelaxRecord>(relax_out[to]));
+          mc.send(to, kRelaxTag, pw.take());
+          relax_out[to].clear();
+        }
+        if (!hop_out[to].empty()) {
+          PacketWriter pw;
+          pw.write_span(std::span<const VertexId>(hop_out[to]));
+          mc.send(to, kHopTag, pw.take());
+          hop_out[to].clear();
+        }
+      }
+      mc.barrier();
+
+      for (Envelope& env : mc.recv_staged()) {
+        PacketReader pr(env.payload);
+        if (env.tag == kRelaxTag) {
+          for (const RelaxRecord& rec : pr.read_vector<RelaxRecord>()) {
+            CGRAPH_DCHECK(range.contains(rec.target));
+            const VertexId i = rec.target - range.begin;
+            if (rec.distance < next_dist[i]) {
+              next_dist[i] = rec.distance;
+              if (!queued.test(i)) {
+                queued.set(i);
+                relax_next.push_back(rec.target);
+              }
+            }
+          }
+        } else {
+          CGRAPH_CHECK(env.tag == kHopTag);
+          for (VertexId t : pr.read_vector<VertexId>()) {
+            CGRAPH_DCHECK(range.contains(t));
+            if (hop_visited.atomic_test_and_set(t - range.begin)) {
+              hop_next.push_back(t);
+            }
+          }
+        }
+      }
+
+      dist = next_dist;  // close the round: snapshot advances
+      if (!relax_next.empty() || !hop_next.empty()) {
+        round_active[round].store(1, std::memory_order_release);
+      }
+      relax_frontier.swap(relax_next);
+      relax_next.clear();
+      hop_frontier.swap(hop_next);
+      hop_next.clear();
+      queued.clear_all();
+      mc.barrier();
+      if (round_active[round].load(std::memory_order_acquire) == 0) {
+        break;  // globally quiescent — consistent decision for all
+      }
+    }
+
+    for (VertexId i = 0; i < nlocal; ++i) {
+      global_dist[range.begin + i] = dist[i];
+      global_hop[range.begin + i] = hop_visited.test(i) ? 1 : 0;
+    }
+  });
+
+  return summarize(std::move(global_dist), global_hop, source, budget);
+}
+
+}  // namespace cgraph

@@ -1,0 +1,40 @@
+// Constrained reachability: k-hop bounded traversal with an accumulated
+// edge-weight budget — the paper's SDN example ("a path query must be
+// subject to some distance constraints in order to meet quality-of-service
+// latency requirements", §1).
+//
+// Semantics: vertex t is admitted if some path from the source reaches it
+// within `max_hops` hops AND total weight <= `budget`. Implemented as a
+// hop-levelled label-correcting relaxation (a vertex may re-enter the
+// frontier when a cheaper path arrives within the hop budget).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "graph/shard.hpp"
+#include "net/cluster.hpp"
+
+namespace cgraph {
+
+struct ConstrainedReachResult {
+  /// Best known distance per vertex (infinity if not admitted).
+  std::vector<double> distance;
+  std::uint64_t admitted = 0;        // vertices within both constraints
+  std::uint64_t hop_reachable = 0;   // vertices within max_hops, any cost
+  double worst_admitted = 0;         // max admitted distance
+};
+
+/// Serial engine over the weighted CSR.
+ConstrainedReachResult constrained_reach(const Graph& graph, VertexId source,
+                                         Depth max_hops, double budget);
+
+/// Distributed engine over weighted shards: level-synchronous relaxation
+/// with boundary pushes, mirroring the k-hop engines' structure.
+ConstrainedReachResult run_constrained_reach(
+    Cluster& cluster, const std::vector<SubgraphShard>& shards,
+    const RangePartition& partition, VertexId source, Depth max_hops,
+    double budget);
+
+}  // namespace cgraph

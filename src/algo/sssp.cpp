@@ -1,0 +1,83 @@
+#include "algo/sssp.hpp"
+
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace cgraph {
+namespace {
+
+/// Relaxation vertex program: value = best known distance.
+class SsspProgram final : public VertexProgram<double, double> {
+ public:
+  explicit SsspProgram(VertexId source) : source_(source) {}
+
+  double init(VertexId v, const SubgraphShard&) const override {
+    return v == source_ ? 0.0 : kUnreachable;
+  }
+
+  bool initially_active(VertexId v) const override { return v == source_; }
+
+  void compute(VertexHandle<double, double>& vertex,
+               std::span<const double> messages,
+               std::uint64_t superstep) const override {
+    double best = vertex.value();
+    for (double d : messages) best = std::min(best, d);
+
+    // Push only when the distance improved (or on the seed's first step);
+    // otherwise this wake-up was redundant.
+    const bool seed_kickoff = superstep == 0 && vertex.id() == source_;
+    if (best < vertex.value() || seed_kickoff) {
+      vertex.value() = best;
+      vertex.for_each_out_edge([&](VertexId t, Weight w) {
+        vertex.send(t, best + static_cast<double>(w));
+      });
+    }
+    vertex.vote_to_halt();
+  }
+
+ private:
+  VertexId source_;
+};
+
+}  // namespace
+
+SsspResult run_sssp(Cluster& cluster,
+                    const std::vector<SubgraphShard>& shards,
+                    const RangePartition& partition, VertexId source) {
+  CGRAPH_CHECK(!shards.empty());
+  CGRAPH_CHECK(source < shards[0].num_global_vertices());
+  SsspProgram program(source);
+  auto run = run_vertex_program<double, double>(cluster, shards, partition,
+                                                program);
+  return {std::move(run.values), run.stats};
+}
+
+std::vector<double> sssp_serial(const Graph& graph, VertexId source) {
+  CGRAPH_CHECK(source < graph.num_vertices());
+  std::vector<double> dist(graph.num_vertices(), kUnreachable);
+  dist[source] = 0.0;
+
+  using Entry = std::pair<double, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.push({0.0, source});
+  const bool weighted = graph.has_weights();
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;  // stale entry
+    const auto nbrs = graph.out_neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const double w =
+          weighted ? static_cast<double>(graph.out_csr().weights(v)[i]) : 1.0;
+      const double cand = d + w;
+      if (cand < dist[nbrs[i]]) {
+        dist[nbrs[i]] = cand;
+        heap.push({cand, nbrs[i]});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace cgraph

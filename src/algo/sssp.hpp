@@ -1,0 +1,35 @@
+// Single-source shortest paths — the paper's §2 example of a traversal
+// that accumulates values ("SSSP ... by accumulating the shortest path
+// weights on each vertex with respect to the root").
+//
+// Distributed: a vertex program (Bellman-Ford style relaxation; a vertex
+// wakes when a shorter distance arrives and pushes dist+w to neighbors).
+// Serial reference: binary-heap Dijkstra over the weighted CSR.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "engine/vertex_program.hpp"
+#include "graph/graph.hpp"
+
+namespace cgraph {
+
+inline constexpr double kUnreachable =
+    std::numeric_limits<double>::infinity();
+
+struct SsspResult {
+  std::vector<double> distance;  // per global vertex; inf if unreachable
+  VertexRunStats stats;
+};
+
+/// Distributed SSSP from `source` over sharded weighted (or unit-weight)
+/// graphs.
+SsspResult run_sssp(Cluster& cluster,
+                    const std::vector<SubgraphShard>& shards,
+                    const RangePartition& partition, VertexId source);
+
+/// Serial Dijkstra reference (non-negative weights).
+std::vector<double> sssp_serial(const Graph& graph, VertexId source);
+
+}  // namespace cgraph

@@ -1,0 +1,40 @@
+// Triangle counting — the paper's flagship example of a higher-level
+// analysis expressible through k-hop neighborhoods ("triangle counting
+// ... is equivalent to finding vertices that are within 1 and 2-hop
+// neighbors of the same vertex", §1/§2).
+//
+// Input must be a symmetrized (undirected) graph. Each triangle {u,v,w}
+// is counted once via the id-ordering u < v < w: for every edge (u,v)
+// with u < v, count common neighbors w > v.
+//
+// Distributed: two BSP supersteps. For each local u and neighbor v > u,
+// the candidate set N>(u) ∩ (v, inf) either intersects locally (v local)
+// or ships to v's owner, which intersects against N>(v) — boundary
+// adjacency is never replicated, matching the shard model.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "graph/shard.hpp"
+#include "net/cluster.hpp"
+
+namespace cgraph {
+
+struct TriangleResult {
+  std::uint64_t triangles = 0;
+  double wall_seconds = 0;
+  double sim_seconds = 0;
+  std::uint64_t bytes = 0;  // candidate-set traffic
+};
+
+/// Distributed triangle count over sharded symmetric graphs.
+TriangleResult run_triangle_count(Cluster& cluster,
+                                  const std::vector<SubgraphShard>& shards,
+                                  const RangePartition& partition);
+
+/// Serial reference: sorted-adjacency intersection, O(sum deg^1.5)-ish.
+std::uint64_t triangle_count_serial(const Graph& graph);
+
+}  // namespace cgraph

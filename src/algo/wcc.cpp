@@ -1,0 +1,89 @@
+#include "algo/wcc.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace cgraph {
+namespace {
+
+/// Min-label flooding over both edge directions.
+class WccProgram final : public VertexProgram<VertexId, VertexId> {
+ public:
+  VertexId init(VertexId v, const SubgraphShard&) const override {
+    return v;
+  }
+  bool initially_active(VertexId) const override { return true; }
+
+  void compute(VertexHandle<VertexId, VertexId>& vertex,
+               std::span<const VertexId> messages,
+               std::uint64_t superstep) const override {
+    VertexId best = vertex.value();
+    for (VertexId label : messages) best = std::min(best, label);
+
+    if (best < vertex.value() || superstep == 0) {
+      vertex.value() = best;
+      vertex.send_to_neighbors(best);
+      // Also push along in-edges (undirected semantics).
+      if (vertex.shard().has_in_edges()) {
+        vertex.for_each_in_neighbor([&](VertexId p) { vertex.send(p, best); });
+      }
+    }
+    vertex.vote_to_halt();
+  }
+};
+
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), VertexId{0});
+  }
+  VertexId find(VertexId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(VertexId a, VertexId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);  // keep the smaller id as root
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+};
+
+}  // namespace
+
+WccResult run_wcc(Cluster& cluster, const std::vector<SubgraphShard>& shards,
+                  const RangePartition& partition) {
+  CGRAPH_CHECK(!shards.empty());
+  CGRAPH_CHECK_MSG(shards[0].has_in_edges() ||
+                       shards[0].num_global_vertices() == 0,
+                   "WCC needs shards built with in-edges");
+  WccProgram program;
+  auto run = run_vertex_program<VertexId, VertexId>(cluster, shards,
+                                                    partition, program);
+  WccResult result{std::move(run.values), 0, run.stats};
+  for (VertexId v = 0; v < result.label.size(); ++v) {
+    if (result.label[v] == v) ++result.num_components;
+  }
+  return result;
+}
+
+std::vector<VertexId> wcc_serial(const Graph& graph) {
+  DisjointSet ds(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (VertexId t : graph.out_neighbors(v)) ds.unite(v, t);
+  }
+  std::vector<VertexId> label(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) label[v] = ds.find(v);
+  return label;
+}
+
+}  // namespace cgraph

@@ -1,0 +1,31 @@
+// Weakly connected components via distributed label propagation (min-label
+// flooding) — a classic "decomposes into local traversals" workload for
+// the framework, with a serial union-find reference.
+//
+// Edges are treated as undirected: labels propagate along out-edges AND
+// in-edges (the shard's CSC provides the parents).
+#pragma once
+
+#include <vector>
+
+#include "engine/vertex_program.hpp"
+#include "graph/graph.hpp"
+
+namespace cgraph {
+
+struct WccResult {
+  /// Component label per global vertex (the min vertex id in the
+  /// component).
+  std::vector<VertexId> label;
+  std::uint64_t num_components = 0;
+  VertexRunStats stats;
+};
+
+/// Distributed WCC. Shards must be built with in-edges (the default).
+WccResult run_wcc(Cluster& cluster, const std::vector<SubgraphShard>& shards,
+                  const RangePartition& partition);
+
+/// Serial union-find reference; labels normalized to min id per component.
+std::vector<VertexId> wcc_serial(const Graph& graph);
+
+}  // namespace cgraph

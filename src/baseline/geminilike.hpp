@@ -1,0 +1,63 @@
+// GeminiLike: the fast-but-serial baseline (paper §4.2 / §5).
+//
+// Gemini [Zhu et al., OSDI'16] is an efficient distributed engine —
+// "only takes tens of milliseconds for a single 3-hop query" — but has no
+// native concurrency support, so concurrently-issued queries are
+// serialized and each response time includes the full backlog ahead of it
+// (paper Fig. 8b: 4.25 s average vs C-Graph's 0.3 s; Fig. 13: total time
+// linear in query count).
+//
+// Reproduced here as a tight in-memory CSR frontier BFS (per-query, no
+// sharing) executed from a FIFO queue. Simulated distributed time uses the
+// same cost model as C-Graph: per-superstep compute is divided across
+// machines (Gemini parallelizes a *single* query well) plus barrier and
+// boundary-communication charges.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "net/cost_model.hpp"
+#include "query/query.hpp"
+
+namespace cgraph {
+
+struct GeminiLikeOptions {
+  PartitionId machines = 1;
+  CostModel cost_model;
+  /// Beamer-style top-down/bottom-up switching (as real Gemini does).
+  bool direction_optimizing = true;
+};
+
+class GeminiLikeEngine {
+ public:
+  using Options = GeminiLikeOptions;
+
+  GeminiLikeEngine(const Graph& graph, Options opts = {});
+
+  struct Exec {
+    std::uint64_t visited = 0;
+    std::uint64_t edges_scanned = 0;
+    Depth levels = 0;
+    double wall_seconds = 0;
+    double sim_seconds = 0;
+  };
+
+  /// One k-hop/BFS executed at full machine efficiency.
+  Exec execute(const KHopQuery& query) const;
+
+  /// FIFO-serialized execution of a concurrent workload; response time of
+  /// query i includes all of queries 0..i-1 (the paper's "stacked up wait
+  /// time").
+  std::vector<QueryResult> run_serialized(
+      std::span<const KHopQuery> queries) const;
+
+ private:
+  const Graph& graph_;
+  Options opts_;
+  RangePartition partition_;  // used to estimate boundary traffic
+};
+
+}  // namespace cgraph

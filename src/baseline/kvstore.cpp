@@ -1,0 +1,55 @@
+#include "baseline/kvstore.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace cgraph {
+namespace {
+
+void io_wait(double micros) {
+  if (micros <= 0) return;
+  std::this_thread::sleep_for(
+      std::chrono::nanoseconds(static_cast<std::int64_t>(micros * 1e3)));
+}
+
+}  // namespace
+
+KvStore::KvStore(Options opts) : opts_(opts), stripes_(opts.lock_stripes) {
+  CGRAPH_CHECK(opts.lock_stripes > 0);
+}
+
+KvStore::Stripe& KvStore::stripe_for(const std::string& key) const {
+  const std::size_t h = std::hash<std::string>{}(key);
+  return stripes_[h % stripes_.size()];
+}
+
+void KvStore::put(const std::string& key, std::vector<std::uint8_t> value) {
+  io_wait(opts_.write_latency_us);
+  Stripe& s = stripe_for(key);
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.map[key] = std::move(value);
+}
+
+std::optional<std::vector<std::uint8_t>> KvStore::get(
+    const std::string& key) const {
+  io_wait(opts_.read_latency_us);
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& s = stripe_for(key);
+  std::lock_guard<std::mutex> lk(s.mu);
+  const auto it = s.map.find(key);
+  if (it == s.map.end()) return std::nullopt;
+  return it->second;  // copy, like a backend read materializing the row
+}
+
+std::size_t KvStore::size() const {
+  std::size_t n = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    n += s.map.size();
+  }
+  return n;
+}
+
+}  // namespace cgraph

@@ -1,0 +1,59 @@
+// Gather-Apply-Scatter vertex programming interface (paper §3.4, Listing 3)
+// and its distributed BSP executor.
+//
+// The executor follows the paper's "local read" discipline: every vertex's
+// in-edges are stored locally (CSC in the shard), so the gather phase never
+// generates traffic by itself; instead, each iteration starts with a push
+// of scatter values to the partitions that need them (the boundary-value
+// synchronization of §3.3), after which gather+apply run entirely locally.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/partition.hpp"
+#include "graph/shard.hpp"
+#include "net/cluster.hpp"
+
+namespace cgraph {
+
+/// Vertex program in GAS form. All values are doubles, which covers the
+/// iterative-computation workloads the paper targets (PageRank et al.).
+class GasProgram {
+ public:
+  virtual ~GasProgram() = default;
+
+  /// Initial vertex value.
+  virtual double init_value(VertexId v, EdgeIndex out_degree,
+                            VertexId num_vertices) const = 0;
+  /// Identity element of the gather fold.
+  virtual double gather_init() const { return 0.0; }
+  /// Fold one inbound message into the running sum.
+  virtual double gather(double sum, double incoming) const = 0;
+  /// Produce the new vertex value from the folded sum.
+  virtual double apply(double sum, double old_value,
+                       VertexId num_vertices) const = 0;
+  /// Message value a vertex contributes along each out-edge.
+  virtual double scatter(double value, EdgeIndex out_degree) const = 0;
+};
+
+struct GasStats {
+  std::uint64_t iterations = 0;
+  double wall_seconds = 0;
+  double sim_seconds = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::vector<double> per_iteration_sim_seconds;
+};
+
+struct GasResult {
+  std::vector<double> values;  // indexed by global vertex id
+  GasStats stats;
+};
+
+/// Run `iterations` synchronous GAS supersteps over the sharded graph.
+GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
+                  const RangePartition& partition, const GasProgram& program,
+                  std::uint64_t iterations);
+
+}  // namespace cgraph

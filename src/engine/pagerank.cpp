@@ -1,0 +1,33 @@
+#include "engine/pagerank.hpp"
+
+namespace cgraph {
+
+GasResult run_pagerank(Cluster& cluster,
+                       const std::vector<SubgraphShard>& shards,
+                       const RangePartition& partition,
+                       std::uint64_t iterations, double damping) {
+  PageRankProgram program(damping);
+  return run_gas(cluster, shards, partition, program, iterations);
+}
+
+std::vector<double> pagerank_serial(const Graph& graph,
+                                    std::uint64_t iterations,
+                                    double damping) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> value(n, 1.0);
+  std::vector<double> contrib(n, 0.0);
+  for (std::uint64_t iter = 0; iter < iterations; ++iter) {
+    for (VertexId v = 0; v < n; ++v) {
+      const EdgeIndex d = graph.out_degree(v);
+      contrib[v] = d == 0 ? 0.0 : value[v] / static_cast<double>(d);
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      double sum = 0.0;
+      for (VertexId p : graph.in_neighbors(v)) sum += contrib[p];
+      value[v] = (1.0 - damping) + damping * sum;
+    }
+  }
+  return value;
+}
+
+}  // namespace cgraph

@@ -1,0 +1,74 @@
+#include "gen/rmat.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace cgraph {
+
+EdgeList generate_rmat(const RmatParams& p) {
+  CGRAPH_CHECK(p.scale > 0 && p.scale < 32);
+  const double psum = p.a + p.b + p.c + p.d;
+  CGRAPH_CHECK_MSG(std::abs(psum - 1.0) < 1e-9,
+                   "R-MAT quadrant probabilities must sum to 1");
+
+  const auto n = static_cast<std::uint64_t>(1) << p.scale;
+  const auto m = static_cast<std::uint64_t>(
+      p.edge_factor * static_cast<double>(n));
+
+  Xoshiro256 rng(p.seed);
+
+  std::vector<VertexId> perm;
+  if (p.permute_ids) {
+    perm.resize(n);
+    std::iota(perm.begin(), perm.end(), VertexId{0});
+    // Fisher-Yates with the same deterministic stream.
+    for (std::uint64_t i = n - 1; i > 0; --i) {
+      const std::uint64_t j = rng.next_bounded(i + 1);
+      std::swap(perm[i], perm[j]);
+    }
+  }
+
+  EdgeList edges;
+  edges.reserve(m);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint64_t src = 0, dst = 0;
+    for (unsigned level = 0; level < p.scale; ++level) {
+      const double r = rng.next_double();
+      // Noise per level (standard Graph500 "smoothing"): wiggle the
+      // quadrant split +-5% so the degree distribution is not lattice-like.
+      const double noise = 0.95 + 0.1 * rng.next_double();
+      const double a = p.a * noise;
+      const double ab = a + p.b * noise;
+      const double abc = ab + p.c * noise;
+      const double total = abc + p.d * noise;
+      const double x = r * total;
+      src <<= 1;
+      dst <<= 1;
+      if (x < a) {
+        // top-left: no bits set
+      } else if (x < ab) {
+        dst |= 1;
+      } else if (x < abc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    VertexId s = static_cast<VertexId>(src);
+    VertexId t = static_cast<VertexId>(dst);
+    if (p.permute_ids) {
+      s = perm[s];
+      t = perm[t];
+    }
+    edges.add(s, t);
+  }
+  return edges;
+}
+
+}  // namespace cgraph

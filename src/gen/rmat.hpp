@@ -1,0 +1,33 @@
+// Graph500-style Kronecker (R-MAT) generator.
+//
+// The paper's semi-synthetic graphs (FRS-72B / FRS-100B) come from the
+// Graph 500 generator seeded with Friendster's edge/vertex ratio. This is
+// the same recursive-quadrant sampler: each edge picks one of four
+// quadrants per scale level with probabilities (a, b, c, d), giving the
+// skewed degree distribution and small effective diameter that drive k-hop
+// frontier growth.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace cgraph {
+
+struct RmatParams {
+  /// log2 of the vertex count.
+  unsigned scale = 16;
+  /// Average edges per vertex (Graph500 default is 16).
+  double edge_factor = 16.0;
+  /// Quadrant probabilities; Graph500 uses (0.57, 0.19, 0.19, 0.05).
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;
+  std::uint64_t seed = 1;
+  /// Permute vertex ids so the heavy quadrant is not id-correlated (the
+  /// Graph500 spec shuffles labels; range partitions stay balanced).
+  bool permute_ids = true;
+};
+
+/// Generate the edge list; vertex ids are in [0, 2^scale).
+EdgeList generate_rmat(const RmatParams& params);
+
+}  // namespace cgraph

@@ -1,0 +1,59 @@
+#include "graph/degree_stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "util/stats.hpp"
+
+namespace cgraph {
+
+DegreeStats compute_degree_stats(const Csr& csr) {
+  DegreeStats s;
+  const VertexId n = csr.num_vertices();
+  if (n == 0) return s;
+
+  std::vector<double> degrees;
+  degrees.reserve(n);
+  s.min = csr.degree(0);
+  for (VertexId v = 0; v < n; ++v) {
+    const EdgeIndex d = csr.degree(v);
+    degrees.push_back(static_cast<double>(d));
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    if (d == 0) {
+      ++s.zero_degree_vertices;
+    } else {
+      const auto bin = static_cast<std::size_t>(std::bit_width(d) - 1);
+      if (bin >= s.log2_histogram.size()) s.log2_histogram.resize(bin + 1, 0);
+      ++s.log2_histogram[bin];
+    }
+  }
+  s.mean = static_cast<double>(csr.num_edges()) / static_cast<double>(n);
+  std::sort(degrees.begin(), degrees.end());
+  s.p50 = percentile_sorted(degrees, 50);
+  s.p90 = percentile_sorted(degrees, 90);
+  s.p99 = percentile_sorted(degrees, 99);
+  return s;
+}
+
+std::string degree_stats_to_string(const DegreeStats& stats) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "deg: mean %.1f  p50 %.0f  p90 %.0f  p99 %.0f  max %llu"
+                "  (zero-degree %llu)\n",
+                stats.mean, stats.p50, stats.p90, stats.p99,
+                static_cast<unsigned long long>(stats.max),
+                static_cast<unsigned long long>(stats.zero_degree_vertices));
+  std::string out = buf;
+  for (std::size_t bin = 0; bin < stats.log2_histogram.size(); ++bin) {
+    if (stats.log2_histogram[bin] == 0) continue;
+    std::snprintf(buf, sizeof buf, "  deg [%llu, %llu): %llu vertices\n",
+                  1ULL << bin, 1ULL << (bin + 1),
+                  static_cast<unsigned long long>(stats.log2_histogram[bin]));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace cgraph

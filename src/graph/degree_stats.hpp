@@ -1,0 +1,30 @@
+// Degree-distribution statistics: the summary numbers graph papers (this
+// one included) quote about their datasets — average degree, maximum,
+// percentiles, and a log-binned histogram for eyeballing the power law.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cgraph {
+
+struct DegreeStats {
+  EdgeIndex min = 0;
+  EdgeIndex max = 0;
+  double mean = 0;
+  double p50 = 0, p90 = 0, p99 = 0;
+  std::uint64_t zero_degree_vertices = 0;
+  /// log2-binned counts: bin i holds vertices with degree in [2^i, 2^(i+1)).
+  std::vector<std::uint64_t> log2_histogram;
+};
+
+/// Out-degree stats (pass the in_csr for in-degree stats).
+DegreeStats compute_degree_stats(const Csr& csr);
+
+/// Render as "deg: mean 27.5 p50 11 p90 71 p99 402 max 4123 (zeros 12%)"
+/// plus one histogram row per populated bin.
+std::string degree_stats_to_string(const DegreeStats& stats);
+
+}  // namespace cgraph

@@ -1,0 +1,27 @@
+// Raw directed edge record as produced by generators and file loaders,
+// before conversion to CSR/CSC/edge-set forms.
+#pragma once
+
+#include "graph/types.hpp"
+
+namespace cgraph {
+
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Weight weight = 1.0f;
+
+  friend constexpr bool operator==(const Edge& a, const Edge& b) {
+    return a.src == b.src && a.dst == b.dst;  // weight excluded: dedup key
+  }
+};
+
+/// Source-major, destination-minor ordering used before CSR construction.
+struct EdgeLess {
+  constexpr bool operator()(const Edge& a, const Edge& b) const {
+    if (a.src != b.src) return a.src < b.src;
+    return a.dst < b.dst;
+  }
+};
+
+}  // namespace cgraph

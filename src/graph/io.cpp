@@ -1,0 +1,115 @@
+#include "graph/io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace cgraph {
+namespace {
+
+constexpr char kBinaryMagic[8] = {'C', 'G', 'R', 'A', 'P', 'H', '0', '1'};
+
+LoadResult parse_stream(std::istream& in, bool reindex) {
+  LoadResult result;
+  auto intern = [&](std::uint64_t raw) -> VertexId {
+    if (!reindex) {
+      result.num_vertices =
+          std::max<VertexId>(result.num_vertices, static_cast<VertexId>(raw) + 1);
+      return static_cast<VertexId>(raw);
+    }
+    auto [it, inserted] =
+        result.id_map.try_emplace(raw, static_cast<VertexId>(result.id_map.size()));
+    if (inserted) result.num_vertices = static_cast<VertexId>(result.id_map.size());
+    return it->second;
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::uint64_t s = 0, t = 0;
+    double w = 1.0;
+    std::istringstream ls(line);
+    if (!(ls >> s >> t)) continue;  // tolerate malformed lines
+    ls >> w;                        // optional weight
+    // Intern in source-then-destination order (function argument
+    // evaluation order is unspecified).
+    const VertexId src = intern(s);
+    const VertexId dst = intern(t);
+    result.edges.add(src, dst, static_cast<Weight>(w));
+  }
+  return result;
+}
+
+}  // namespace
+
+LoadResult load_edge_list_text(const std::string& path, bool reindex) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open edge list: " + path);
+  return parse_stream(in, reindex);
+}
+
+LoadResult parse_edge_list(const std::string& text, bool reindex) {
+  std::istringstream in(text);
+  return parse_stream(in, reindex);
+}
+
+void save_edge_list_text(const std::string& path, const EdgeList& edges) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write: " + path);
+  bool uniform_weights = true;
+  for (const Edge& e : edges) {
+    if (e.weight != 1.0f) {
+      uniform_weights = false;
+      break;
+    }
+  }
+  out << "# cgraph edge list, " << edges.size() << " edges\n";
+  for (const Edge& e : edges) {
+    out << e.src << ' ' << e.dst;
+    if (!uniform_weights) out << ' ' << e.weight;
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("short write: " + path);
+}
+
+void save_edge_list_binary(const std::string& path, const EdgeList& edges,
+                           VertexId num_vertices) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write: " + path);
+  out.write(kBinaryMagic, sizeof kBinaryMagic);
+  const std::uint64_t v = num_vertices;
+  const std::uint64_t e = edges.size();
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+  out.write(reinterpret_cast<const char*>(&e), sizeof e);
+  out.write(reinterpret_cast<const char*>(edges.edges().data()),
+            static_cast<std::streamsize>(e * sizeof(Edge)));
+  if (!out) throw std::runtime_error("short write: " + path);
+}
+
+LoadResult load_edge_list_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kBinaryMagic, sizeof magic) != 0)
+    throw std::runtime_error("bad magic in: " + path);
+  std::uint64_t v = 0, e = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  in.read(reinterpret_cast<char*>(&e), sizeof e);
+  if (!in) throw std::runtime_error("truncated header in: " + path);
+
+  LoadResult result;
+  result.num_vertices = static_cast<VertexId>(v);
+  result.edges.edges().resize(e);
+  in.read(reinterpret_cast<char*>(result.edges.edges().data()),
+          static_cast<std::streamsize>(e * sizeof(Edge)));
+  if (!in) throw std::runtime_error("truncated edge data in: " + path);
+  return result;
+}
+
+}  // namespace cgraph

@@ -1,0 +1,85 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace cgraph {
+
+RangePartition RangePartition::balanced_by_edges(const Graph& graph,
+                                                 PartitionId num_partitions) {
+  CGRAPH_CHECK(num_partitions > 0);
+  const VertexId n = graph.num_vertices();
+  const EdgeIndex total = graph.num_edges();
+
+  RangePartition part;
+  part.ranges_.reserve(num_partitions);
+
+  // Greedy sweep: close a partition once its edge quota is met. The quota
+  // is recomputed from the remainder so later partitions absorb imbalance
+  // introduced by very high degree vertices.
+  VertexId begin = 0;
+  EdgeIndex assigned = 0;
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    const PartitionId remaining_parts = num_partitions - p;
+    const EdgeIndex quota = (total - assigned) / remaining_parts;
+    VertexId end = begin;
+    EdgeIndex acc = 0;
+    // Leave enough vertices for the remaining partitions to be non-empty
+    // whenever the graph has enough vertices.
+    const VertexId reserve_tail = remaining_parts - 1;
+    while (end < n - std::min<VertexId>(reserve_tail, n - end)) {
+      if (p + 1 < num_partitions && acc >= quota && end > begin) break;
+      acc += graph.out_degree(end);
+      ++end;
+    }
+    if (p + 1 == num_partitions) end = n;  // last partition takes the rest
+    part.ranges_.push_back({begin, end});
+    assigned += acc;
+    begin = end;
+  }
+  CGRAPH_CHECK(part.ranges_.back().end == n);
+  return part;
+}
+
+RangePartition RangePartition::balanced_by_vertices(
+    VertexId num_vertices, PartitionId num_partitions) {
+  CGRAPH_CHECK(num_partitions > 0);
+  RangePartition part;
+  part.ranges_.reserve(num_partitions);
+  const VertexId base = num_vertices / num_partitions;
+  const VertexId extra = num_vertices % num_partitions;
+  VertexId begin = 0;
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    const VertexId len = base + (p < extra ? 1 : 0);
+    part.ranges_.push_back({begin, begin + len});
+    begin += len;
+  }
+  return part;
+}
+
+PartitionId RangePartition::owner(VertexId v) const {
+  // Bisect over range begins; ranges are contiguous and sorted.
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), v,
+      [](VertexId x, const VertexRange& r) { return x < r.begin; });
+  CGRAPH_DCHECK(it != ranges_.begin());
+  const auto p = static_cast<PartitionId>(it - ranges_.begin() - 1);
+  CGRAPH_DCHECK(ranges_[p].contains(v));
+  return p;
+}
+
+double RangePartition::edge_balance(const Graph& graph) const {
+  if (ranges_.empty() || graph.num_edges() == 0) return 1.0;
+  EdgeIndex max_edges = 0;
+  for (const VertexRange& r : ranges_) {
+    EdgeIndex e = 0;
+    for (VertexId v = r.begin; v < r.end; ++v) e += graph.out_degree(v);
+    max_edges = std::max(max_edges, e);
+  }
+  const double mean = static_cast<double>(graph.num_edges()) /
+                      static_cast<double>(ranges_.size());
+  return mean == 0 ? 1.0 : static_cast<double>(max_edges) / mean;
+}
+
+}  // namespace cgraph

@@ -1,0 +1,51 @@
+// Range-based graph partitioning (paper §3.1).
+//
+// Vertices are assigned to partitions by contiguous id range; ranges are
+// chosen so each partition holds approximately the same number of edges
+// (degree-balanced sweep), which is the paper's workload-balancing rule.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace cgraph {
+
+class RangePartition {
+ public:
+  RangePartition() = default;
+
+  /// Balance by total degree: splits [0, V) into `num_partitions`
+  /// contiguous ranges with near-equal out-edge counts.
+  static RangePartition balanced_by_edges(const Graph& graph,
+                                          PartitionId num_partitions);
+
+  /// Uniform vertex-count split (for tests and degenerate cases).
+  static RangePartition balanced_by_vertices(VertexId num_vertices,
+                                             PartitionId num_partitions);
+
+  [[nodiscard]] PartitionId num_partitions() const {
+    return static_cast<PartitionId>(ranges_.size());
+  }
+
+  [[nodiscard]] const VertexRange& range(PartitionId p) const {
+    CGRAPH_DCHECK(p < ranges_.size());
+    return ranges_[p];
+  }
+
+  /// Owner partition of a global vertex id. O(log p) bisection; p is tiny.
+  [[nodiscard]] PartitionId owner(VertexId v) const;
+
+  [[nodiscard]] const std::vector<VertexRange>& ranges() const {
+    return ranges_;
+  }
+
+  /// Max/mean edge-count ratio across partitions (1.0 = perfectly even).
+  [[nodiscard]] double edge_balance(const Graph& graph) const;
+
+ private:
+  std::vector<VertexRange> ranges_;
+};
+
+}  // namespace cgraph

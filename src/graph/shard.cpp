@@ -1,0 +1,103 @@
+#include "graph/shard.hpp"
+
+#include <algorithm>
+
+namespace cgraph {
+
+SubgraphShard SubgraphShard::build(const Graph& graph,
+                                   const RangePartition& partition,
+                                   PartitionId pid, const Options& opts) {
+  SubgraphShard shard;
+  shard.id_ = pid;
+  shard.local_range_ = partition.range(pid);
+  shard.num_global_vertices_ = graph.num_vertices();
+  const VertexRange range = shard.local_range_;
+
+  // Collect out-edges of local vertices from the global CSR.
+  std::vector<Edge> out_edges;
+  EdgeIndex count = 0;
+  for (VertexId v = range.begin; v < range.end; ++v)
+    count += graph.out_degree(v);
+  out_edges.reserve(count);
+  shard.out_degree_.resize(range.size());
+  const bool weighted = graph.has_weights();
+  for (VertexId v = range.begin; v < range.end; ++v) {
+    const auto nbrs = graph.out_neighbors(v);
+    shard.out_degree_[v - range.begin] = nbrs.size();
+    if (weighted) {
+      const auto ws = graph.out_csr().weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i)
+        out_edges.push_back({v, nbrs[i], ws[i]});
+    } else {
+      for (VertexId t : nbrs) out_edges.push_back({v, t, 1.0f});
+    }
+  }
+
+  EdgeSetGrid::Options eso = opts.edge_set;
+  eso.with_weights = weighted;
+  shard.out_sets_ =
+      EdgeSetGrid::build(range, graph.num_vertices(), out_edges, eso);
+
+  // Boundary vertices: remote destinations, deduped.
+  std::vector<VertexId> boundary;
+  for (const Edge& e : out_edges) {
+    if (!range.contains(e.dst)) boundary.push_back(e.dst);
+  }
+  std::sort(boundary.begin(), boundary.end());
+  boundary.erase(std::unique(boundary.begin(), boundary.end()),
+                 boundary.end());
+  shard.boundary_out_ = std::move(boundary);
+
+  // In-edges (CSC) for local vertices: row = local index, targets = global
+  // parent ids. Built by re-mapping destination into local index space.
+  if (opts.build_in_edges && graph.has_in_edges()) {
+    std::vector<Edge> in_edges;
+    EdgeIndex in_count = 0;
+    for (VertexId v = range.begin; v < range.end; ++v)
+      in_count += graph.in_degree(v);
+    in_edges.reserve(in_count);
+    for (VertexId v = range.begin; v < range.end; ++v) {
+      for (VertexId p : graph.in_neighbors(v)) {
+        // src = local index of v, dst = global parent id.
+        in_edges.push_back({v - range.begin, p, 1.0f});
+      }
+    }
+    shard.in_csr_ = Csr::from_edges_rect(range.size(), graph.num_vertices(),
+                                         in_edges, /*with_weights=*/false);
+
+    if (opts.build_in_edge_sets) {
+      // Grid rows use global local-vertex ids (like out_sets_), so remap
+      // the CSC rows back to global ids and build over (local, parent).
+      std::vector<Edge> in_global;
+      in_global.reserve(in_edges.size());
+      for (const Edge& e : in_edges) {
+        in_global.push_back({e.src + range.begin, e.dst, 1.0f});
+      }
+      EdgeSetGrid::Options in_eso = opts.edge_set;
+      in_eso.with_weights = false;
+      shard.in_sets_ = EdgeSetGrid::build(range, graph.num_vertices(),
+                                          in_global, in_eso);
+    }
+  }
+  return shard;
+}
+
+std::size_t SubgraphShard::memory_bytes() const {
+  return out_sets_.memory_bytes() + in_csr_.memory_bytes() +
+         in_sets_.memory_bytes() +
+         boundary_out_.size() * sizeof(VertexId) +
+         out_degree_.size() * sizeof(EdgeIndex);
+}
+
+std::vector<SubgraphShard> build_shards(const Graph& graph,
+                                        const RangePartition& partition,
+                                        const SubgraphShard::Options& opts) {
+  std::vector<SubgraphShard> shards;
+  shards.reserve(partition.num_partitions());
+  for (PartitionId p = 0; p < partition.num_partitions(); ++p) {
+    shards.push_back(SubgraphShard::build(graph, partition, p, opts));
+  }
+  return shards;
+}
+
+}  // namespace cgraph

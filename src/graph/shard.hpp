@@ -1,0 +1,114 @@
+// SubgraphShard: everything one machine holds for its partition (paper
+// Fig. 2): the local vertex range, out-edges in edge-set form, in-edges in
+// CSC, and the boundary vertex bookkeeping used by the runtime.
+//
+// Local vertices  — vertices whose id falls in the shard's range.
+// Boundary vertices — vertices of *other* shards that share an edge with a
+// local vertex; their values live remotely and are reached via messages.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/edge_set.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "graph/types.hpp"
+
+namespace cgraph {
+
+struct ShardOptions {
+  EdgeSetOptions edge_set;
+  bool build_in_edges = true;  // CSC over edges arriving at local vertices
+  /// Additionally tile the in-edges into an edge-set grid (rows = local
+  /// vertices, columns = global parents). Because the grid is built over
+  /// reversed edges, its horizontal consolidation realizes the paper's
+  /// *vertical* consolidation: better locality when gathering from
+  /// parents (§3.2). Used by the GAS engine when present.
+  bool build_in_edge_sets = false;
+};
+
+class SubgraphShard {
+ public:
+  using Options = ShardOptions;
+
+  /// Carve shard `pid` out of the global graph under `partition`.
+  static SubgraphShard build(const Graph& graph,
+                             const RangePartition& partition, PartitionId pid,
+                             const Options& opts = {});
+
+  [[nodiscard]] PartitionId id() const { return id_; }
+  [[nodiscard]] const VertexRange& local_range() const { return local_range_; }
+  [[nodiscard]] VertexId num_local_vertices() const {
+    return local_range_.size();
+  }
+  [[nodiscard]] VertexId num_global_vertices() const {
+    return num_global_vertices_;
+  }
+  [[nodiscard]] EdgeIndex num_out_edges() const { return out_sets_.num_edges(); }
+
+  [[nodiscard]] bool is_local(VertexId v) const {
+    return local_range_.contains(v);
+  }
+
+  /// Local dense index of a local vertex (v - range.begin).
+  [[nodiscard]] VertexId local_index(VertexId v) const {
+    CGRAPH_DCHECK(is_local(v));
+    return v - local_range_.begin;
+  }
+  [[nodiscard]] VertexId global_id(VertexId local_index) const {
+    return local_range_.begin + local_index;
+  }
+
+  /// Out-edges of local vertices, tiled into edge-sets.
+  [[nodiscard]] const EdgeSetGrid& out_sets() const { return out_sets_; }
+
+  /// In-edges of local vertices (CSC): in_csr().neighbors(local_index)
+  /// yields the *global* ids of parents of the local vertex.
+  [[nodiscard]] const Csr& in_csr() const { return in_csr_; }
+  [[nodiscard]] bool has_in_edges() const {
+    return in_csr_.num_vertices() > 0;
+  }
+
+  /// Tiled in-edges (vertical consolidation); rows are *global* local-
+  /// vertex ids, neighbors are global parent ids.
+  [[nodiscard]] const EdgeSetGrid& in_sets() const { return in_sets_; }
+  [[nodiscard]] bool has_in_sets() const { return in_sets_.num_edges() > 0; }
+
+  /// Global ids of boundary vertices: remote destinations of local
+  /// out-edges, deduplicated and sorted.
+  [[nodiscard]] const std::vector<VertexId>& boundary_out() const {
+    return boundary_out_;
+  }
+
+  /// Out-degree of a local vertex (sum over its edge-set row).
+  [[nodiscard]] EdgeIndex out_degree(VertexId v) const {
+    CGRAPH_DCHECK(is_local(v));
+    return out_degree_[local_index(v)];
+  }
+
+  [[nodiscard]] const std::vector<EdgeIndex>& out_degrees() const {
+    return out_degree_;
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  PartitionId id_ = kInvalidPartition;
+  VertexRange local_range_;
+  VertexId num_global_vertices_ = 0;
+  EdgeSetGrid out_sets_;
+  Csr in_csr_;  // indexed by local vertex index; targets are global parent ids
+  EdgeSetGrid in_sets_;  // optional tiled view of the in-edges
+  std::vector<VertexId> boundary_out_;
+  std::vector<EdgeIndex> out_degree_;  // per local vertex
+};
+
+/// Build all shards of a graph at once (the loader step of the simulated
+/// cluster).
+std::vector<SubgraphShard> build_shards(const Graph& graph,
+                                        const RangePartition& partition,
+                                        const SubgraphShard::Options& opts = {});
+
+}  // namespace cgraph

@@ -1,0 +1,101 @@
+#include "metrics/reporter.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/histogram.hpp"
+#include "util/table.hpp"
+
+namespace cgraph {
+
+Reporter::Reporter(std::string title) : title_(std::move(title)) {
+  std::printf("\n==== %s ====\n", title_.c_str());
+}
+
+void Reporter::note(const std::string& text) const {
+  std::printf("  %s\n", text.c_str());
+}
+
+void Reporter::print_sorted_series(
+    const std::vector<ResponseTimeSeries>& series, std::size_t step) const {
+  if (series.empty()) return;
+  std::vector<std::vector<double>> sorted;
+  std::size_t max_n = 0;
+  for (const auto& s : series) {
+    sorted.push_back(s.sorted());
+    max_n = std::max(max_n, sorted.back().size());
+  }
+
+  std::vector<std::string> headers{"query rank"};
+  for (const auto& s : series) headers.push_back(s.label() + " (s)");
+  AsciiTable table(std::move(headers));
+  for (std::size_t i = 0; i < max_n; i += step) {
+    std::vector<std::string> row{AsciiTable::fmt_int(
+        static_cast<long long>(i + 1))};
+    for (const auto& v : sorted) {
+      row.push_back(i < v.size() ? AsciiTable::fmt(v[i], 4) : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  // Always include the tail (the paper's "upper bound of response time").
+  if (max_n > 0 && (max_n - 1) % step != 0) {
+    std::vector<std::string> row{
+        AsciiTable::fmt_int(static_cast<long long>(max_n))};
+    for (const auto& v : sorted) {
+      row.push_back(!v.empty() ? AsciiTable::fmt(v.back(), 4) : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  for (const auto& s : series) {
+    std::printf("  %-12s mean=%.4fs  p50=%.4fs  p90=%.4fs  max=%.4fs\n",
+                s.label().c_str(), s.mean(), s.percentile(50),
+                s.percentile(90), s.max());
+  }
+}
+
+void Reporter::print_boxplots(
+    const std::vector<ResponseTimeSeries>& series) const {
+  AsciiTable table({"system", "min (s)", "q1", "median", "q3", "max",
+                    "mean", "n"});
+  for (const auto& s : series) {
+    const BoxplotSummary b = s.boxplot_summary();
+    table.add_row({s.label(), AsciiTable::fmt(b.min, 4),
+                   AsciiTable::fmt(b.q1, 4), AsciiTable::fmt(b.median, 4),
+                   AsciiTable::fmt(b.q3, 4), AsciiTable::fmt(b.max, 4),
+                   AsciiTable::fmt(b.mean, 4),
+                   AsciiTable::fmt_int(static_cast<long long>(b.count))});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+}
+
+void Reporter::print_histograms(const std::vector<ResponseTimeSeries>& series,
+                                double bin_width, double max_seconds) const {
+  for (const auto& s : series) {
+    const auto nbins =
+        static_cast<std::size_t>(max_seconds / bin_width + 0.5);
+    Histogram h(0.0, max_seconds, nbins);
+    for (double x : s.samples()) h.add(x);
+    std::printf("  -- %s (%zu queries) --\n", s.label().c_str(), s.count());
+    std::fputs(h.to_string().c_str(), stdout);
+  }
+}
+
+void Reporter::maybe_write_csv(const ResponseTimeSeries& series,
+                               const std::string& experiment) {
+  const char* dir = std::getenv("CGRAPH_CSV_DIR");
+  if (dir == nullptr) return;
+  const std::string path =
+      std::string(dir) + "/" + experiment + "_" + series.label() + ".csv";
+  std::ofstream out(path);
+  if (!out) return;
+  out << "rank,seconds\n";
+  const auto sorted = series.sorted();
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    out << (i + 1) << ',' << sorted[i] << '\n';
+  }
+}
+
+}  // namespace cgraph

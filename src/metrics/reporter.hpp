@@ -1,0 +1,44 @@
+// Figure/table rendering for the benchmark harnesses. Every reproduced
+// experiment prints through these helpers so output formats stay uniform
+// and machine-parsable (optional CSV mirror).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/response.hpp"
+
+namespace cgraph {
+
+class Reporter {
+ public:
+  /// header, e.g. "Figure 7: 100 concurrent 3-hop queries, OR graph".
+  explicit Reporter(std::string title);
+
+  /// Paper Fig. 7/9 style: per-query response times sorted ascending, one
+  /// series per system, printed as aligned columns sampled every `step`
+  /// queries (plus summary stats).
+  void print_sorted_series(const std::vector<ResponseTimeSeries>& series,
+                           std::size_t step = 10) const;
+
+  /// Paper Fig. 8 style: boxplot summary lines per system.
+  void print_boxplots(const std::vector<ResponseTimeSeries>& series) const;
+
+  /// Paper Fig. 11/12 style: response-time histogram (percent per bin,
+  /// cumulative), bins of `bin_width` seconds up to `max_seconds`.
+  void print_histograms(const std::vector<ResponseTimeSeries>& series,
+                        double bin_width = 0.2,
+                        double max_seconds = 2.0) const;
+
+  /// Free-form summary line under the title.
+  void note(const std::string& text) const;
+
+  /// Mirror a series to CSV if CGRAPH_CSV_DIR is set (one file per label).
+  static void maybe_write_csv(const ResponseTimeSeries& series,
+                              const std::string& experiment);
+
+ private:
+  std::string title_;
+};
+
+}  // namespace cgraph

@@ -1,0 +1,58 @@
+#include "metrics/response.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace cgraph {
+
+ResponseTimeSeries::ResponseTimeSeries(std::string label)
+    : label_(std::move(label)) {}
+
+void ResponseTimeSeries::add(double seconds) { samples_.push_back(seconds); }
+
+void ResponseTimeSeries::add_all(const std::vector<double>& seconds) {
+  samples_.insert(samples_.end(), seconds.begin(), seconds.end());
+}
+
+std::vector<double> ResponseTimeSeries::sorted() const {
+  std::vector<double> s = samples_;
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+double ResponseTimeSeries::mean() const {
+  CGRAPH_CHECK(!samples_.empty());
+  double sum = 0;
+  for (double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double ResponseTimeSeries::max() const {
+  CGRAPH_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double ResponseTimeSeries::min() const {
+  CGRAPH_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double ResponseTimeSeries::percentile(double p) const {
+  return cgraph::percentile(samples_, p);
+}
+
+BoxplotSummary ResponseTimeSeries::boxplot_summary() const {
+  return boxplot(samples_);
+}
+
+double ResponseTimeSeries::fraction_within(double threshold) const {
+  if (samples_.empty()) return 0.0;
+  std::size_t within = 0;
+  for (double x : samples_) {
+    if (x <= threshold) ++within;
+  }
+  return static_cast<double>(within) / static_cast<double>(samples_.size());
+}
+
+}  // namespace cgraph

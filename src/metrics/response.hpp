@@ -1,0 +1,44 @@
+// Response-time collection and summarization for concurrent-query
+// experiments. One ResponseTimeSeries per (system, configuration) cell of
+// a figure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace cgraph {
+
+class ResponseTimeSeries {
+ public:
+  explicit ResponseTimeSeries(std::string label = "");
+
+  void add(double seconds);
+  void add_all(const std::vector<double>& seconds);
+
+  [[nodiscard]] const std::string& label() const { return label_; }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] const std::vector<double>& samples() const {
+    return samples_;
+  }
+
+  /// Samples sorted ascending (the paper's Fig. 7/9 presentation).
+  [[nodiscard]] std::vector<double> sorted() const;
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] BoxplotSummary boxplot_summary() const;
+
+  /// Fraction of queries answered within `threshold` seconds (the paper's
+  /// "85% of queries return within 0.4 s" style statements).
+  [[nodiscard]] double fraction_within(double threshold) const;
+
+ private:
+  std::string label_;
+  std::vector<double> samples_;
+};
+
+}  // namespace cgraph

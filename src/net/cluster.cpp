@@ -1,0 +1,110 @@
+#include "net/cluster.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace cgraph {
+
+void SyncBarrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  const std::uint64_t gen = generation_;
+  if (++waiting_ == parties_) {
+    if (completion_) completion_();
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lk, [&] { return generation_ != gen; });
+  }
+}
+
+MachineContext::MachineContext(Cluster& cluster, PartitionId id)
+    : cluster_(cluster), id_(id) {}
+
+PartitionId MachineContext::num_machines() const {
+  return cluster_.num_machines();
+}
+
+void MachineContext::send(PartitionId to, std::uint32_t tag, Packet payload) {
+  step_packets_ += 1;
+  step_bytes_ += payload.size();
+  cluster_.fabric_.send_superstep(id_, to, tag, std::move(payload),
+                                  superstep_);
+}
+
+void MachineContext::send_async(PartitionId to, std::uint32_t tag,
+                                Packet payload) {
+  // Async sends are charged immediately: the sender pays injection cost.
+  cluster_.clocks_[id_].charge_comm(cluster_.cost_model_, 1, payload.size());
+  cluster_.fabric_.send_now(id_, to, tag, std::move(payload));
+}
+
+std::vector<Envelope> MachineContext::recv_staged() {
+  // Messages staged under superstep s-1 become visible in superstep s.
+  CGRAPH_DCHECK(superstep_ > 0);
+  return cluster_.fabric_.mailbox(id_).drain_superstep(superstep_ - 1);
+}
+
+std::vector<Envelope> MachineContext::recv_async() {
+  return cluster_.fabric_.mailbox(id_).drain_now();
+}
+
+void MachineContext::barrier() {
+  // Comm cost for this superstep's BSP sends is paid at the barrier, which
+  // models overlap-free exchange (conservative, like a Pregel superstep).
+  cluster_.clocks_[id_].charge_comm(cluster_.cost_model_, step_packets_,
+                                    step_bytes_);
+  step_packets_ = 0;
+  step_bytes_ = 0;
+  cluster_.barrier_.arrive_and_wait();
+  ++superstep_;
+}
+
+void MachineContext::charge_compute(std::uint64_t edges,
+                                    std::uint64_t vertices) {
+  cluster_.clocks_[id_].charge_compute(cluster_.cost_model_, edges, vertices);
+}
+
+SimClock& MachineContext::clock() { return cluster_.clocks_[id_]; }
+
+Cluster::Cluster(PartitionId num_machines, CostModel cost_model)
+    : fabric_(num_machines),
+      cost_model_(cost_model),
+      clocks_(num_machines),
+      barrier_(num_machines, [this] {
+        // BSP step end: every clock advances to the slowest machine, plus
+        // the global synchronization cost.
+        double max_ns = 0;
+        for (const SimClock& c : clocks_) max_ns = std::max(max_ns, c.nanos());
+        max_ns += cost_model_.ns_per_barrier;
+        for (SimClock& c : clocks_) c.advance_to(max_ns);
+      }) {
+  CGRAPH_CHECK(num_machines > 0);
+}
+
+void Cluster::run(const std::function<void(MachineContext&)>& body) {
+  const PartitionId n = num_machines();
+  if (n == 1) {
+    MachineContext ctx(*this, 0);
+    body(ctx);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (PartitionId i = 0; i < n; ++i) {
+    threads.emplace_back([this, &body, i] {
+      MachineContext ctx(*this, i);
+      body(ctx);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+double Cluster::sim_seconds() const {
+  double max_ns = 0;
+  for (const SimClock& c : clocks_) max_ns = std::max(max_ns, c.nanos());
+  return max_ns * 1e-9;
+}
+
+}  // namespace cgraph

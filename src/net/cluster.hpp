@@ -1,0 +1,113 @@
+// The simulated cluster: N machines (threads), a shared fabric, and a BSP
+// barrier that also advances the simulated clocks (all machines step to the
+// slowest one plus the barrier cost — the BSP superstep time).
+//
+// Engines are written against MachineContext exactly as they would be
+// against an MPI rank: local compute, explicit sends, collective barriers.
+// Swapping this layer for real MPI only changes the transport.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/cost_model.hpp"
+#include "net/fabric.hpp"
+
+namespace cgraph {
+
+/// Reusable N-party barrier with a completion callback executed by exactly
+/// one (the last-arriving) thread while the others wait.
+class SyncBarrier {
+ public:
+  explicit SyncBarrier(std::size_t parties,
+                       std::function<void()> completion = nullptr)
+      : parties_(parties), completion_(std::move(completion)) {}
+
+  void arrive_and_wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t parties_;
+  std::size_t waiting_ = 0;
+  std::uint64_t generation_ = 0;
+  std::function<void()> completion_;
+};
+
+class Cluster;
+
+/// Per-machine execution handle passed to the machine body.
+class MachineContext {
+ public:
+  MachineContext(Cluster& cluster, PartitionId id);
+
+  [[nodiscard]] PartitionId id() const { return id_; }
+  [[nodiscard]] PartitionId num_machines() const;
+  [[nodiscard]] std::uint64_t superstep() const { return superstep_; }
+  [[nodiscard]] Cluster& cluster() { return cluster_; }
+
+  /// BSP send: visible to `to` after the next barrier.
+  void send(PartitionId to, std::uint32_t tag, Packet payload);
+  /// Async send: visible to `to` immediately via recv_async().
+  void send_async(PartitionId to, std::uint32_t tag, Packet payload);
+
+  /// Drain messages staged for the current superstep (those sent during the
+  /// previous superstep, before the last barrier).
+  std::vector<Envelope> recv_staged();
+  /// Drain asynchronously-delivered messages.
+  std::vector<Envelope> recv_async();
+
+  /// Synchronize all machines; charges this machine's accumulated comm cost
+  /// and advances every clock to the slowest machine. Increments superstep.
+  void barrier();
+
+  /// Charge local compute work to the simulated clock.
+  void charge_compute(std::uint64_t edges, std::uint64_t vertices = 0);
+
+  [[nodiscard]] SimClock& clock();
+
+ private:
+  Cluster& cluster_;
+  PartitionId id_;
+  std::uint64_t superstep_ = 0;
+  std::uint64_t step_packets_ = 0;
+  std::uint64_t step_bytes_ = 0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(PartitionId num_machines, CostModel cost_model = {});
+
+  [[nodiscard]] PartitionId num_machines() const {
+    return fabric_.num_machines();
+  }
+  [[nodiscard]] Fabric& fabric() { return fabric_; }
+  [[nodiscard]] const CostModel& cost_model() const { return cost_model_; }
+  [[nodiscard]] SimClock& clock(PartitionId id) { return clocks_[id]; }
+
+  /// Execute `body(ctx)` on every machine concurrently; returns when all
+  /// machines finish. Clocks and traffic counters persist across runs until
+  /// reset_clocks() / fabric().reset_counters().
+  void run(const std::function<void(MachineContext&)>& body);
+
+  /// Max simulated time across machines (the BSP makespan).
+  [[nodiscard]] double sim_seconds() const;
+
+  void reset_clocks() {
+    for (auto& c : clocks_) c.reset();
+  }
+
+ private:
+  friend class MachineContext;
+
+  Fabric fabric_;
+  CostModel cost_model_;
+  std::vector<SimClock> clocks_;
+  SyncBarrier barrier_;
+};
+
+}  // namespace cgraph

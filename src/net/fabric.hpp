@@ -1,0 +1,95 @@
+// Simulated cluster interconnect (stands in for the paper's MPI/socket
+// layer). Routes byte packets between machine mailboxes and keeps exact
+// per-machine traffic counters that feed the CostModel.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "net/mailbox.hpp"
+#include "net/serialize.hpp"
+#include "util/assert.hpp"
+
+namespace cgraph {
+
+/// Traffic counters for one machine (sent side). Atomics because helper
+/// threads inside a machine may send concurrently.
+struct TrafficCounters {
+  std::atomic<std::uint64_t> packets{0};
+  std::atomic<std::uint64_t> bytes{0};
+
+  void record(std::size_t payload_bytes) {
+    packets.fetch_add(1, std::memory_order_relaxed);
+    bytes.fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+  void reset() {
+    packets.store(0, std::memory_order_relaxed);
+    bytes.store(0, std::memory_order_relaxed);
+  }
+};
+
+class Fabric {
+ public:
+  explicit Fabric(PartitionId num_machines)
+      : mailboxes_(num_machines), sent_(num_machines) {
+    for (auto& m : mailboxes_) m = std::make_unique<Mailbox>();
+    for (auto& c : sent_) c = std::make_unique<TrafficCounters>();
+  }
+
+  [[nodiscard]] PartitionId num_machines() const {
+    return static_cast<PartitionId>(mailboxes_.size());
+  }
+
+  /// BSP send: delivered when the receiver drains `superstep`.
+  void send_superstep(PartitionId from, PartitionId to, std::uint32_t tag,
+                      Packet payload, std::uint64_t superstep) {
+    CGRAPH_DCHECK(to < mailboxes_.size());
+    sent_[from]->record(payload.size());
+    mailboxes_[to]->push_superstep({from, tag, std::move(payload)},
+                                   superstep);
+  }
+
+  /// Async send: visible to the receiver's drain_now() immediately.
+  void send_now(PartitionId from, PartitionId to, std::uint32_t tag,
+                Packet payload) {
+    CGRAPH_DCHECK(to < mailboxes_.size());
+    sent_[from]->record(payload.size());
+    mailboxes_[to]->push_now({from, tag, std::move(payload)});
+  }
+
+  [[nodiscard]] Mailbox& mailbox(PartitionId id) {
+    CGRAPH_DCHECK(id < mailboxes_.size());
+    return *mailboxes_[id];
+  }
+
+  [[nodiscard]] TrafficCounters& sent_counters(PartitionId id) {
+    return *sent_[id];
+  }
+
+  /// Total bytes sent across all machines since construction/reset.
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& c : sent_)
+      total += c->bytes.load(std::memory_order_relaxed);
+    return total;
+  }
+  [[nodiscard]] std::uint64_t total_packets() const {
+    std::uint64_t total = 0;
+    for (const auto& c : sent_)
+      total += c->packets.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset_counters() {
+    for (auto& c : sent_) c->reset();
+  }
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<TrafficCounters>> sent_;
+};
+
+}  // namespace cgraph

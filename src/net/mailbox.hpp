@@ -1,0 +1,70 @@
+// Per-machine message intake: the "incoming task buffer" of paper Fig. 4.
+//
+// Supports the two delivery disciplines the engines need:
+//   * BSP ("sync"): packets sent during superstep s are tagged with s and
+//     only drained once the receiver reaches superstep s — double buffering
+//     by superstep parity, which is sufficient because barriers prevent any
+//     machine from running two supersteps ahead.
+//   * Async: packets are visible to drain_now() immediately.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "net/serialize.hpp"
+#include "util/spinlock.hpp"
+
+namespace cgraph {
+
+struct Envelope {
+  PartitionId from = kInvalidPartition;
+  std::uint32_t tag = 0;  // engine-defined message kind
+  Packet payload;
+};
+
+class Mailbox {
+ public:
+  /// Deposit for BSP delivery after the superstep barrier.
+  void push_superstep(Envelope env, std::uint64_t superstep) {
+    std::lock_guard<SpinLock> lk(mu_);
+    staged_[superstep & 1].push_back(std::move(env));
+  }
+
+  /// Deposit for immediate (async) delivery.
+  void push_now(Envelope env) {
+    std::lock_guard<SpinLock> lk(mu_);
+    ready_.push_back(std::move(env));
+  }
+
+  /// Drain everything staged for `superstep` (call after the barrier that
+  /// ends it).
+  std::vector<Envelope> drain_superstep(std::uint64_t superstep) {
+    std::lock_guard<SpinLock> lk(mu_);
+    std::vector<Envelope> out = std::move(staged_[superstep & 1]);
+    staged_[superstep & 1].clear();
+    return out;
+  }
+
+  /// Drain all immediately-visible messages (async mode).
+  std::vector<Envelope> drain_now() {
+    std::lock_guard<SpinLock> lk(mu_);
+    std::vector<Envelope> out = std::move(ready_);
+    ready_.clear();
+    return out;
+  }
+
+  [[nodiscard]] bool empty_now() {
+    std::lock_guard<SpinLock> lk(mu_);
+    return ready_.empty();
+  }
+
+ private:
+  SpinLock mu_;
+  std::vector<Envelope> staged_[2];
+  std::vector<Envelope> ready_;
+};
+
+}  // namespace cgraph

@@ -1,0 +1,94 @@
+// Packet serialization. The paper's deployment uses MPI/sockets; here every
+// inter-machine message is serialized into a byte packet so the simulated
+// fabric can account for real wire volume (the cost model charges per byte
+// and per packet, like an alpha-beta network model).
+//
+// Writer/Reader handle trivially-copyable records with explicit bounds
+// checking on the read side; a malformed packet aborts rather than reading
+// out of bounds.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace cgraph {
+
+using Packet = std::vector<std::byte>;
+
+class PacketWriter {
+ public:
+  PacketWriter() = default;
+
+  template <typename T>
+  void write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t pos = buf_.size();
+    buf_.resize(pos + sizeof(T));
+    std::memcpy(buf_.data() + pos, &value, sizeof(T));
+  }
+
+  template <typename T>
+  void write_span(std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write<std::uint64_t>(values.size());
+    const std::size_t pos = buf_.size();
+    buf_.resize(pos + values.size_bytes());
+    std::memcpy(buf_.data() + pos, values.data(), values.size_bytes());
+  }
+
+  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] bool empty() const { return buf_.empty(); }
+
+  /// Move the accumulated bytes out; the writer is reusable afterwards.
+  Packet take() { return std::move(buf_); }
+
+ private:
+  Packet buf_;
+};
+
+class PacketReader {
+ public:
+  explicit PacketReader(std::span<const std::byte> data) : data_(data) {}
+  explicit PacketReader(const Packet& p) : data_(p) {}
+  // A reader only views the packet; constructing from a temporary would
+  // dangle immediately.
+  explicit PacketReader(Packet&&) = delete;
+
+  template <typename T>
+  T read() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CGRAPH_CHECK_MSG(pos_ + sizeof(T) <= data_.size(),
+                     "packet underflow while decoding");
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  std::vector<T> read_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto n = read<std::uint64_t>();
+    CGRAPH_CHECK_MSG(pos_ + n * sizeof(T) <= data_.size(),
+                     "packet underflow while decoding vector");
+    std::vector<T> out(n);
+    std::memcpy(out.data(), data_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return out;
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ >= data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cgraph

@@ -1,0 +1,40 @@
+// Asynchronous k-hop traversal (paper §3.3: when a boundary vertex is
+// visited "the vertex value will be asynchronously updated and the
+// traversal on that vertex will be performed based on the new depth").
+//
+// Unlike the level-synchronous engines there are no barriers: every
+// machine drains its local task queue, pushes boundary discoveries to the
+// owner's mailbox immediately (send_async), and polls for incoming tasks.
+// Global termination uses an idle-count + in-flight-message counter
+// (a Mattern-style credit scheme collapsed onto the shared-memory
+// substrate that hosts the simulated cluster).
+//
+// Async traversals can visit a vertex through a longer path first, which
+// would strand deeper neighbors inside the hop budget if visitation were
+// once-only. The engine therefore keeps a best-known depth per (query,
+// vertex) and re-expands on improvement (unit-weight relaxation, the same
+// fix asynchronous SSSP needs) — so results match the BSP engines exactly
+// at the cost of the dense per-query depth array the paper's §3.3 memory
+// discussion warns about.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/partition.hpp"
+#include "graph/shard.hpp"
+#include "net/cluster.hpp"
+#include "query/msbfs.hpp"
+#include "query/query.hpp"
+
+namespace cgraph {
+
+/// Run the batch asynchronously. Result layout matches the BSP engines;
+/// per-query completion times are not individually tracked (no global
+/// level clock exists) and are reported as the batch total.
+MsBfsBatchResult run_async_khop(Cluster& cluster,
+                                const std::vector<SubgraphShard>& shards,
+                                const RangePartition& partition,
+                                std::span<const KHopQuery> batch);
+
+}  // namespace cgraph

@@ -1,0 +1,122 @@
+#include "query/bfs.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace cgraph {
+
+std::vector<Depth> bfs_levels(const Graph& graph, VertexId src,
+                              Depth max_depth) {
+  CGRAPH_CHECK(src < graph.num_vertices());
+  std::vector<Depth> depth(graph.num_vertices(), kUnvisitedDepth);
+  std::vector<VertexId> frontier{src};
+  std::vector<VertexId> next;
+  depth[src] = 0;
+  Depth level = 0;
+  while (!frontier.empty() && level < max_depth) {
+    next.clear();
+    for (VertexId v : frontier) {
+      for (VertexId t : graph.out_neighbors(v)) {
+        if (depth[t] == kUnvisitedDepth) {
+          depth[t] = static_cast<Depth>(level + 1);
+          next.push_back(t);
+        }
+      }
+    }
+    frontier.swap(next);
+    ++level;
+  }
+  return depth;
+}
+
+std::uint64_t khop_reach_count(const Graph& graph, VertexId src, Depth k) {
+  const auto depth = bfs_levels(graph, src, k);
+  std::uint64_t count = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (v != src && depth[v] != kUnvisitedDepth) ++count;
+  }
+  return count;
+}
+
+std::vector<VertexId> khop_reach_set(const Graph& graph, VertexId src,
+                                     Depth k) {
+  CGRAPH_CHECK(src < graph.num_vertices());
+  std::vector<Depth> depth(graph.num_vertices(), kUnvisitedDepth);
+  std::vector<VertexId> order;
+  std::vector<VertexId> frontier{src};
+  std::vector<VertexId> next;
+  depth[src] = 0;
+  Depth level = 0;
+  while (!frontier.empty() && level < k) {
+    next.clear();
+    for (VertexId v : frontier) {
+      for (VertexId t : graph.out_neighbors(v)) {
+        if (depth[t] == kUnvisitedDepth) {
+          depth[t] = static_cast<Depth>(level + 1);
+          next.push_back(t);
+          order.push_back(t);
+        }
+      }
+    }
+    frontier.swap(next);
+    ++level;
+  }
+  return order;
+}
+
+HopPlot compute_hop_plot(const Graph& graph, std::uint32_t samples,
+                         std::uint64_t seed) {
+  HopPlot plot;
+  if (graph.num_vertices() == 0) return plot;
+  Xoshiro256 rng(seed);
+
+  // distance histogram over sampled (source, reachable target) pairs
+  std::vector<std::uint64_t> dist_count;
+  std::uint64_t total_pairs = 0;
+  for (std::uint32_t s = 0; s < samples; ++s) {
+    const auto src =
+        static_cast<VertexId>(rng.next_bounded(graph.num_vertices()));
+    const auto depth = bfs_levels(graph, src);
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      const Depth d = depth[v];
+      if (v == src || d == kUnvisitedDepth) continue;
+      if (d >= dist_count.size()) dist_count.resize(d + 1, 0);
+      ++dist_count[d];
+      ++total_pairs;
+      plot.diameter = std::max(plot.diameter, d);
+    }
+  }
+  if (total_pairs == 0) return plot;
+
+  // cumulative[d] = fraction of sampled pairs at distance <= d;
+  // dist_count[0] is always zero (the source itself is excluded).
+  plot.cumulative.resize(dist_count.size(), 0.0);
+  std::uint64_t cum = 0;
+  for (std::size_t d = 0; d < dist_count.size(); ++d) {
+    cum += dist_count[d];
+    plot.cumulative[d] =
+        static_cast<double>(cum) / static_cast<double>(total_pairs);
+  }
+
+  // Effective diameter at fraction q: linear interpolation between the
+  // first distance whose cumulative fraction reaches q and its predecessor
+  // (the standard KONECT/SNAP definition, matching Fig. 1's δ0.5 = 3.51).
+  auto effective = [&](double q) -> double {
+    for (std::size_t d = 1; d < plot.cumulative.size(); ++d) {
+      if (plot.cumulative[d] >= q) {
+        const double prev = plot.cumulative[d - 1];
+        const double cur = plot.cumulative[d];
+        const double frac = cur == prev ? 0.0 : (q - prev) / (cur - prev);
+        return static_cast<double>(d - 1) + frac;
+      }
+    }
+    return static_cast<double>(plot.cumulative.size() - 1);
+  };
+  plot.effective_diameter_50 = effective(0.5);
+  plot.effective_diameter_90 = effective(0.9);
+  return plot;
+}
+
+}  // namespace cgraph

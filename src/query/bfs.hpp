@@ -1,0 +1,42 @@
+// Serial BFS / k-hop reference implementations and the hop-plot analysis
+// behind paper Fig. 1. These are the ground truth the distributed and
+// bit-parallel engines are validated against, and the per-query kernel the
+// GeminiLike baseline uses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cgraph {
+
+/// Level-synchronous BFS from `src`, following out-edges, stopping after
+/// `max_depth` hops. Returns per-vertex depth (kUnvisitedDepth if
+/// unreached). max_depth = kUnvisitedDepth means unbounded (full BFS).
+std::vector<Depth> bfs_levels(const Graph& graph, VertexId src,
+                              Depth max_depth = kUnvisitedDepth);
+
+/// Number of vertices reachable within k hops of src (excluding src).
+std::uint64_t khop_reach_count(const Graph& graph, VertexId src, Depth k);
+
+/// Vertices reachable within k hops, in discovery (level) order.
+std::vector<VertexId> khop_reach_set(const Graph& graph, VertexId src,
+                                     Depth k);
+
+/// Hop plot: cumulative fraction of reachable vertex pairs by distance
+/// (paper Fig. 1), estimated by BFS from `samples` random sources.
+struct HopPlot {
+  /// cumulative[d] = fraction of sampled reachable pairs at distance <= d.
+  std::vector<double> cumulative;
+  /// Largest observed distance (the sampled diameter δ).
+  Depth diameter = 0;
+  /// 50- and 90-percentile effective diameters (δ0.5, δ0.9), interpolated.
+  double effective_diameter_50 = 0;
+  double effective_diameter_90 = 0;
+};
+
+HopPlot compute_hop_plot(const Graph& graph, std::uint32_t samples,
+                         std::uint64_t seed = 1);
+
+}  // namespace cgraph

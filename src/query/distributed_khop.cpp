@@ -1,0 +1,191 @@
+#include "query/distributed_khop.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "net/serialize.hpp"
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+#include "util/timer.hpp"
+
+namespace cgraph {
+namespace {
+
+constexpr std::uint32_t kVisitTag = 0x56495354;  // 'VIST'
+constexpr std::size_t kMaxLevels = 256;
+
+/// Wire record: "visit vertex `target` for query `query` at depth `depth`"
+/// — the sendTo(t, t.hops) of paper Listing 2.
+struct VisitTask {
+  VertexId target;
+  QueryId query;
+  Depth depth;
+};
+
+}  // namespace
+
+MsBfsBatchResult run_distributed_khop(
+    Cluster& cluster, const std::vector<SubgraphShard>& shards,
+    const RangePartition& partition, std::span<const KHopQuery> batch) {
+  const std::size_t Q = batch.size();
+  CGRAPH_CHECK(Q > 0);
+  CGRAPH_CHECK(shards.size() == cluster.num_machines());
+
+  MsBfsBatchResult result;
+  result.visited.assign(Q, 0);
+  result.levels.assign(Q, 0);
+  result.completion_wall_seconds.assign(Q, 0.0);
+  result.completion_sim_seconds.assign(Q, 0.0);
+
+  // Shared per-level activity planes (bit q = query q's next frontier is
+  // non-empty somewhere), same reduction scheme as the bit-parallel engine.
+  const std::size_t W = words_for_bits(Q);
+  CGRAPH_CHECK_MSG(W <= QueryBitRows::kMaxBatchWords,
+                   "batch exceeds activity-plane capacity");
+  std::vector<std::atomic<Word>> nonempty_planes(kMaxLevels * W);
+  for (auto& a : nonempty_planes) a.store(0, std::memory_order_relaxed);
+  std::vector<std::atomic<std::uint64_t>> visited_accum(Q);
+  for (auto& a : visited_accum) a.store(0, std::memory_order_relaxed);
+  std::atomic<std::uint64_t> edges_total{0};
+  std::atomic<std::uint64_t> state_bytes_total{0};
+
+  cluster.reset_clocks();
+  cluster.fabric().reset_counters();
+  WallTimer wall;
+
+  cluster.run([&](MachineContext& mc) {
+    const SubgraphShard& shard = shards[mc.id()];
+    const VertexRange range = shard.local_range();
+    const VertexId nlocal = range.size();
+
+    // Per-query state: visited bitmap over local vertices and the current
+    // level's task queue (local vertex ids, global numbering).
+    std::vector<Bitmap> visited(Q);
+    std::vector<std::vector<VertexId>> frontier(Q);
+    std::vector<std::vector<VertexId>> next(Q);
+    for (std::size_t q = 0; q < Q; ++q) {
+      visited[q].resize(nlocal);
+      if (range.contains(batch[q].source)) {
+        visited[q].set(batch[q].source - range.begin);
+        frontier[q].push_back(batch[q].source);
+      }
+    }
+    state_bytes_total.fetch_add(
+        Q * (words_for_bits(nlocal) * sizeof(Word)),
+        std::memory_order_relaxed);
+
+    // Outgoing remote tasks, bucketed per owner machine.
+    std::vector<std::vector<VisitTask>> outbox(mc.num_machines());
+
+    std::vector<bool> done(Q, false);
+    std::size_t done_count = 0;
+    std::uint64_t my_edges = 0;
+
+    for (Depth level = 0; done_count < Q; ++level) {
+      // --- Expand every active query's local frontier (Listing 2 body).
+      std::uint64_t level_edges = 0;
+      for (std::size_t q = 0; q < Q; ++q) {
+        if (batch[q].k <= level) continue;  // s.hops == k: stop expanding
+        for (VertexId s : frontier[q]) {
+          shard.out_sets().for_each_neighbor(s, [&](VertexId t) {
+            ++level_edges;
+            if (range.contains(t)) {
+              if (visited[q].atomic_test_and_set(t - range.begin)) {
+                next[q].push_back(t);  // Q.push(t)
+              }
+            } else {
+              // sendTo(t, t.hops): dedup at the receiver's visited set.
+              outbox[partition.owner(t)].push_back(
+                  {t, static_cast<QueryId>(q),
+                   static_cast<Depth>(level + 1)});
+            }
+          });
+        }
+      }
+      my_edges += level_edges;
+      mc.charge_compute(level_edges);
+
+      for (PartitionId to = 0; to < outbox.size(); ++to) {
+        if (outbox[to].empty()) continue;
+        PacketWriter pw;
+        pw.write_span(std::span<const VisitTask>(outbox[to]));
+        mc.send(to, kVisitTag, pw.take());
+        outbox[to].clear();
+      }
+      mc.barrier();  // ---- exchange remote task buffers ----
+
+      for (Envelope& env : mc.recv_staged()) {
+        CGRAPH_CHECK(env.tag == kVisitTag);
+        PacketReader pr(env.payload);
+        for (const VisitTask& task : pr.read_vector<VisitTask>()) {
+          CGRAPH_DCHECK(range.contains(task.target));
+          if (visited[task.query].atomic_test_and_set(task.target -
+                                                      range.begin)) {
+            next[task.query].push_back(task.target);
+          }
+        }
+      }
+
+      // --- Publish activity, advance queues.
+      {
+        Word local_nonempty[QueryBitRows::kMaxBatchWords] = {};
+        for (std::size_t q = 0; q < Q; ++q) {
+          if (!next[q].empty()) {
+            local_nonempty[q / kWordBits] |= Word{1} << (q % kWordBits);
+          }
+        }
+        for (std::size_t w = 0; w < W; ++w) {
+          if (local_nonempty[w] != 0) {
+            nonempty_planes[static_cast<std::size_t>(level) * W + w]
+                .fetch_or(local_nonempty[w], std::memory_order_acq_rel);
+          }
+        }
+      }
+      for (std::size_t q = 0; q < Q; ++q) {
+        frontier[q].swap(next[q]);  // Q.pop of the drained level
+        next[q].clear();
+      }
+      mc.barrier();  // ---- level close ----
+
+      for (std::size_t q = 0; q < Q; ++q) {
+        if (done[q]) continue;
+        const Word plane =
+            nonempty_planes[static_cast<std::size_t>(level) * W +
+                            q / kWordBits]
+                .load(std::memory_order_acquire);
+        const bool empty_next = ((plane >> (q % kWordBits)) & 1u) == 0;
+        const bool k_exhausted = static_cast<Depth>(level + 1) >= batch[q].k;
+        if (empty_next || k_exhausted) {
+          done[q] = true;
+          ++done_count;
+          if (mc.id() == 0) {
+            result.levels[q] = static_cast<Depth>(level + 1);
+            result.completion_wall_seconds[q] = wall.seconds();
+            result.completion_sim_seconds[q] = mc.clock().seconds();
+          }
+        }
+      }
+      if (mc.id() == 0) result.total_levels = static_cast<Depth>(level + 1);
+      CGRAPH_CHECK_MSG(static_cast<std::size_t>(level) + 1 < kMaxLevels,
+                       "traversal exceeded level cap");
+    }
+
+    for (std::size_t q = 0; q < Q; ++q) {
+      visited_accum[q].fetch_add(visited[q].count(),
+                                 std::memory_order_relaxed);
+    }
+    edges_total.fetch_add(my_edges, std::memory_order_relaxed);
+  });
+
+  for (std::size_t q = 0; q < Q; ++q) {
+    const std::uint64_t v = visited_accum[q].load(std::memory_order_relaxed);
+    result.visited[q] = v > 0 ? v - 1 : 0;
+  }
+  result.wall_seconds = wall.seconds();
+  result.sim_seconds = cluster.sim_seconds();
+  result.edges_scanned = edges_total.load(std::memory_order_relaxed);
+  result.frontier_bytes = state_bytes_total.load(std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace cgraph

@@ -1,0 +1,31 @@
+// Queue-based distributed k-hop traversal — the direct implementation of
+// paper Listing 2. Each query keeps an explicit per-machine task queue and
+// visited set; local neighbors are pushed onto the local queue, boundary
+// neighbors are shipped to the owner's remote task buffer (paper Fig. 4/5).
+//
+// This is the non-bit-parallel execution mode: queries in a batch are
+// level-synchronized but do NOT share edge scans, so its total work grows
+// linearly with the query count. It serves as (a) the semantics reference
+// for the bit-parallel engine and (b) the ablation baseline for the
+// paper's §3.5 bit-operation optimization.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/partition.hpp"
+#include "graph/shard.hpp"
+#include "net/cluster.hpp"
+#include "query/msbfs.hpp"
+#include "query/query.hpp"
+
+namespace cgraph {
+
+/// Runs the batch with per-query task queues. Result layout matches the
+/// bit-parallel engine so harnesses can swap engines.
+MsBfsBatchResult run_distributed_khop(Cluster& cluster,
+                                      const std::vector<SubgraphShard>& shards,
+                                      const RangePartition& partition,
+                                      std::span<const KHopQuery> batch);
+
+}  // namespace cgraph

@@ -1,0 +1,137 @@
+// Frontier state for concurrent traversals (paper §3.5).
+//
+// Instead of task queues/sets — whose union operations, dynamic allocation
+// and locking dominate at high query counts — each query keeps 2 bits per
+// vertex for "in current frontier" / "in next frontier" plus 1 bit for
+// "visited", stored in word-packed arrays for constant-time access. A
+// batch of queries shares the vertex dimension, so one edge-set scan
+// advances every query in the batch (MS-BFS).
+//
+// LevelValueStore implements the paper's dynamic resource allocation: a
+// traversal only retains vertex values (depths/parents) for the previous
+// and current levels rather than a dense value per vertex per query.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/bitops.hpp"
+
+namespace cgraph {
+
+/// Per-batch traversal state over a (local) vertex range: three bit planes
+/// indexed [vertex][query].
+class BatchFrontier {
+ public:
+  BatchFrontier() = default;
+  BatchFrontier(std::size_t num_vertices, std::size_t num_queries)
+      : frontier_(num_vertices, num_queries),
+        next_(num_vertices, num_queries),
+        visited_(num_vertices, num_queries) {}
+
+  [[nodiscard]] std::size_t num_vertices() const { return frontier_.rows(); }
+  [[nodiscard]] std::size_t num_queries() const {
+    return frontier_.queries();
+  }
+  [[nodiscard]] std::size_t words_per_row() const {
+    return frontier_.words_per_row();
+  }
+
+  [[nodiscard]] QueryBitRows& frontier() { return frontier_; }
+  [[nodiscard]] QueryBitRows& next() { return next_; }
+  [[nodiscard]] QueryBitRows& visited() { return visited_; }
+  [[nodiscard]] const QueryBitRows& frontier() const { return frontier_; }
+  [[nodiscard]] const QueryBitRows& next() const { return next_; }
+  [[nodiscard]] const QueryBitRows& visited() const { return visited_; }
+
+  /// Seed query q at local vertex v (marks frontier + visited).
+  void seed(std::size_t v, std::size_t q) {
+    frontier_.set(v, q);
+    visited_.set(v, q);
+  }
+
+  /// Merge `next` bits for vertex v: bits not yet visited become frontier-
+  /// next and visited. Returns the word-mask of queries newly discovered.
+  /// This is the paper Fig. 6 update: frontierNext |= bits & ~visited.
+  void discover(std::size_t v, const Word* query_bits) {
+    Word* nx = next_.row(v);
+    Word* vis = visited_.row(v);
+    for (std::size_t w = 0; w < frontier_.words_per_row(); ++w) {
+      const Word fresh = query_bits[w] & ~vis[w];
+      nx[w] |= fresh;
+      vis[w] |= fresh;
+    }
+  }
+
+  /// Advance one level: frontier <- next, next <- 0. Returns true if the
+  /// new frontier is non-empty (any query still active here).
+  bool advance() {
+    frontier_.swap(next_);
+    next_.clear_all();
+    for (std::size_t v = 0; v < frontier_.rows(); ++v) {
+      if (frontier_.row_any(v)) return true;
+    }
+    return false;
+  }
+
+  /// Approximate memory footprint (the Fig. 12/13 memory discussion).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return 3 * frontier_.rows() * frontier_.words_per_row() * sizeof(Word);
+  }
+
+ private:
+  QueryBitRows frontier_;
+  QueryBitRows next_;
+  QueryBitRows visited_;
+};
+
+/// Sparse per-level vertex values: the traversal keeps (vertex, value)
+/// pairs for the previous and current levels only, releasing older levels
+/// (paper §3.3 "dynamic resource allocation").
+template <typename V>
+class LevelValueStore {
+ public:
+  using Entry = std::pair<VertexId, V>;
+
+  /// Record a value for a vertex discovered in the current level.
+  void record(VertexId v, const V& value) {
+    current_.emplace_back(v, value);
+  }
+
+  /// Move to the next level: previous is dropped, current becomes previous.
+  void advance_level() {
+    previous_.swap(current_);
+    current_.clear();
+    ++level_;
+  }
+
+  [[nodiscard]] const std::vector<Entry>& current() const { return current_; }
+  [[nodiscard]] const std::vector<Entry>& previous() const {
+    return previous_;
+  }
+  [[nodiscard]] std::uint32_t level() const { return level_; }
+
+  /// Peak entries held at once (for the memory-footprint comparison with a
+  /// dense per-vertex store).
+  [[nodiscard]] std::size_t live_entries() const {
+    return previous_.size() + current_.size();
+  }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return live_entries() * sizeof(Entry);
+  }
+
+  void reset() {
+    previous_.clear();
+    current_.clear();
+    level_ = 0;
+  }
+
+ private:
+  std::vector<Entry> previous_;
+  std::vector<Entry> current_;
+  std::uint32_t level_ = 0;
+};
+
+}  // namespace cgraph

@@ -1,0 +1,105 @@
+// Paper Listing 2 expressed verbatim against the Listing 1 programming
+// abstraction: a PartitionProgram whose compute() drains a local task
+// queue, visits neighbors, pushes local discoveries back onto the queue
+// and sendTo()s boundary discoveries — one superstep per traversal level.
+//
+// The production engines (query/distributed_khop.cpp, query/msbfs.cpp)
+// bypass the generic message layer for batching and bit-parallelism; this
+// program exists to demonstrate—and regression-test—that the public
+// partition-centric API is sufficient to express the paper's k-hop
+// pseudocode directly.
+#pragma once
+
+#include <memory>
+
+#include "engine/bsp_engine.hpp"
+#include "query/query.hpp"
+#include "util/bitops.hpp"
+
+namespace cgraph {
+
+/// Message: "visit me at this depth for this query".
+struct KhopVisit {
+  QueryId query;
+  Depth depth;
+};
+
+class KhopProgram final : public PartitionProgram<KhopVisit> {
+ public:
+  /// `visited_out` (one counter per query, shared across machines) is
+  /// accumulated at finish().
+  KhopProgram(std::span<const KHopQuery> batch,
+              std::vector<std::atomic<std::uint64_t>>* visited_out)
+      : batch_(batch), visited_out_(visited_out) {}
+
+  void init(PartitionContext<KhopVisit>& ctx) override {
+    const VertexRange range = ctx.local_vertices();
+    visited_.resize(batch_.size());
+    for (auto& bm : visited_) bm.resize(range.size());
+    // Seed: deliver depth-0 tasks to local sources through the normal
+    // message path (Listing 2's initial queue content).
+    for (std::size_t q = 0; q < batch_.size(); ++q) {
+      if (ctx.is_local_vertex(batch_[q].source)) {
+        ctx.send_to(batch_[q].source,
+                    {static_cast<QueryId>(q), Depth{0}});
+      }
+    }
+  }
+
+  // def Traverse(task queue: Q, hops: k) — one level per superstep.
+  void compute(PartitionContext<KhopVisit>& ctx) override {
+    const VertexRange range = ctx.local_vertices();
+    std::uint64_t edges = 0;
+    for (const auto& msg : ctx.incoming()) {          // while any s in Q
+      const VertexId s = msg.target;
+      const KhopVisit task = msg.payload;
+      CGRAPH_DCHECK(ctx.is_local_vertex(s));          // isLocalVertex(s)
+      if (!visited_[task.query].atomic_test_and_set(s - range.begin)) {
+        continue;  // already visited for this query
+      }
+      if (task.depth < batch_[task.query].k) {        // s.hops < k
+        ctx.shard().out_sets().for_each_neighbor(s, [&](VertexId t) {
+          ++edges;
+          // t.hops = s.hops + 1; local and boundary vertices both go
+          // through sendTo — the context short-circuits local targets.
+          ctx.send_to(t, {task.query,
+                          static_cast<Depth>(task.depth + 1)});
+        });
+      }
+    }
+    ctx.charge_compute(edges);
+    ctx.vote_to_halt();  // reactivated by incoming tasks
+  }
+
+  void finish(PartitionContext<KhopVisit>&) override {
+    for (std::size_t q = 0; q < batch_.size(); ++q) {
+      (*visited_out_)[q].fetch_add(visited_[q].count(),
+                                   std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::span<const KHopQuery> batch_;
+  std::vector<Bitmap> visited_;  // per query, over local vertices
+  std::vector<std::atomic<std::uint64_t>>* visited_out_;
+};
+
+/// Convenience runner: visited counts per query (source excluded).
+inline std::vector<std::uint64_t> run_khop_program(
+    Cluster& cluster, const std::vector<SubgraphShard>& shards,
+    const RangePartition& partition, std::span<const KHopQuery> batch) {
+  std::vector<std::atomic<std::uint64_t>> counts(batch.size());
+  for (auto& c : counts) c.store(0, std::memory_order_relaxed);
+  run_partition_programs<KhopVisit>(
+      cluster, shards, partition, [&](PartitionId) {
+        return std::make_unique<KhopProgram>(batch, &counts);
+      });
+  std::vector<std::uint64_t> visited(batch.size());
+  for (std::size_t q = 0; q < batch.size(); ++q) {
+    const std::uint64_t v = counts[q].load(std::memory_order_relaxed);
+    visited[q] = v > 0 ? v - 1 : 0;
+  }
+  return visited;
+}
+
+}  // namespace cgraph

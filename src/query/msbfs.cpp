@@ -1,0 +1,410 @@
+#include "query/msbfs.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+
+#include "net/serialize.hpp"
+#include "query/frontier.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace cgraph {
+namespace {
+
+constexpr std::uint32_t kRemoteDiscoverTag = 0x52444953;  // 'RDIS'
+// Depth is uint8_t, so no traversal can exceed 255 levels; +1 slack.
+constexpr std::size_t kMaxLevels = 256;
+
+using WordRow = std::array<Word, QueryBitRows::kMaxBatchWords>;
+
+/// Internal batch form shared by the single- and multi-source overloads:
+/// per query, a hop bound and a list of distinct seed vertices.
+struct SeededBatch {
+  std::vector<Depth> ks;
+  std::vector<std::vector<VertexId>> seeds;
+
+  [[nodiscard]] std::size_t size() const { return ks.size(); }
+};
+
+SeededBatch to_seeded(std::span<const KHopQuery> batch) {
+  SeededBatch sb;
+  sb.ks.reserve(batch.size());
+  sb.seeds.reserve(batch.size());
+  for (const KHopQuery& q : batch) {
+    sb.ks.push_back(q.k);
+    sb.seeds.push_back({q.source});
+  }
+  return sb;
+}
+
+SeededBatch to_seeded(std::span<const MultiKHopQuery> batch) {
+  SeededBatch sb;
+  sb.ks.reserve(batch.size());
+  sb.seeds.reserve(batch.size());
+  for (const MultiKHopQuery& q : batch) {
+    CGRAPH_CHECK_MSG(!q.sources.empty(),
+                     "multi-source query needs at least one source");
+    sb.ks.push_back(q.k);
+    std::vector<VertexId> seeds = q.sources;
+    std::sort(seeds.begin(), seeds.end());
+    seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+    sb.seeds.push_back(std::move(seeds));
+  }
+  return sb;
+}
+
+/// Per-level expansion mask: bit q set iff query q still has hops left
+/// when expanding the frontier at `level` (discovering level+1).
+WordRow expand_mask_for_level(std::span<const Depth> ks, Depth level) {
+  WordRow mask{};
+  for (std::size_t q = 0; q < ks.size(); ++q) {
+    if (ks[q] > level) {
+      mask[q / kWordBits] |= Word{1} << (q % kWordBits);
+    }
+  }
+  return mask;
+}
+
+bool row_masked_any(const Word* row, const WordRow& mask, std::size_t words,
+                    WordRow& out) {
+  Word any = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    out[w] = row[w] & mask[w];
+    any |= out[w];
+  }
+  return any != 0;
+}
+
+MsBfsBatchResult msbfs_batch_core(const Graph& graph,
+                                  const SeededBatch& batch) {
+  const std::size_t Q = batch.size();
+  CGRAPH_CHECK(Q > 0);
+  CGRAPH_CHECK_MSG(Q <= QueryBitRows::kMaxBatchWords * kWordBits,
+                   "batch exceeds bit-parallel capacity");
+  const VertexId n = graph.num_vertices();
+
+  MsBfsBatchResult result;
+  result.visited.assign(Q, 0);
+  result.levels.assign(Q, 0);
+  result.completion_wall_seconds.assign(Q, 0.0);
+  result.completion_sim_seconds.assign(Q, 0.0);
+
+  BatchFrontier bf(n, Q);
+  const std::size_t W = bf.words_per_row();
+  result.frontier_bytes = bf.memory_bytes();
+
+  for (std::size_t q = 0; q < Q; ++q) {
+    for (VertexId source : batch.seeds[q]) {
+      CGRAPH_CHECK(source < n);
+      bf.seed(source, q);
+    }
+  }
+
+  std::vector<bool> done(Q, false);
+  std::size_t done_count = 0;
+  WallTimer wall;
+
+  auto mark_done = [&](std::size_t q, Depth levels_run) {
+    if (done[q]) return;
+    done[q] = true;
+    ++done_count;
+    result.levels[q] = levels_run;
+    result.completion_wall_seconds[q] = wall.seconds();
+  };
+
+  for (Depth level = 0; done_count < Q; ++level) {
+    const WordRow expand = expand_mask_for_level(batch.ks, level);
+
+    // Scan: advance every still-expanding query through v's out-edges.
+    WordRow masked;
+    for (VertexId v = 0; v < n; ++v) {
+      const Word* row = bf.frontier().row(v);
+      if (!row_masked_any(row, expand, W, masked)) continue;
+      const auto nbrs = graph.out_neighbors(v);
+      for (VertexId t : nbrs) {
+        bf.discover(t, masked.data());
+      }
+      result.edges_scanned += nbrs.size();
+    }
+
+    // Per-query non-empty mask of the next frontier.
+    WordRow nonempty{};
+    for (VertexId v = 0; v < n; ++v) {
+      const Word* row = bf.next().row(v);
+      for (std::size_t w = 0; w < W; ++w) nonempty[w] |= row[w];
+    }
+
+    bf.advance();
+    result.total_levels = static_cast<Depth>(level + 1);
+
+    for (std::size_t q = 0; q < Q; ++q) {
+      if (done[q]) continue;
+      const bool empty_next =
+          ((nonempty[q / kWordBits] >> (q % kWordBits)) & 1u) == 0;
+      const bool k_exhausted =
+          static_cast<Depth>(level + 1) >= batch.ks[q];
+      if (empty_next || k_exhausted) {
+        mark_done(q, static_cast<Depth>(level + 1));
+      }
+    }
+    CGRAPH_CHECK_MSG(static_cast<std::size_t>(level) + 1 < kMaxLevels,
+                     "traversal exceeded level cap");
+  }
+
+  // Visited counts per query (the seeds themselves excluded).
+  for (VertexId v = 0; v < n; ++v) {
+    const Word* row = bf.visited().row(v);
+    for (std::size_t w = 0; w < W; ++w) {
+      for_each_set_bit(row[w], w * kWordBits,
+                       [&](std::size_t q) { ++result.visited[q]; });
+    }
+  }
+  for (std::size_t q = 0; q < Q; ++q) {
+    const std::uint64_t seeds = batch.seeds[q].size();
+    result.visited[q] = result.visited[q] > seeds
+                            ? result.visited[q] - seeds
+                            : 0;
+  }
+
+  result.wall_seconds = wall.seconds();
+  result.sim_seconds = result.wall_seconds;  // no cluster: wall == sim
+  result.completion_sim_seconds = result.completion_wall_seconds;
+  return result;
+}
+
+MsBfsBatchResult run_distributed_msbfs_core(
+    Cluster& cluster, const std::vector<SubgraphShard>& shards,
+    const RangePartition& partition, const SeededBatch& batch) {
+  const std::size_t Q = batch.size();
+  CGRAPH_CHECK(Q > 0);
+  CGRAPH_CHECK_MSG(Q <= QueryBitRows::kMaxBatchWords * kWordBits,
+                   "batch exceeds bit-parallel capacity");
+  CGRAPH_CHECK(shards.size() == cluster.num_machines());
+  const VertexId num_vertices = shards[0].num_global_vertices();
+  const std::size_t W = words_for_bits(Q);
+
+  MsBfsBatchResult result;
+  result.visited.assign(Q, 0);
+  result.levels.assign(Q, 0);
+  result.completion_wall_seconds.assign(Q, 0.0);
+  result.completion_sim_seconds.assign(Q, 0.0);
+
+  // Shared reduction planes, one row per level so no reset/race dance is
+  // needed: machines OR their local next-frontier masks for level L into
+  // plane L before the level's closing barrier, everyone reads after.
+  std::vector<std::atomic<Word>> nonempty_planes(kMaxLevels * W);
+  for (auto& a : nonempty_planes) a.store(0, std::memory_order_relaxed);
+  std::vector<std::atomic<std::uint64_t>> visited_accum(Q);
+  for (auto& a : visited_accum) a.store(0, std::memory_order_relaxed);
+  std::atomic<std::uint64_t> edges_total{0};
+  std::atomic<std::uint64_t> frontier_bytes_total{0};
+
+  cluster.reset_clocks();
+  cluster.fabric().reset_counters();
+  WallTimer wall;
+
+  cluster.run([&](MachineContext& mc) {
+    const SubgraphShard& shard = shards[mc.id()];
+    const VertexRange range = shard.local_range();
+    const VertexId nlocal = range.size();
+
+    BatchFrontier bf(nlocal, Q);
+    frontier_bytes_total.fetch_add(bf.memory_bytes(),
+                                   std::memory_order_relaxed);
+
+    for (std::size_t q = 0; q < Q; ++q) {
+      for (VertexId source : batch.seeds[q]) {
+        CGRAPH_CHECK(source < num_vertices);
+        if (range.contains(source)) {
+          bf.seed(source - range.begin, q);
+        }
+      }
+    }
+
+    // Remote accumulator: dense bit rows over the whole global space plus
+    // a touched list, so per-destination rows are OR-combined before they
+    // hit the wire (bounded by boundary vertices, not edges).
+    std::vector<Word> remote_acc(static_cast<std::size_t>(num_vertices) * W,
+                                 0);
+    std::vector<VertexId> touched;
+    Bitmap touched_bm(num_vertices);
+
+    std::vector<bool> done(Q, false);
+    std::size_t done_count = 0;
+
+    std::uint64_t my_edges = 0;
+    for (Depth level = 0; done_count < Q; ++level) {
+      const WordRow expand = expand_mask_for_level(batch.ks, level);
+
+      // --- Local edge-set scan.
+      WordRow masked;
+      std::uint64_t level_edges = 0;
+      const EdgeSetGrid& grid = shard.out_sets();
+      for (std::size_t r = 0; r < grid.num_rows(); ++r) {
+        const VertexRange rr = grid.row_range(r);
+        for (const EdgeSet& es : grid.row_sets(r)) {
+          for (VertexId v = rr.begin; v < rr.end; ++v) {
+            const Word* row = bf.frontier().row(v - range.begin);
+            if (!row_masked_any(row, expand, W, masked)) continue;
+            const auto nbrs = es.neighbors(v);
+            level_edges += nbrs.size();
+            for (VertexId t : nbrs) {
+              if (range.contains(t)) {
+                bf.discover(t - range.begin, masked.data());
+              } else {
+                Word* acc = remote_acc.data() +
+                            static_cast<std::size_t>(t) * W;
+                for (std::size_t w = 0; w < W; ++w) acc[w] |= masked[w];
+                if (touched_bm.atomic_test_and_set(t)) touched.push_back(t);
+              }
+            }
+          }
+        }
+      }
+      my_edges += level_edges;
+      mc.charge_compute(level_edges, /*vertices=*/0);
+
+      // --- Ship combined remote discoveries, grouped by owner.
+      std::sort(touched.begin(), touched.end());
+      std::size_t i = 0;
+      while (i < touched.size()) {
+        const PartitionId owner = partition.owner(touched[i]);
+        const VertexRange orange = partition.range(owner);
+        PacketWriter pw;
+        std::uint64_t count = 0;
+        const std::size_t start = i;
+        while (i < touched.size() && orange.contains(touched[i])) ++i;
+        count = i - start;
+        pw.write<std::uint64_t>(count);
+        for (std::size_t j = start; j < i; ++j) {
+          const VertexId t = touched[j];
+          pw.write<VertexId>(t);
+          const Word* acc =
+              remote_acc.data() + static_cast<std::size_t>(t) * W;
+          for (std::size_t w = 0; w < W; ++w) pw.write<Word>(acc[w]);
+        }
+        mc.send(owner, kRemoteDiscoverTag, pw.take());
+      }
+      // Clear accumulator slots we used.
+      for (VertexId t : touched) {
+        Word* acc = remote_acc.data() + static_cast<std::size_t>(t) * W;
+        for (std::size_t w = 0; w < W; ++w) acc[w] = 0;
+        touched_bm.clear_bit(t);
+      }
+      touched.clear();
+
+      mc.barrier();  // ---- exchange boundary discoveries ----
+
+      WordRow incoming_bits;
+      for (Envelope& env : mc.recv_staged()) {
+        CGRAPH_CHECK(env.tag == kRemoteDiscoverTag);
+        PacketReader pr(env.payload);
+        const auto count = pr.read<std::uint64_t>();
+        for (std::uint64_t j = 0; j < count; ++j) {
+          const auto t = pr.read<VertexId>();
+          CGRAPH_DCHECK(range.contains(t));
+          for (std::size_t w = 0; w < W; ++w)
+            incoming_bits[w] = pr.read<Word>();
+          bf.discover(t - range.begin, incoming_bits.data());
+        }
+      }
+
+      // --- Publish local next-frontier occupancy for this level.
+      WordRow nonempty{};
+      for (VertexId v = 0; v < nlocal; ++v) {
+        const Word* row = bf.next().row(v);
+        for (std::size_t w = 0; w < W; ++w) nonempty[w] |= row[w];
+      }
+      for (std::size_t w = 0; w < W; ++w) {
+        if (nonempty[w] != 0) {
+          nonempty_planes[static_cast<std::size_t>(level) * W + w]
+              .fetch_or(nonempty[w], std::memory_order_acq_rel);
+        }
+      }
+      bf.advance();
+      mc.barrier();  // ---- level close: occupancy now globally visible ----
+
+      // --- Globally consistent completion decisions.
+      WordRow global_nonempty;
+      for (std::size_t w = 0; w < W; ++w) {
+        global_nonempty[w] =
+            nonempty_planes[static_cast<std::size_t>(level) * W + w].load(
+                std::memory_order_acquire);
+      }
+      for (std::size_t q = 0; q < Q; ++q) {
+        if (done[q]) continue;
+        const bool empty_next =
+            ((global_nonempty[q / kWordBits] >> (q % kWordBits)) & 1u) == 0;
+        const bool k_exhausted =
+            static_cast<Depth>(level + 1) >= batch.ks[q];
+        if (empty_next || k_exhausted) {
+          done[q] = true;
+          ++done_count;
+          if (mc.id() == 0) {
+            result.levels[q] = static_cast<Depth>(level + 1);
+            result.completion_wall_seconds[q] = wall.seconds();
+            result.completion_sim_seconds[q] = mc.clock().seconds();
+          }
+        }
+      }
+      if (mc.id() == 0) {
+        result.total_levels = static_cast<Depth>(level + 1);
+      }
+      CGRAPH_CHECK_MSG(static_cast<std::size_t>(level) + 1 < kMaxLevels,
+                       "traversal exceeded level cap");
+    }
+
+    // --- Per-query visited counts (seeds excluded at the end).
+    for (VertexId v = 0; v < nlocal; ++v) {
+      const Word* row = bf.visited().row(v);
+      for (std::size_t w = 0; w < W; ++w) {
+        for_each_set_bit(row[w], w * kWordBits, [&](std::size_t q) {
+          visited_accum[q].fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    }
+    edges_total.fetch_add(my_edges, std::memory_order_relaxed);
+  });
+
+  for (std::size_t q = 0; q < Q; ++q) {
+    const std::uint64_t v = visited_accum[q].load(std::memory_order_relaxed);
+    const std::uint64_t seeds = batch.seeds[q].size();
+    result.visited[q] = v > seeds ? v - seeds : 0;
+  }
+  result.wall_seconds = wall.seconds();
+  result.sim_seconds = cluster.sim_seconds();
+  result.edges_scanned = edges_total.load(std::memory_order_relaxed);
+  result.frontier_bytes =
+      frontier_bytes_total.load(std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace
+
+MsBfsBatchResult msbfs_batch(const Graph& graph,
+                             std::span<const KHopQuery> batch) {
+  return msbfs_batch_core(graph, to_seeded(batch));
+}
+
+MsBfsBatchResult msbfs_batch(const Graph& graph,
+                             std::span<const MultiKHopQuery> batch) {
+  return msbfs_batch_core(graph, to_seeded(batch));
+}
+
+MsBfsBatchResult run_distributed_msbfs(
+    Cluster& cluster, const std::vector<SubgraphShard>& shards,
+    const RangePartition& partition, std::span<const KHopQuery> batch) {
+  return run_distributed_msbfs_core(cluster, shards, partition,
+                                    to_seeded(batch));
+}
+
+MsBfsBatchResult run_distributed_msbfs(
+    Cluster& cluster, const std::vector<SubgraphShard>& shards,
+    const RangePartition& partition,
+    std::span<const MultiKHopQuery> batch) {
+  return run_distributed_msbfs_core(cluster, shards, partition,
+                                    to_seeded(batch));
+}
+
+}  // namespace cgraph

@@ -1,0 +1,69 @@
+// Bit-parallel concurrent traversal engines (paper §3.5, extending
+// MS-BFS [Then et al., VLDB'14] to the distributed setting).
+//
+// A batch of up to 512 queries advances together: every vertex row holds
+// one frontier/next/visited bit per query, and a single scan of the
+// edge-sets updates all queries with a few bitwise ops per edge. Vertices
+// shared between queries (paper Fig. 3b) are therefore traversed once per
+// batch instead of once per query — the source of C-Graph's sublinear
+// scaling with query count (paper Fig. 13).
+//
+// Two engines:
+//   msbfs_batch             - single machine, over the global Graph
+//   run_distributed_msbfs   - sharded, level-synchronous BSP over a Cluster
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "graph/shard.hpp"
+#include "net/cluster.hpp"
+#include "query/query.hpp"
+
+namespace cgraph {
+
+struct MsBfsBatchResult {
+  /// Per query (batch order): vertices visited, levels run, and the time
+  /// from batch start until that query's frontier went empty.
+  std::vector<std::uint64_t> visited;
+  std::vector<Depth> levels;
+  std::vector<double> completion_wall_seconds;
+  std::vector<double> completion_sim_seconds;  // distributed engine only
+
+  Depth total_levels = 0;
+  double wall_seconds = 0;
+  double sim_seconds = 0;
+  std::uint64_t edges_scanned = 0;
+  std::uint64_t frontier_bytes = 0;  // peak bitmap memory
+};
+
+/// Single-machine bit-parallel batch over the global CSR. Batch size must
+/// not exceed QueryBitRows::kMaxBatchWords * 64 queries.
+MsBfsBatchResult msbfs_batch(const Graph& graph,
+                             std::span<const KHopQuery> batch);
+
+/// Multi-source variant: each query's bit column is seeded at every one of
+/// its sources, answering union reachability (visited counts exclude the
+/// distinct sources themselves).
+MsBfsBatchResult msbfs_batch(const Graph& graph,
+                             std::span<const MultiKHopQuery> batch);
+
+/// Distributed bit-parallel batch over sharded edge-sets. Remote frontier
+/// discoveries travel as (vertex, bit-row) records; per-destination rows
+/// are OR-combined before sending so wire volume is bounded by boundary
+/// vertices, not by edges.
+MsBfsBatchResult run_distributed_msbfs(Cluster& cluster,
+                                       const std::vector<SubgraphShard>& shards,
+                                       const RangePartition& partition,
+                                       std::span<const KHopQuery> batch);
+
+/// Multi-source distributed variant (see the single-machine overload).
+MsBfsBatchResult run_distributed_msbfs(Cluster& cluster,
+                                       const std::vector<SubgraphShard>& shards,
+                                       const RangePartition& partition,
+                                       std::span<const MultiKHopQuery> batch);
+
+}  // namespace cgraph

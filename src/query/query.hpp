@@ -1,0 +1,42 @@
+// Query descriptors and results shared by every traversal engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace cgraph {
+
+/// A k-hop reachability query: visit everything within `k` hops of
+/// `source`. k = kUnvisitedDepth means unbounded (full BFS reachability).
+struct KHopQuery {
+  QueryId id = 0;
+  VertexId source = 0;
+  Depth k = 3;
+};
+
+/// A multi-source k-hop query: visit everything within k hops of ANY of
+/// the sources (the paper's Fig. 7 protocol issues queries "containing 10
+/// source vertices"). Answered as union reachability in one bit column of
+/// the batch engine.
+struct MultiKHopQuery {
+  QueryId id = 0;
+  std::vector<VertexId> sources;
+  Depth k = 3;
+};
+
+/// Outcome of one query under a concurrent workload.
+struct QueryResult {
+  QueryId id = 0;
+  /// Vertices reached within k hops (excluding the source).
+  std::uint64_t visited = 0;
+  /// Traversal levels actually executed (< k if the frontier died early).
+  Depth levels = 0;
+  /// Host wall-clock response time: submission -> this query complete.
+  double wall_seconds = 0;
+  /// Simulated-cluster response time under the cost model.
+  double sim_seconds = 0;
+};
+
+}  // namespace cgraph

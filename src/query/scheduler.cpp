@@ -1,0 +1,120 @@
+#include "query/scheduler.hpp"
+
+#include <algorithm>
+
+#include "query/distributed_khop.hpp"
+#include "query/msbfs.hpp"
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+namespace cgraph {
+
+ConcurrentRunResult run_concurrent_queries(
+    Cluster& cluster, const std::vector<SubgraphShard>& shards,
+    const RangePartition& partition, std::span<const KHopQuery> queries,
+    const SchedulerOptions& opts) {
+  CGRAPH_CHECK(!queries.empty());
+  CGRAPH_CHECK(opts.batch_width > 0 &&
+               opts.batch_width <= QueryBitRows::kMaxBatchWords * kWordBits);
+
+  ConcurrentRunResult run;
+  run.queries.resize(queries.size());
+
+  // Batch composition: FIFO keeps submission order; degree-sorted groups
+  // queries with similar expected work. `order[i]` maps execution slot i
+  // back to the submission index.
+  std::vector<std::size_t> order(queries.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<KHopQuery> reordered;
+  std::span<const KHopQuery> exec_queries = queries;
+  if (opts.policy == BatchPolicy::kDegreeSorted && opts.degree_of) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return opts.degree_of(queries[a].source) >
+                              opts.degree_of(queries[b].source);
+                     });
+    reordered.reserve(queries.size());
+    for (std::size_t i : order) reordered.push_back(queries[i]);
+    exec_queries = reordered;
+  }
+
+  double wait_wall = 0;
+  double wait_sim = 0;
+  std::uint64_t retained_result_bytes = 0;
+
+  for (std::size_t begin = 0; begin < exec_queries.size();
+       begin += opts.batch_width) {
+    const std::size_t end =
+        std::min(begin + opts.batch_width, exec_queries.size());
+    const std::span<const KHopQuery> batch =
+        exec_queries.subspan(begin, end - begin);
+
+    MsBfsBatchResult br =
+        opts.use_bit_parallel
+            ? run_distributed_msbfs(cluster, shards, partition, batch)
+            : run_distributed_khop(cluster, shards, partition, batch);
+    ++run.batches;
+    run.total_edges_scanned += br.edges_scanned;
+
+    // Memory-pressure model: in-flight traversal state plus all retained
+    // results; overshooting the budget stretches simulated time linearly.
+    std::uint64_t batch_result_bytes = 0;
+    for (std::uint64_t v : br.visited)
+      batch_result_bytes += v * opts.result_bytes_per_visited;
+    const std::uint64_t footprint =
+        retained_result_bytes + batch_result_bytes + br.frontier_bytes;
+    run.peak_memory_bytes = std::max(run.peak_memory_bytes, footprint);
+    retained_result_bytes += batch_result_bytes;
+
+    double slowdown = 1.0;
+    if (opts.memory_budget_bytes > 0 &&
+        footprint > opts.memory_budget_bytes) {
+      const double overshoot =
+          static_cast<double>(footprint - opts.memory_budget_bytes) /
+          static_cast<double>(opts.memory_budget_bytes);
+      slowdown += opts.memory_penalty * overshoot;
+    }
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      QueryResult& qr = run.queries[order[begin + i]];
+      qr.id = batch[i].id;
+      qr.visited = br.visited[i];
+      qr.levels = br.levels[i];
+      qr.wall_seconds =
+          wait_wall + br.completion_wall_seconds[i] * slowdown;
+      qr.sim_seconds = wait_sim + br.completion_sim_seconds[i] * slowdown;
+    }
+    wait_wall += br.wall_seconds * slowdown;
+    wait_sim += br.sim_seconds * slowdown;
+  }
+
+  run.total_wall_seconds = wait_wall;
+  run.total_sim_seconds = wait_sim;
+  return run;
+}
+
+std::vector<KHopQuery> make_random_queries(const Graph& graph,
+                                           std::size_t count, Depth k,
+                                           std::uint64_t seed,
+                                           EdgeIndex min_degree) {
+  CGRAPH_CHECK(graph.num_vertices() > 0);
+  Xoshiro256 rng(seed);
+  std::vector<KHopQuery> queries;
+  queries.reserve(count);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = count * 1000 + 1000;
+  while (queries.size() < count) {
+    const auto v =
+        static_cast<VertexId>(rng.next_bounded(graph.num_vertices()));
+    ++attempts;
+    if (graph.out_degree(v) < min_degree && attempts < max_attempts) {
+      continue;  // resample low-degree roots while attempts remain
+    }
+    queries.push_back(
+        {static_cast<QueryId>(queries.size()), v, k});
+  }
+  return queries;
+}
+
+}  // namespace cgraph

@@ -1,0 +1,82 @@
+// Concurrent query front end (paper §3.3 "Concurrent queries can be ...
+// processed in batches to enable subgraph sharing among queries").
+//
+// A set of simultaneously-issued k-hop queries is split into bit-parallel
+// batches (default width 64 — one cache line of bits per vertex row, the
+// paper's "fixed number of concurrent queries decided by hardware
+// parameters"). Batches execute back-to-back on the cluster; a query's
+// response time is its queue wait plus its completion time inside its own
+// batch, which is exactly how response time stacks in the real system.
+//
+// Memory model: every finished query retains its result (the paper notes
+// "every query returns with found paths, the memory usage increases
+// linearly with the query count"). When the modeled footprint exceeds the
+// configured budget, batch execution slows proportionally — reproducing
+// the degradation the paper reports at 350 concurrent queries (Fig. 12).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/partition.hpp"
+#include "graph/shard.hpp"
+#include "net/cluster.hpp"
+#include "query/query.hpp"
+
+namespace cgraph {
+
+enum class BatchPolicy {
+  /// Batch in arrival order.
+  kFifo,
+  /// Sort by root out-degree before batching so heavy queries share a
+  /// batch instead of straggling light ones (Congra-style admission, cf.
+  /// the paper's related work on concurrent-query scheduling). Results
+  /// are reported back in submission order either way.
+  kDegreeSorted,
+};
+
+struct SchedulerOptions {
+  /// Queries per bit-parallel batch (<= 512).
+  std::size_t batch_width = 64;
+  BatchPolicy policy = BatchPolicy::kFifo;
+  /// Use the §3.5 bit-operation engine; false falls back to per-query task
+  /// queues (Listing 2) — the ablation switch.
+  bool use_bit_parallel = true;
+  /// Modeled memory budget; 0 disables the memory-pressure model.
+  std::uint64_t memory_budget_bytes = 0;
+  /// Execution slowdown per 1x budget overshoot (linear model).
+  double memory_penalty = 3.0;
+  /// Modeled bytes retained per visited vertex in query results
+  /// ("returns with found paths").
+  std::uint64_t result_bytes_per_visited = 8;
+  /// Root-degree lookup for kDegreeSorted (e.g. [&](VertexId v) { return
+  /// graph.out_degree(v); }). Policy falls back to FIFO when unset.
+  std::function<EdgeIndex(VertexId)> degree_of;
+};
+
+struct ConcurrentRunResult {
+  std::vector<QueryResult> queries;  // submission order
+  double total_wall_seconds = 0;
+  double total_sim_seconds = 0;
+  std::uint64_t total_edges_scanned = 0;
+  std::uint64_t peak_memory_bytes = 0;
+  std::size_t batches = 0;
+};
+
+/// Execute all queries "simultaneously submitted" against the sharded
+/// graph and report per-query response times.
+ConcurrentRunResult run_concurrent_queries(
+    Cluster& cluster, const std::vector<SubgraphShard>& shards,
+    const RangePartition& partition, std::span<const KHopQuery> queries,
+    const SchedulerOptions& opts = {});
+
+/// Random query workload: `count` k-hop queries with sources drawn
+/// uniformly from vertices with out-degree >= min_degree (the paper roots
+/// queries at random vertices; zero-degree roots answer trivially).
+std::vector<KHopQuery> make_random_queries(const Graph& graph,
+                                           std::size_t count, Depth k,
+                                           std::uint64_t seed = 1,
+                                           EdgeIndex min_degree = 1);
+
+}  // namespace cgraph

@@ -1,0 +1,42 @@
+// Lightweight runtime checking macros used across C-Graph.
+//
+// CGRAPH_CHECK   - always-on invariant check; aborts with a message.
+// CGRAPH_DCHECK  - debug-only check (compiled out in NDEBUG builds).
+// CGRAPH_UNREACHABLE - marks code paths that must never execute.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cgraph {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "CGRAPH_CHECK failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace cgraph
+
+#define CGRAPH_CHECK(expr)                                        \
+  do {                                                            \
+    if (!(expr)) [[unlikely]]                                     \
+      ::cgraph::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define CGRAPH_CHECK_MSG(expr, msg)                           \
+  do {                                                        \
+    if (!(expr)) [[unlikely]]                                 \
+      ::cgraph::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define CGRAPH_DCHECK(expr) ((void)0)
+#else
+#define CGRAPH_DCHECK(expr) CGRAPH_CHECK(expr)
+#endif
+
+#define CGRAPH_UNREACHABLE() \
+  ::cgraph::check_failed("unreachable", __FILE__, __LINE__, nullptr)

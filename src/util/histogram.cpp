@@ -1,0 +1,61 @@
+#include "util/histogram.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace cgraph {
+
+Histogram::Histogram(double lo, double hi, std::size_t nbins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(nbins)),
+      counts_(nbins + 1, 0) {
+  CGRAPH_CHECK(hi > lo);
+  CGRAPH_CHECK(nbins > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++counts_[0];
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  ++counts_[std::min(bin, counts_.size() - 1)];
+}
+
+double Histogram::bin_upper(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::percent(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return 100.0 * static_cast<double>(counts_[i]) /
+         static_cast<double>(total_);
+}
+
+double Histogram::cumulative_percent(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  std::size_t cum = 0;
+  for (std::size_t b = 0; b <= i && b < counts_.size(); ++b) cum += counts_[b];
+  return 100.0 * static_cast<double>(cum) / static_cast<double>(total_);
+}
+
+std::string Histogram::to_string(const std::string& unit) const {
+  std::string out;
+  char buf[128];
+  for (std::size_t i = 0; i < nbins(); ++i) {
+    std::snprintf(buf, sizeof buf, "  <=%8.4f%s  %6.1f%%   cum %6.1f%%\n",
+                  bin_upper(i), unit.c_str(), percent(i),
+                  cumulative_percent(i));
+    out += buf;
+  }
+  if (counts_.back() > 0) {
+    std::snprintf(buf, sizeof buf, "  > %8.4f%s  %6.1f%%   cum  100.0%%\n",
+                  hi_, unit.c_str(), percent(nbins()));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace cgraph

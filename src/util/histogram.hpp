@@ -1,0 +1,39 @@
+// Fixed-bin histogram used by the figure harnesses (paper Figs. 9, 11, 12
+// plot response-time histograms / CDFs with 0.2 s bins).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cgraph {
+
+class Histogram {
+ public:
+  /// Bins cover [lo, hi) in `nbins` equal-width bins; values below lo land
+  /// in bin 0, values >= hi land in the overflow bin (index nbins).
+  Histogram(double lo, double hi, std::size_t nbins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t nbins() const { return counts_.size() - 1; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Count in bin i (i == nbins() is the overflow bin).
+  [[nodiscard]] std::size_t count(std::size_t i) const { return counts_[i]; }
+  /// Inclusive upper edge of bin i.
+  [[nodiscard]] double bin_upper(std::size_t i) const;
+  /// Percentage of samples in bin i.
+  [[nodiscard]] double percent(std::size_t i) const;
+  /// Cumulative percentage of samples in bins [0, i].
+  [[nodiscard]] double cumulative_percent(std::size_t i) const;
+
+  /// Render rows "<=X.Xs  NN%  cum MM%" suitable for figure output.
+  [[nodiscard]] std::string to_string(const std::string& unit = "s") const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;  // nbins + 1 (overflow)
+  std::size_t total_ = 0;
+};
+
+}  // namespace cgraph

@@ -1,0 +1,60 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace cgraph {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = not yet initialized
+std::mutex g_io_mu;
+
+LogLevel init_from_env() {
+  const char* env = std::getenv("CGRAPH_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(init_from_env());
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::lock_guard<std::mutex> lk(g_io_mu);
+  std::fprintf(stderr, "[cgraph %s] ", level_name(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace cgraph

@@ -1,0 +1,24 @@
+// Leveled logging to stderr. Benchmarks default to WARN so figure output on
+// stdout stays clean; set CGRAPH_LOG=debug|info|warn|error to override.
+#pragma once
+
+#include <cstdarg>
+
+namespace cgraph {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; initialized from $CGRAPH_LOG on first use.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// printf-style logging; drops messages below the configured level.
+void log(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace cgraph
+
+#define CGRAPH_LOG_DEBUG(...) ::cgraph::log(::cgraph::LogLevel::kDebug, __VA_ARGS__)
+#define CGRAPH_LOG_INFO(...) ::cgraph::log(::cgraph::LogLevel::kInfo, __VA_ARGS__)
+#define CGRAPH_LOG_WARN(...) ::cgraph::log(::cgraph::LogLevel::kWarn, __VA_ARGS__)
+#define CGRAPH_LOG_ERROR(...) ::cgraph::log(::cgraph::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,112 @@
+// Deterministic, fast random number generation.
+//
+// Benchmarks and graph generators must be reproducible across runs, so all
+// randomness flows through SplitMix64 (seeding) and Xoshiro256** (streams).
+// Both are tiny, fast, and of well-studied statistical quality — a good fit
+// for graph generation where std::mt19937_64 is needlessly slow.
+#pragma once
+
+#include <cstdint>
+
+namespace cgraph {
+
+/// SplitMix64: used to expand a single 64-bit seed into independent state
+/// words. Passes BigCrush when used directly as a generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: the workhorse generator. One instance per thread/stream;
+/// never shared across threads (no internal synchronization by design).
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1). 53 bits of randomness.
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_bounded(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(bound);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(next()) *
+            static_cast<unsigned __int128>(bound);
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Jump ahead 2^128 steps: produces a non-overlapping stream, used to give
+  /// each worker thread an independent generator from one master seed.
+  void jump() {
+    static constexpr std::uint64_t kJump[] = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+        0x39abdc4529b1661cULL};
+    std::uint64_t t[4] = {0, 0, 0, 0};
+    for (std::uint64_t jump_word : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (jump_word & (1ULL << b)) {
+          t[0] ^= s_[0];
+          t[1] ^= s_[1];
+          t[2] ^= s_[2];
+          t[3] ^= s_[3];
+        }
+        next();
+      }
+    }
+    s_[0] = t[0];
+    s_[1] = t[1];
+    s_[2] = t[2];
+    s_[3] = t[3];
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace cgraph

@@ -1,0 +1,34 @@
+// Small test-and-test-and-set spinlock for very short critical sections
+// (message outbox appends). Satisfies Lockable so it composes with
+// std::lock_guard / std::scoped_lock.
+#pragma once
+
+#include <atomic>
+
+namespace cgraph {
+
+class SpinLock {
+ public:
+  void lock() noexcept {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      // Spin on a relaxed load to avoid cache-line ping-pong while held.
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace cgraph

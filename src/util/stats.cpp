@@ -1,0 +1,51 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace cgraph {
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  CGRAPH_CHECK(!sorted.empty());
+  CGRAPH_CHECK(p >= 0.0 && p <= 100.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double percentile(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  return percentile_sorted(samples, p);
+}
+
+BoxplotSummary boxplot(std::vector<double> samples) {
+  BoxplotSummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.q1 = percentile_sorted(samples, 25.0);
+  s.median = percentile_sorted(samples, 50.0);
+  s.q3 = percentile_sorted(samples, 75.0);
+  double sum = 0;
+  for (double x : samples) sum += x;
+  s.mean = sum / static_cast<double>(samples.size());
+  return s;
+}
+
+double cdf_at(const std::vector<double>& sorted, double threshold) {
+  if (sorted.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted.begin(), sorted.end(), threshold);
+  return static_cast<double>(it - sorted.begin()) /
+         static_cast<double>(sorted.size());
+}
+
+}  // namespace cgraph

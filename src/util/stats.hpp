@@ -1,0 +1,56 @@
+// Response-time statistics used by every benchmark harness: running
+// mean/variance, exact percentiles over a retained sample vector, and
+// boxplot five-number summaries (paper Fig. 8).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cgraph {
+
+/// Welford running mean/variance; O(1) memory, numerically stable.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0, m2_ = 0.0, min_ = 0.0, max_ = 0.0;
+};
+
+/// Five-number summary for boxplots plus mean, as in paper Fig. 8.
+struct BoxplotSummary {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0, mean = 0;
+  std::size_t count = 0;
+};
+
+/// Exact percentile of a sample set (linear interpolation between ranks).
+/// `p` in [0, 100]. The input vector is copied and sorted.
+double percentile(std::vector<double> samples, double p);
+
+/// In-place variant for repeated percentile queries: sort once, query many.
+double percentile_sorted(const std::vector<double>& sorted, double p);
+
+/// Compute a boxplot summary over samples.
+BoxplotSummary boxplot(std::vector<double> samples);
+
+/// Fraction of samples <= threshold (empirical CDF point).
+double cdf_at(const std::vector<double>& sorted, double threshold);
+
+}  // namespace cgraph

@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace cgraph {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  CGRAPH_CHECK(!headers_.empty());
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  CGRAPH_CHECK_MSG(cells.size() == headers_.size(),
+                   "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string sep = "+";
+  for (std::size_t w : widths) {
+    sep.append(w + 2, '-');
+    sep += '+';
+  }
+  sep += '\n';
+
+  std::string out = sep + render_row(headers_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string AsciiTable::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string AsciiTable::fmt_int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+std::string AsciiTable::humanize(unsigned long long v) {
+  char buf[32];
+  if (v >= 1000000000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2fB", static_cast<double>(v) / 1e9);
+  } else if (v >= 1000000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2fM", static_cast<double>(v) / 1e6);
+  } else if (v >= 1000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2fK", static_cast<double>(v) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu", v);
+  }
+  return buf;
+}
+
+}  // namespace cgraph

@@ -1,0 +1,31 @@
+// Minimal ASCII table renderer for the benchmark harnesses, so every
+// reproduced table/figure prints in a consistent aligned format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cgraph {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// All rows must have the same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// printf-style numeric formatting helpers for cells.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_int(long long v);
+  /// 1234567 -> "1.23M" style humanized count.
+  static std::string humanize(unsigned long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cgraph

@@ -1,0 +1,84 @@
+// Work-sharing thread pool used by the intra-partition compute engine
+// (parallel edge-set scans) and by the concurrent-query front end.
+//
+// Two entry points:
+//   submit(fn)            -> queue one task, get a std::future
+//   parallel_for(n, fn)   -> block-cyclic loop parallelism over [0, n)
+//
+// The pool is deliberately simple: a single mutex-protected deque. Edge-set
+// grained tasks are large enough (LLC-sized tiles) that queue contention is
+// negligible compared to the work per task.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cgraph {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Queue a task; the returned future yields its result.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for i in [0, n), distributing contiguous chunks over the
+  /// pool. Blocks until all iterations complete. The calling thread also
+  /// works, so a pool of size 1 still gets 2-way progress.
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn, std::size_t min_chunk = 1) {
+    if (n == 0) return;
+    const std::size_t nthreads = workers_.size() + 1;
+    std::size_t chunk = (n + nthreads - 1) / nthreads;
+    if (chunk < min_chunk) chunk = min_chunk;
+
+    std::vector<std::future<void>> futs;
+    std::size_t begin = chunk;  // the caller takes [0, chunk)
+    while (begin < n) {
+      const std::size_t end = std::min(begin + chunk, n);
+      futs.push_back(submit([&fn, begin, end] {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      }));
+      begin = end;
+    }
+    const std::size_t my_end = std::min(chunk, n);
+    for (std::size_t i = 0; i < my_end; ++i) fn(i);
+    for (auto& f : futs) f.get();
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace cgraph

@@ -1,0 +1,77 @@
+// Wall-clock timers and a scoped timing helper.
+//
+// All benchmark harnesses report times gathered through WallTimer so the
+// clock source is uniform (steady_clock; immune to NTP adjustments).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace cgraph {
+
+/// Monotonic wall-clock timer with microsecond resolution.
+class WallTimer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restart the timer; subsequent readings are relative to now.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+  /// Elapsed integral nanoseconds (for accumulation without fp error).
+  [[nodiscard]] std::int64_t nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple start/stop intervals.
+/// Useful for separating compute time from communication time inside a
+/// superstep loop without allocating a timer per phase.
+class StopWatch {
+ public:
+  void start() { t_.reset(); running_ = true; }
+
+  /// Stops the watch and folds the interval into the running total.
+  void stop() {
+    if (running_) {
+      total_ns_ += t_.nanos();
+      running_ = false;
+    }
+  }
+
+  /// Total accumulated seconds across all intervals.
+  [[nodiscard]] double seconds() const {
+    return static_cast<double>(total_ns_) * 1e-9;
+  }
+
+  [[nodiscard]] std::int64_t nanos() const { return total_ns_; }
+
+  void reset() {
+    total_ns_ = 0;
+    running_ = false;
+  }
+
+ private:
+  WallTimer t_;
+  std::int64_t total_ns_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace cgraph

@@ -1,0 +1,113 @@
+// Tests for the serial BFS/k-hop reference and the hop-plot computation
+// (paper Fig. 1 metrics).
+#include <gtest/gtest.h>
+
+#include "gen/random_graphs.hpp"
+#include "query/bfs.hpp"
+
+namespace cgraph {
+namespace {
+
+Graph sample() {
+  //      0 -> 1 -> 2 -> 3
+  //      0 -> 4    2 -> 5
+  EdgeList el;
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(2, 3);
+  el.add(0, 4);
+  el.add(2, 5);
+  return Graph::build(std::move(el), 7);  // vertex 6 isolated
+}
+
+TEST(Bfs, LevelsFromSource) {
+  const auto d = bfs_levels(sample(), 0);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[4], 1);
+  EXPECT_EQ(d[2], 2);
+  EXPECT_EQ(d[3], 3);
+  EXPECT_EQ(d[5], 3);
+  EXPECT_EQ(d[6], kUnvisitedDepth);
+}
+
+TEST(Bfs, DepthBoundStopsExpansion) {
+  const auto d = bfs_levels(sample(), 0, /*max_depth=*/2);
+  EXPECT_EQ(d[2], 2);
+  EXPECT_EQ(d[3], kUnvisitedDepth);
+  EXPECT_EQ(d[5], kUnvisitedDepth);
+}
+
+TEST(Bfs, KhopCountExcludesSource) {
+  const Graph g = sample();
+  EXPECT_EQ(khop_reach_count(g, 0, 1), 2u);  // 1, 4
+  EXPECT_EQ(khop_reach_count(g, 0, 2), 3u);  // + 2
+  EXPECT_EQ(khop_reach_count(g, 0, 3), 5u);  // + 3, 5
+  EXPECT_EQ(khop_reach_count(g, 0, 10), 5u);
+  EXPECT_EQ(khop_reach_count(g, 6, 3), 0u);  // isolated source
+}
+
+TEST(Bfs, KhopSetInDiscoveryOrder) {
+  const auto order = khop_reach_set(sample(), 0, 3);
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 4u);
+  EXPECT_EQ(order[2], 2u);
+  // Level 3: 3 and 5 in adjacency order.
+  EXPECT_EQ(order[3], 3u);
+  EXPECT_EQ(order[4], 5u);
+}
+
+TEST(Bfs, SelfOnlyGraph) {
+  EdgeList el;
+  el.add(0, 1);
+  const Graph g = Graph::build(std::move(el), 2);
+  const auto d = bfs_levels(g, 1);
+  EXPECT_EQ(d[1], 0);
+  EXPECT_EQ(d[0], kUnvisitedDepth);
+}
+
+TEST(HopPlot, CycleGraphHasKnownDistances) {
+  // Directed cycle of 6: distances from any vertex are 1..5.
+  EdgeList el;
+  for (VertexId v = 0; v < 6; ++v) el.add(v, (v + 1) % 6);
+  const Graph g = Graph::build(std::move(el), 6);
+  const HopPlot plot = compute_hop_plot(g, /*samples=*/6, /*seed=*/3);
+  EXPECT_EQ(plot.diameter, 5);
+  // Exactly one vertex at each distance -> cumulative steps of 1/5.
+  ASSERT_GE(plot.cumulative.size(), 6u);
+  EXPECT_NEAR(plot.cumulative[1], 0.2, 1e-12);
+  EXPECT_NEAR(plot.cumulative[5], 1.0, 1e-12);
+  EXPECT_NEAR(plot.effective_diameter_50, 2.5, 1e-9);
+}
+
+TEST(HopPlot, SmallWorldHasSmallEffectiveDiameter) {
+  // The Fig. 1 property: a small-world graph's 90-percentile effective
+  // diameter is far below its worst-case diameter.
+  const EdgeList el = generate_watts_strogatz(2000, 8, 0.1, 42);
+  const Graph g = Graph::build(EdgeList(el.edges()), 2000);
+  const HopPlot plot = compute_hop_plot(g, /*samples=*/20, /*seed=*/7);
+  EXPECT_GT(plot.diameter, 0);
+  EXPECT_LE(plot.effective_diameter_90, plot.diameter);
+  EXPECT_LE(plot.effective_diameter_50, plot.effective_diameter_90);
+  EXPECT_LT(plot.effective_diameter_90, 10.0);
+}
+
+TEST(HopPlot, EmptyGraphSafe) {
+  const Graph g;
+  const HopPlot plot = compute_hop_plot(g, 5);
+  EXPECT_TRUE(plot.cumulative.empty());
+}
+
+TEST(HopPlot, CumulativeIsMonotone) {
+  const EdgeList el = generate_watts_strogatz(500, 6, 0.2, 11);
+  const Graph g = Graph::build(EdgeList(el.edges()), 500);
+  const HopPlot plot = compute_hop_plot(g, 10, 13);
+  for (std::size_t i = 1; i < plot.cumulative.size(); ++i) {
+    EXPECT_GE(plot.cumulative[i], plot.cumulative[i - 1]);
+  }
+  EXPECT_NEAR(plot.cumulative.back(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cgraph

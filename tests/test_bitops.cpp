@@ -1,0 +1,144 @@
+// Unit tests for the bit-level primitives behind the MS-BFS engine.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/bitops.hpp"
+
+namespace cgraph {
+namespace {
+
+TEST(WordsForBits, Boundaries) {
+  EXPECT_EQ(words_for_bits(0), 0u);
+  EXPECT_EQ(words_for_bits(1), 1u);
+  EXPECT_EQ(words_for_bits(64), 1u);
+  EXPECT_EQ(words_for_bits(65), 2u);
+  EXPECT_EQ(words_for_bits(512), 8u);
+}
+
+TEST(ForEachSetBit, VisitsExactlySetBits) {
+  const Word w = (Word{1} << 0) | (Word{1} << 7) | (Word{1} << 63);
+  std::vector<std::size_t> seen;
+  for_each_set_bit(w, 100, [&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{100, 107, 163}));
+}
+
+TEST(ForEachSetBit, ZeroWordVisitsNothing) {
+  int calls = 0;
+  for_each_set_bit(0, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Bitmap, SetTestClear) {
+  Bitmap bm(130);
+  EXPECT_FALSE(bm.test(0));
+  bm.set(0);
+  bm.set(64);
+  bm.set(129);
+  EXPECT_TRUE(bm.test(0));
+  EXPECT_TRUE(bm.test(64));
+  EXPECT_TRUE(bm.test(129));
+  EXPECT_FALSE(bm.test(1));
+  EXPECT_EQ(bm.count(), 3u);
+  bm.clear_bit(64);
+  EXPECT_FALSE(bm.test(64));
+  EXPECT_EQ(bm.count(), 2u);
+}
+
+TEST(Bitmap, AtomicTestAndSetReportsTransition) {
+  Bitmap bm(64);
+  EXPECT_TRUE(bm.atomic_test_and_set(5));
+  EXPECT_FALSE(bm.atomic_test_and_set(5));
+  EXPECT_TRUE(bm.test(5));
+}
+
+TEST(Bitmap, AtomicTestAndSetUnderContention) {
+  Bitmap bm(1024);
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < 1024; ++i) {
+        if (bm.atomic_test_and_set(i)) winners.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(winners.load(), 1024);  // each bit won exactly once
+  EXPECT_EQ(bm.count(), 1024u);
+}
+
+TEST(Bitmap, OrAndNot) {
+  Bitmap a(100), b(100);
+  a.set(1);
+  a.set(50);
+  b.set(50);
+  b.set(99);
+  Bitmap u = a;
+  u.or_with(b);
+  EXPECT_EQ(u.count(), 3u);
+  u.and_not(b);
+  EXPECT_EQ(u.count(), 1u);
+  EXPECT_TRUE(u.test(1));
+}
+
+TEST(Bitmap, ForEachEnumeratesInOrder) {
+  Bitmap bm(200);
+  bm.set(3);
+  bm.set(64);
+  bm.set(199);
+  std::vector<std::size_t> seen;
+  bm.for_each([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{3, 64, 199}));
+}
+
+TEST(Bitmap, AnyAndClearAll) {
+  Bitmap bm(70);
+  EXPECT_FALSE(bm.any());
+  bm.set(69);
+  EXPECT_TRUE(bm.any());
+  bm.clear_all();
+  EXPECT_FALSE(bm.any());
+}
+
+TEST(QueryBitRows, SetTestAcrossWords) {
+  QueryBitRows rows(10, 130);  // 3 words per row
+  EXPECT_EQ(rows.words_per_row(), 3u);
+  rows.set(4, 0);
+  rows.set(4, 64);
+  rows.set(4, 129);
+  EXPECT_TRUE(rows.test(4, 0));
+  EXPECT_TRUE(rows.test(4, 64));
+  EXPECT_TRUE(rows.test(4, 129));
+  EXPECT_FALSE(rows.test(4, 1));
+  EXPECT_FALSE(rows.test(5, 0));
+  EXPECT_EQ(rows.count(), 3u);
+}
+
+TEST(QueryBitRows, RowAnyAndClearRow) {
+  QueryBitRows rows(4, 64);
+  EXPECT_FALSE(rows.row_any(2));
+  rows.set(2, 63);
+  EXPECT_TRUE(rows.row_any(2));
+  rows.clear_row(2);
+  EXPECT_FALSE(rows.row_any(2));
+}
+
+TEST(QueryBitRows, SwapExchangesContents) {
+  QueryBitRows a(4, 8), b(4, 8);
+  a.set(0, 0);
+  b.set(3, 7);
+  a.swap(b);
+  EXPECT_FALSE(a.test(0, 0));
+  EXPECT_TRUE(a.test(3, 7));
+  EXPECT_TRUE(b.test(0, 0));
+}
+
+TEST(QueryBitRowsDeathTest, OversizedBatchAborts) {
+  EXPECT_DEATH(QueryBitRows(4, QueryBitRows::kMaxBatchWords * 64 + 1),
+               "query batch exceeds");
+}
+
+}  // namespace
+}  // namespace cgraph

@@ -1,0 +1,151 @@
+// Tests for the partition-centric BSP engine (paper Listing 1 semantics):
+// message routing by global vertex id, vote-to-halt termination, local
+// loopback, and a small multi-superstep propagation program.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "engine/bsp_engine.hpp"
+#include "gen/rmat.hpp"
+#include "graph/shard.hpp"
+
+namespace cgraph {
+namespace {
+
+Graph line_graph(VertexId n) {
+  EdgeList el;
+  for (VertexId v = 0; v + 1 < n; ++v) el.add(v, v + 1);
+  return Graph::build(std::move(el), n);
+}
+
+struct TestSetup {
+  Graph graph;
+  RangePartition partition;
+  std::vector<SubgraphShard> shards;
+  explicit TestSetup(Graph g, PartitionId machines)
+      : graph(std::move(g)),
+        partition(RangePartition::balanced_by_vertices(graph.num_vertices(),
+                                                       machines)),
+        shards(build_shards(graph, partition)) {}
+};
+
+// Program 1: every partition halts immediately -> exactly one superstep.
+struct HaltNow final : PartitionProgram<int> {
+  void compute(PartitionContext<int>& ctx) override { ctx.vote_to_halt(); }
+};
+
+TEST(BspEngine, ImmediateHaltTerminatesInOneSuperstep) {
+  TestSetup ts(line_graph(8), 2);
+  Cluster cluster(2);
+  const BspStats stats = run_partition_programs<int>(
+      cluster, ts.shards, ts.partition,
+      [](PartitionId) { return std::make_unique<HaltNow>(); });
+  EXPECT_EQ(stats.supersteps, 1u);
+  EXPECT_EQ(stats.packets, 0u);
+}
+
+// Program 2: a token is passed vertex-to-vertex down a line graph; each
+// hop is one superstep. Tests cross-partition sendTo + reactivation.
+struct TokenRelay final : PartitionProgram<std::uint32_t> {
+  explicit TokenRelay(std::atomic<std::uint32_t>* last) : last_hop(last) {}
+  std::atomic<std::uint32_t>* last_hop;
+
+  void init(PartitionContext<std::uint32_t>& ctx) override {
+    if (ctx.is_local_vertex(0)) {
+      ctx.send_to(0, 0);  // kick off: deliver hop 0 to vertex 0
+    }
+  }
+
+  void compute(PartitionContext<std::uint32_t>& ctx) override {
+    for (const auto& msg : ctx.incoming()) {
+      EXPECT_TRUE(ctx.is_local_vertex(msg.target));
+      last_hop->store(msg.payload, std::memory_order_relaxed);
+      const VertexId next = msg.target + 1;
+      if (next < ctx.num_all_vertices()) {
+        ctx.send_to(next, msg.payload + 1);
+      }
+    }
+    ctx.vote_to_halt();
+  }
+};
+
+TEST(BspEngine, TokenCrossesPartitions) {
+  constexpr VertexId kN = 12;
+  TestSetup ts(line_graph(kN), 3);
+  Cluster cluster(3);
+  std::atomic<std::uint32_t> last_hop{0};
+  const BspStats stats = run_partition_programs<std::uint32_t>(
+      cluster, ts.shards, ts.partition, [&](PartitionId) {
+        return std::make_unique<TokenRelay>(&last_hop);
+      });
+  // The token visits all 12 vertices; hop count ends at 11.
+  EXPECT_EQ(last_hop.load(), kN - 1);
+  // One superstep per hop (plus the kick-off and drain steps).
+  EXPECT_GE(stats.supersteps, static_cast<std::uint64_t>(kN));
+  EXPECT_GT(stats.packets, 0u);  // it crossed machine boundaries
+}
+
+// Program 3: local loopback only — messages to local vertices must not
+// touch the wire.
+struct LocalEcho final : PartitionProgram<int> {
+  void init(PartitionContext<int>& ctx) override {
+    ctx.send_to(ctx.local_vertices().begin, 1);
+  }
+  void compute(PartitionContext<int>& ctx) override {
+    for (const auto& msg : ctx.incoming()) {
+      if (msg.payload < 3) ctx.send_to(msg.target, msg.payload + 1);
+    }
+    ctx.vote_to_halt();
+  }
+};
+
+TEST(BspEngine, LocalMessagesBypassFabric) {
+  TestSetup ts(line_graph(8), 2);
+  Cluster cluster(2);
+  const BspStats stats = run_partition_programs<int>(
+      cluster, ts.shards, ts.partition,
+      [](PartitionId) { return std::make_unique<LocalEcho>(); });
+  EXPECT_EQ(stats.packets, 0u);
+  EXPECT_GE(stats.supersteps, 3u);
+}
+
+TEST(BspEngine, ListingOneQueries) {
+  TestSetup ts(line_graph(10), 2);
+  Cluster cluster(2);
+
+  struct Inspect final : PartitionProgram<int> {
+    void compute(PartitionContext<int>& ctx) override {
+      if (ctx.partition_id() == 0) {
+        EXPECT_TRUE(ctx.is_local_vertex(0));
+        EXPECT_FALSE(ctx.is_local_vertex(9));
+        // Vertex 5 is the remote destination of local edge 4 -> 5.
+        EXPECT_TRUE(ctx.is_boundary_vertex(5));
+        EXPECT_FALSE(ctx.is_boundary_vertex(9));
+        EXPECT_TRUE(ctx.has_vertex(5));
+        EXPECT_FALSE(ctx.has_vertex(9));
+        EXPECT_EQ(ctx.local_vertices().size(), 5u);
+        EXPECT_EQ(ctx.boundary_vertices().size(), 1u);
+        EXPECT_EQ(ctx.num_all_vertices(), 10u);
+      }
+      ctx.vote_to_halt();
+    }
+  };
+
+  run_partition_programs<int>(
+      cluster, ts.shards, ts.partition,
+      [](PartitionId) { return std::make_unique<Inspect>(); });
+}
+
+TEST(BspEngine, SimTimeGrowsWithSupersteps) {
+  TestSetup ts(line_graph(16), 2);
+  Cluster cluster(2);
+  std::atomic<std::uint32_t> sink{0};
+  const BspStats stats = run_partition_programs<std::uint32_t>(
+      cluster, ts.shards, ts.partition,
+      [&](PartitionId) { return std::make_unique<TokenRelay>(&sink); });
+  EXPECT_GT(stats.sim_seconds, 0.0);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace cgraph

@@ -1,0 +1,150 @@
+// Tests for the simulated cluster: machine bodies, BSP exchange, barrier
+// clock synchronization, async delivery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "net/cluster.hpp"
+
+namespace cgraph {
+namespace {
+
+TEST(Cluster, RunsOneBodyPerMachine) {
+  Cluster cluster(4);
+  std::atomic<std::uint32_t> mask{0};
+  cluster.run([&](MachineContext& mc) {
+    mask.fetch_or(1u << mc.id(), std::memory_order_relaxed);
+    EXPECT_EQ(mc.num_machines(), 4u);
+  });
+  EXPECT_EQ(mask.load(), 0b1111u);
+}
+
+TEST(Cluster, BspRingExchange) {
+  // Each machine sends its id to (id+1) % n; after one barrier everyone
+  // receives exactly one message from its predecessor.
+  constexpr PartitionId kN = 3;
+  Cluster cluster(kN);
+  std::atomic<int> failures{0};
+  cluster.run([&](MachineContext& mc) {
+    PacketWriter w;
+    w.write<PartitionId>(mc.id());
+    mc.send((mc.id() + 1) % kN, 42, w.take());
+    mc.barrier();
+    auto msgs = mc.recv_staged();
+    if (msgs.size() != 1) {
+      failures.fetch_add(1);
+      return;
+    }
+    PacketReader r(msgs[0].payload);
+    const auto from = r.read<PartitionId>();
+    if (from != (mc.id() + kN - 1) % kN || msgs[0].from != from) {
+      failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Cluster, StagedMessagesInvisibleBeforeBarrier) {
+  Cluster cluster(2);
+  std::atomic<int> failures{0};
+  cluster.run([&](MachineContext& mc) {
+    if (mc.id() == 0) {
+      mc.send(1, 0, Packet(8));
+    }
+    // Nothing is visible until the superstep barrier.
+    if (mc.id() == 1 &&
+        !cluster.fabric().mailbox(1).drain_superstep(1).empty()) {
+      failures.fetch_add(1);
+    }
+    mc.barrier();
+    if (mc.id() == 1 && mc.recv_staged().size() != 1) failures.fetch_add(1);
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Cluster, AsyncDeliveryWithoutBarrier) {
+  Cluster cluster(2);
+  std::atomic<int> got{0};
+  cluster.run([&](MachineContext& mc) {
+    if (mc.id() == 0) {
+      PacketWriter w;
+      w.write<int>(123);
+      mc.send_async(1, 9, w.take());
+      mc.barrier();
+    } else {
+      mc.barrier();  // ensure the send happened
+      for (auto& env : mc.recv_async()) {
+        PacketReader r(env.payload);
+        if (r.read<int>() == 123) got.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(got.load(), 1);
+}
+
+TEST(Cluster, BarrierSynchronizesClocksToSlowest) {
+  CostModel cm;
+  cm.ns_per_barrier = 100.0;
+  Cluster cluster(3, cm);
+  cluster.run([&](MachineContext& mc) {
+    // Machine 2 does 10x the compute.
+    mc.charge_compute(mc.id() == 2 ? 10000 : 1000);
+    mc.barrier();
+    // After the barrier all clocks equal slowest + barrier cost.
+    const double expect_ns = cm.compute_ns(10000, 0) + 100.0;
+    EXPECT_DOUBLE_EQ(mc.clock().nanos(), expect_ns);
+  });
+  EXPECT_DOUBLE_EQ(cluster.sim_seconds(), (10000 * 1.5 + 100.0) * 1e-9);
+}
+
+TEST(Cluster, CommChargedAtBarrier) {
+  CostModel cm;
+  cm.ns_per_packet = 1000.0;
+  cm.ns_per_byte = 1.0;
+  cm.ns_per_barrier = 0.0;
+  Cluster cluster(2, cm);
+  cluster.run([&](MachineContext& mc) {
+    if (mc.id() == 0) mc.send(1, 0, Packet(64));
+    mc.barrier();
+  });
+  // Sender paid 1000 + 64 ns; barrier lifted everyone to the max.
+  EXPECT_DOUBLE_EQ(cluster.sim_seconds(), 1064e-9);
+}
+
+TEST(Cluster, SuperstepCounterAdvances) {
+  Cluster cluster(2);
+  cluster.run([&](MachineContext& mc) {
+    EXPECT_EQ(mc.superstep(), 0u);
+    mc.barrier();
+    EXPECT_EQ(mc.superstep(), 1u);
+    mc.barrier();
+    EXPECT_EQ(mc.superstep(), 2u);
+  });
+}
+
+TEST(Cluster, ResetClocksZeroes) {
+  Cluster cluster(2);
+  cluster.run([&](MachineContext& mc) {
+    mc.charge_compute(5000);
+    mc.barrier();
+  });
+  EXPECT_GT(cluster.sim_seconds(), 0);
+  cluster.reset_clocks();
+  EXPECT_DOUBLE_EQ(cluster.sim_seconds(), 0);
+}
+
+TEST(SyncBarrier, CompletionRunsOncePerGeneration) {
+  std::atomic<int> completions{0};
+  SyncBarrier barrier(3, [&] { completions.fetch_add(1); });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) barrier.arrive_and_wait();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(completions.load(), 10);
+}
+
+}  // namespace
+}  // namespace cgraph

@@ -1,0 +1,70 @@
+// Unit tests for the EdgeList ingestion container.
+#include <gtest/gtest.h>
+
+#include "graph/edge_list.hpp"
+
+namespace cgraph {
+namespace {
+
+TEST(EdgeList, AddAndSize) {
+  EdgeList el;
+  EXPECT_TRUE(el.empty());
+  el.add(0, 1);
+  el.add(1, 2, 0.5f);
+  EXPECT_EQ(el.size(), 2u);
+  EXPECT_EQ(el[1].weight, 0.5f);
+}
+
+TEST(EdgeList, MaxVertexPlusOne) {
+  EdgeList el;
+  EXPECT_EQ(el.max_vertex_plus_one(), 0u);
+  el.add(3, 7);
+  el.add(9, 1);
+  EXPECT_EQ(el.max_vertex_plus_one(), 10u);
+}
+
+TEST(EdgeList, SortAndDedupKeepsFirstWeight) {
+  EdgeList el;
+  el.add(1, 2, 9.0f);
+  el.add(0, 1, 1.0f);
+  el.add(1, 2, 3.0f);  // duplicate (src,dst)
+  el.sort_and_dedup();
+  ASSERT_EQ(el.size(), 2u);
+  EXPECT_EQ(el[0].src, 0u);
+  EXPECT_EQ(el[1].src, 1u);
+  EXPECT_EQ(el[1].weight, 9.0f);  // first occurrence after stable ordering
+}
+
+TEST(EdgeList, RemoveSelfLoops) {
+  EdgeList el;
+  el.add(1, 1);
+  el.add(1, 2);
+  el.add(3, 3);
+  el.remove_self_loops();
+  ASSERT_EQ(el.size(), 1u);
+  EXPECT_EQ(el[0].dst, 2u);
+}
+
+TEST(EdgeList, AddReverseEdgesSkipsSelfLoops) {
+  EdgeList el;
+  el.add(0, 1, 2.0f);
+  el.add(2, 2);
+  el.add_reverse_edges();
+  // 2 originals + 1 reverse (self-loop not duplicated)
+  ASSERT_EQ(el.size(), 3u);
+  EXPECT_EQ(el[2].src, 1u);
+  EXPECT_EQ(el[2].dst, 0u);
+  EXPECT_EQ(el[2].weight, 2.0f);
+}
+
+TEST(EdgeList, SortDedupIdempotent) {
+  EdgeList el;
+  for (int i = 0; i < 10; ++i) el.add(5 - i % 3, i % 4);
+  el.sort_and_dedup();
+  const std::size_t n = el.size();
+  el.sort_and_dedup();
+  EXPECT_EQ(el.size(), n);
+}
+
+}  // namespace
+}  // namespace cgraph

@@ -1,0 +1,118 @@
+// Tests for BatchFrontier (2-bit frontier + visited, paper §3.5 / Fig. 6)
+// and LevelValueStore (dynamic per-level allocation, paper §3.3).
+#include <gtest/gtest.h>
+
+#include "query/frontier.hpp"
+
+namespace cgraph {
+namespace {
+
+TEST(BatchFrontier, SeedSetsFrontierAndVisited) {
+  BatchFrontier bf(8, 4);
+  bf.seed(3, 1);
+  EXPECT_TRUE(bf.frontier().test(3, 1));
+  EXPECT_TRUE(bf.visited().test(3, 1));
+  EXPECT_FALSE(bf.next().test(3, 1));
+  EXPECT_FALSE(bf.frontier().test(3, 0));
+}
+
+TEST(BatchFrontier, DiscoverRespectsVisited) {
+  BatchFrontier bf(4, 2);
+  bf.seed(0, 0);  // vertex 0 visited by query 0
+  Word bits[1] = {0b11};  // both queries try to discover vertex 0
+  bf.discover(0, bits);
+  // Query 0 already visited vertex 0 -> only query 1 lands in next.
+  EXPECT_FALSE(bf.next().test(0, 0));
+  EXPECT_TRUE(bf.next().test(0, 1));
+  EXPECT_TRUE(bf.visited().test(0, 1));
+}
+
+TEST(BatchFrontier, DiscoverIsIdempotent) {
+  BatchFrontier bf(4, 2);
+  Word bits[1] = {0b01};
+  bf.discover(2, bits);
+  bf.discover(2, bits);
+  EXPECT_EQ(bf.next().count(), 1u);
+  EXPECT_EQ(bf.visited().count(), 1u);
+}
+
+TEST(BatchFrontier, AdvanceSwapsAndReportsActivity) {
+  BatchFrontier bf(4, 2);
+  Word bits[1] = {0b10};
+  bf.discover(1, bits);
+  EXPECT_TRUE(bf.advance());
+  EXPECT_TRUE(bf.frontier().test(1, 1));
+  EXPECT_FALSE(bf.next().test(1, 1));
+  // Nothing new discovered -> next advance reports empty.
+  EXPECT_FALSE(bf.advance());
+}
+
+TEST(BatchFrontier, FigureSixWalkthrough) {
+  // Paper Fig. 6: 10 vertices, two queries from sources 0 and 4.
+  BatchFrontier bf(10, 2);
+  bf.seed(0, 0);
+  bf.seed(4, 1);
+  EXPECT_TRUE(bf.frontier().test(0, 0));
+  EXPECT_TRUE(bf.frontier().test(4, 1));
+  // Hop 1: suppose 0 -> {1, 2} and 4 -> {2, 7}. Vertex 2 is shared: one
+  // discover call advances both queries.
+  Word q0[1] = {0b01}, q1[1] = {0b10}, both[1] = {0b11};
+  bf.discover(1, q0);
+  bf.discover(2, both);
+  bf.discover(7, q1);
+  EXPECT_TRUE(bf.advance());
+  EXPECT_TRUE(bf.frontier().test(2, 0));
+  EXPECT_TRUE(bf.frontier().test(2, 1));  // shared vertex, single pass
+  EXPECT_TRUE(bf.visited().test(7, 1));
+  EXPECT_FALSE(bf.visited().test(7, 0));
+}
+
+TEST(BatchFrontier, MemoryBytesScalesWithQueries) {
+  BatchFrontier small(1000, 64);
+  BatchFrontier large(1000, 512);
+  EXPECT_EQ(small.memory_bytes() * 8, large.memory_bytes());
+}
+
+TEST(LevelValueStore, KeepsOnlyTwoLevels) {
+  LevelValueStore<Depth> store;
+  store.record(1, 1);
+  store.record(2, 1);
+  store.advance_level();
+  store.record(3, 2);
+  EXPECT_EQ(store.previous().size(), 2u);
+  EXPECT_EQ(store.current().size(), 1u);
+  EXPECT_EQ(store.live_entries(), 3u);
+  store.advance_level();
+  // The level-1 entries are gone: dynamic deallocation of older levels.
+  EXPECT_EQ(store.previous().size(), 1u);
+  EXPECT_EQ(store.current().size(), 0u);
+  EXPECT_EQ(store.level(), 2u);
+}
+
+TEST(LevelValueStore, ResetClearsEverything) {
+  LevelValueStore<int> store;
+  store.record(5, 42);
+  store.advance_level();
+  store.reset();
+  EXPECT_EQ(store.live_entries(), 0u);
+  EXPECT_EQ(store.level(), 0u);
+}
+
+TEST(LevelValueStore, MemoryIsBoundedByWidestTwoLevels) {
+  // A dense per-vertex store for V vertices costs V entries for the whole
+  // query; the level store peaks at the two widest adjacent levels.
+  LevelValueStore<Depth> store;
+  std::size_t peak = 0;
+  const std::size_t levels[] = {1, 10, 100, 50, 5};
+  for (std::size_t width : levels) {
+    for (std::size_t i = 0; i < width; ++i) {
+      store.record(static_cast<VertexId>(i), 0);
+    }
+    peak = std::max(peak, store.live_entries());
+    store.advance_level();
+  }
+  EXPECT_EQ(peak, 150u);  // 100 + 50, not 166 (the dense total)
+}
+
+}  // namespace
+}  // namespace cgraph

@@ -1,0 +1,118 @@
+// Randomized differential tests: many random graphs (varied size, density,
+// shape) pushed through every traversal engine and checked against the
+// serial reference. Catches partition-boundary, termination, and frontier
+// corner cases that targeted tests miss.
+#include <gtest/gtest.h>
+
+#include "cgraph/cgraph.hpp"
+#include "util/rng.hpp"
+
+namespace cgraph {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+};
+
+class EngineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineFuzz, AllEnginesMatchReference) {
+  Xoshiro256 rng(GetParam());
+
+  // Random graph shape: size, density, generator, self-loops kept or not.
+  const VertexId n = 16 + static_cast<VertexId>(rng.next_bounded(600));
+  const EdgeIndex m = 1 + rng.next_bounded(static_cast<std::uint64_t>(n) * 6);
+  EdgeList edges;
+  switch (rng.next_bounded(3)) {
+    case 0:
+      edges = generate_uniform(n, m, rng.next());
+      break;
+    case 1: {
+      RmatParams p;
+      p.scale = 5 + static_cast<unsigned>(rng.next_bounded(5));
+      p.edge_factor = 1.0 + static_cast<double>(rng.next_bounded(8));
+      p.seed = rng.next();
+      edges = generate_rmat(p);
+      break;
+    }
+    default:
+      edges = generate_watts_strogatz(
+          std::max<VertexId>(n, 8), 4,
+          0.3 * rng.next_double(), rng.next());
+      break;
+  }
+  GraphBuildOptions gopts;
+  gopts.remove_self_loops = rng.next_bounded(2) == 0;
+  const Graph g = Graph::build(std::move(edges), gopts);
+  if (g.num_vertices() == 0) return;
+
+  const auto machines =
+      static_cast<PartitionId>(1 + rng.next_bounded(7));
+  const auto part = RangePartition::balanced_by_edges(g, machines);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(machines);
+
+  std::vector<KHopQuery> queries;
+  const std::size_t q_count = 1 + rng.next_bounded(12);
+  for (QueryId i = 0; i < q_count; ++i) {
+    queries.push_back(
+        {i, static_cast<VertexId>(rng.next_bounded(g.num_vertices())),
+         static_cast<Depth>(rng.next_bounded(8))});
+  }
+
+  std::vector<std::uint64_t> expected;
+  for (const auto& q : queries) {
+    expected.push_back(khop_reach_count(g, q.source, q.k));
+  }
+
+  const auto bits = run_distributed_msbfs(cluster, shards, part, queries);
+  EXPECT_EQ(bits.visited, expected) << "msbfs, seed " << GetParam();
+
+  const auto queue = run_distributed_khop(cluster, shards, part, queries);
+  EXPECT_EQ(queue.visited, expected) << "khop, seed " << GetParam();
+
+  const auto async = run_async_khop(cluster, shards, part, queries);
+  EXPECT_EQ(async.visited, expected) << "async, seed " << GetParam();
+
+  const auto single = msbfs_batch(g, queries);
+  EXPECT_EQ(single.visited, expected) << "single, seed " << GetParam();
+
+  const auto paths =
+      run_distributed_khop_paths(cluster, shards, part, queries);
+  EXPECT_EQ(paths.base.visited, expected) << "paths, seed " << GetParam();
+
+  GeminiLikeEngine gemini(g);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(gemini.execute(queries[i]).visited, expected[i])
+        << "gemini, seed " << GetParam() << " query " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+class PageRankFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PageRankFuzz, DistributedMatchesSerial) {
+  Xoshiro256 rng(GetParam() * 7919);
+  const VertexId n = 32 + static_cast<VertexId>(rng.next_bounded(400));
+  const EdgeIndex m = 1 + rng.next_bounded(static_cast<std::uint64_t>(n) * 4);
+  const Graph g = Graph::build(generate_uniform(n, m, rng.next()));
+  if (g.num_vertices() == 0) return;
+  const auto machines = static_cast<PartitionId>(1 + rng.next_bounded(5));
+  const auto part = RangePartition::balanced_by_edges(g, machines);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(machines);
+  const GasResult dist = run_pagerank(cluster, shards, part, 6);
+  const auto serial = pagerank_serial(g, 6);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(dist.values[v], serial[v], 1e-9)
+        << "seed " << GetParam() << " vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageRankFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace cgraph

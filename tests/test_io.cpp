@@ -1,0 +1,123 @@
+// Unit tests for graph text/binary I/O and ingestion re-indexing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/io.hpp"
+
+namespace cgraph {
+namespace {
+
+TEST(Io, ParseReindexesDensely) {
+  const auto r = parse_edge_list("100 200\n200 300\n100 300\n");
+  EXPECT_EQ(r.num_vertices, 3u);
+  EXPECT_EQ(r.edges.size(), 3u);
+  // First appearance order: 100 -> 0, 200 -> 1, 300 -> 2.
+  EXPECT_EQ(r.edges[0].src, 0u);
+  EXPECT_EQ(r.edges[0].dst, 1u);
+  EXPECT_EQ(r.edges[2].dst, 2u);
+  EXPECT_EQ(r.id_map.at(300), 2u);
+}
+
+TEST(Io, ParseWithoutReindexKeepsIds) {
+  const auto r = parse_edge_list("5 9\n", /*reindex=*/false);
+  EXPECT_EQ(r.edges[0].src, 5u);
+  EXPECT_EQ(r.edges[0].dst, 9u);
+  EXPECT_EQ(r.num_vertices, 10u);
+}
+
+TEST(Io, ParseSkipsCommentsAndBlanks) {
+  const auto r = parse_edge_list("# SNAP header\n% konect header\n\n0 1\n");
+  EXPECT_EQ(r.edges.size(), 1u);
+}
+
+TEST(Io, ParseReadsOptionalWeight) {
+  const auto r = parse_edge_list("0 1 2.5\n1 2\n");
+  EXPECT_FLOAT_EQ(r.edges[0].weight, 2.5f);
+  EXPECT_FLOAT_EQ(r.edges[1].weight, 1.0f);
+}
+
+TEST(Io, TextFileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "cg_io_t.txt";
+  {
+    std::ofstream out(path);
+    out << "# test\n7 8\n8 9\n";
+  }
+  const auto r = load_edge_list_text(path.string());
+  EXPECT_EQ(r.edges.size(), 2u);
+  EXPECT_EQ(r.num_vertices, 3u);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(load_edge_list_text("/nonexistent/nope.txt"),
+               std::runtime_error);
+}
+
+TEST(Io, TextSaveRoundTrip) {
+  EdgeList edges;
+  edges.add(3, 1);
+  edges.add(0, 2);
+  const auto path = std::filesystem::temp_directory_path() / "cg_io_s.txt";
+  save_edge_list_text(path.string(), edges);
+  const auto r = load_edge_list_text(path.string(), /*reindex=*/false);
+  std::filesystem::remove(path);
+  ASSERT_EQ(r.edges.size(), 2u);
+  EXPECT_EQ(r.edges[0].src, 3u);
+  EXPECT_EQ(r.edges[0].dst, 1u);
+  EXPECT_EQ(r.edges[1].src, 0u);
+}
+
+TEST(Io, TextSaveKeepsNonUniformWeights) {
+  EdgeList edges;
+  edges.add(0, 1, 2.5f);
+  edges.add(1, 2, 1.0f);
+  const auto path = std::filesystem::temp_directory_path() / "cg_io_w.txt";
+  save_edge_list_text(path.string(), edges);
+  const auto r = load_edge_list_text(path.string(), /*reindex=*/false);
+  std::filesystem::remove(path);
+  ASSERT_EQ(r.edges.size(), 2u);
+  EXPECT_FLOAT_EQ(r.edges[0].weight, 2.5f);
+  EXPECT_FLOAT_EQ(r.edges[1].weight, 1.0f);
+}
+
+TEST(Io, BinaryRoundTripExact) {
+  EdgeList edges;
+  edges.add(0, 1, 0.5f);
+  edges.add(2, 3, 1.5f);
+  const auto path = std::filesystem::temp_directory_path() / "cg_io_t.bin";
+  save_edge_list_binary(path.string(), edges, 4);
+  const auto r = load_edge_list_binary(path.string());
+  EXPECT_EQ(r.num_vertices, 4u);
+  ASSERT_EQ(r.edges.size(), 2u);
+  EXPECT_EQ(r.edges[1].src, 2u);
+  EXPECT_EQ(r.edges[1].dst, 3u);
+  EXPECT_FLOAT_EQ(r.edges[1].weight, 1.5f);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, BinaryRejectsBadMagic) {
+  const auto path = std::filesystem::temp_directory_path() / "cg_io_bad.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTCGRAPH_______";
+  }
+  EXPECT_THROW(load_edge_list_binary(path.string()), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, BinaryRejectsTruncated) {
+  EdgeList edges;
+  edges.add(0, 1);
+  const auto path = std::filesystem::temp_directory_path() / "cg_io_tr.bin";
+  save_edge_list_binary(path.string(), edges, 2);
+  std::filesystem::resize_file(
+      path, std::filesystem::file_size(path) - 4);
+  EXPECT_THROW(load_edge_list_binary(path.string()), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace cgraph

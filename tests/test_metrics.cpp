@@ -1,0 +1,88 @@
+// Tests for response-time metrics and the figure reporters.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "metrics/reporter.hpp"
+#include "metrics/response.hpp"
+
+namespace cgraph {
+namespace {
+
+TEST(ResponseTimeSeries, BasicStats) {
+  ResponseTimeSeries s("cgraph");
+  s.add_all({0.1, 0.3, 0.2, 0.4});
+  EXPECT_EQ(s.label(), "cgraph");
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.25);
+  EXPECT_DOUBLE_EQ(s.min(), 0.1);
+  EXPECT_DOUBLE_EQ(s.max(), 0.4);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.25);
+}
+
+TEST(ResponseTimeSeries, SortedAscending) {
+  ResponseTimeSeries s;
+  s.add_all({3, 1, 2});
+  EXPECT_EQ(s.sorted(), (std::vector<double>{1, 2, 3}));
+}
+
+TEST(ResponseTimeSeries, FractionWithinThreshold) {
+  ResponseTimeSeries s;
+  s.add_all({0.1, 0.2, 0.5, 1.5, 3.0});
+  EXPECT_DOUBLE_EQ(s.fraction_within(0.2), 0.4);
+  EXPECT_DOUBLE_EQ(s.fraction_within(2.0), 0.8);
+  EXPECT_DOUBLE_EQ(s.fraction_within(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.fraction_within(0.01), 0.0);
+}
+
+TEST(ResponseTimeSeries, FractionWithinEmptyIsZero) {
+  ResponseTimeSeries s;
+  EXPECT_DOUBLE_EQ(s.fraction_within(1.0), 0.0);
+}
+
+TEST(ResponseTimeSeries, BoxplotSummary) {
+  ResponseTimeSeries s;
+  s.add_all({1, 2, 3, 4, 5});
+  const BoxplotSummary b = s.boxplot_summary();
+  EXPECT_DOUBLE_EQ(b.median, 3);
+  EXPECT_DOUBLE_EQ(b.mean, 3);
+  EXPECT_EQ(b.count, 5u);
+}
+
+TEST(Reporter, PrintsWithoutCrashing) {
+  // Reporters write to stdout; this exercises every path for smoke safety.
+  ::testing::internal::CaptureStdout();
+  Reporter rep("unit test figure");
+  rep.note("a note");
+  ResponseTimeSeries a("sys-a"), b("sys-b");
+  for (int i = 0; i < 50; ++i) {
+    a.add(0.01 * i);
+    b.add(0.02 * i);
+  }
+  rep.print_sorted_series({a, b}, 10);
+  rep.print_boxplots({a, b});
+  rep.print_histograms({a}, 0.1, 0.5);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("unit test figure"), std::string::npos);
+  EXPECT_NE(out.find("sys-a"), std::string::npos);
+  EXPECT_NE(out.find("cum"), std::string::npos);
+}
+
+TEST(Reporter, CsvWrittenWhenEnvSet) {
+  const std::string dir = ::testing::TempDir();
+  setenv("CGRAPH_CSV_DIR", dir.c_str(), 1);
+  ResponseTimeSeries s("csvtest");
+  s.add_all({0.5, 0.25});
+  Reporter::maybe_write_csv(s, "exp");
+  unsetenv("CGRAPH_CSV_DIR");
+  std::ifstream in(dir + "/exp_csvtest.csv");
+  ASSERT_TRUE(in.good());
+  std::string header, row1;
+  std::getline(in, header);
+  std::getline(in, row1);
+  EXPECT_EQ(header, "rank,seconds");
+  EXPECT_EQ(row1, "1,0.25");
+}
+
+}  // namespace
+}  // namespace cgraph

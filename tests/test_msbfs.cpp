@@ -1,0 +1,274 @@
+// Correctness tests for the bit-parallel engines: single-machine and
+// distributed results must equal the serial BFS reference for every query,
+// every k, every machine count (property sweep).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gen/rmat.hpp"
+#include "graph/shard.hpp"
+#include "query/bfs.hpp"
+#include "query/msbfs.hpp"
+#include "util/bitops.hpp"
+
+namespace cgraph {
+namespace {
+
+Graph make_test_graph(unsigned scale, double edge_factor,
+                      std::uint64_t seed) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = edge_factor;
+  p.seed = seed;
+  return Graph::build(generate_rmat(p), VertexId{1} << scale);
+}
+
+std::vector<KHopQuery> spread_queries(const Graph& g, std::size_t count,
+                                      Depth k) {
+  std::vector<KHopQuery> qs;
+  for (std::size_t i = 0; i < count; ++i) {
+    qs.push_back({static_cast<QueryId>(i),
+                  static_cast<VertexId>((i * 37) % g.num_vertices()), k});
+  }
+  return qs;
+}
+
+TEST(MsBfsSingle, MatchesSerialReference) {
+  const Graph g = make_test_graph(9, 6, 11);
+  const auto queries = spread_queries(g, 20, 3);
+  const MsBfsBatchResult r = msbfs_batch(g, queries);
+  ASSERT_EQ(r.visited.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(r.visited[i],
+              khop_reach_count(g, queries[i].source, queries[i].k))
+        << "query " << i;
+  }
+}
+
+TEST(MsBfsSingle, MixedDepthsInOneBatch) {
+  const Graph g = make_test_graph(8, 4, 3);
+  std::vector<KHopQuery> queries;
+  for (Depth k = 1; k <= 6; ++k) {
+    queries.push_back({static_cast<QueryId>(k), static_cast<VertexId>(k * 17),
+                       k});
+  }
+  const MsBfsBatchResult r = msbfs_batch(g, queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(r.visited[i],
+              khop_reach_count(g, queries[i].source, queries[i].k));
+    EXPECT_LE(r.levels[i], queries[i].k);
+  }
+}
+
+TEST(MsBfsSingle, UnboundedBfsReachesComponent) {
+  const Graph g = make_test_graph(8, 8, 5);
+  const KHopQuery q{0, 0, kUnvisitedDepth};
+  const MsBfsBatchResult r = msbfs_batch(g, std::span(&q, 1));
+  const auto d = bfs_levels(g, 0);
+  std::uint64_t expected = 0;
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    if (d[v] != kUnvisitedDepth) ++expected;
+  }
+  EXPECT_EQ(r.visited[0], expected);
+}
+
+TEST(MsBfsSingle, DuplicateSourcesAgree) {
+  const Graph g = make_test_graph(8, 4, 9);
+  std::vector<KHopQuery> queries{{0, 42, 3}, {1, 42, 3}, {2, 42, 3}};
+  const MsBfsBatchResult r = msbfs_batch(g, queries);
+  EXPECT_EQ(r.visited[0], r.visited[1]);
+  EXPECT_EQ(r.visited[1], r.visited[2]);
+}
+
+TEST(MsBfsSingle, SharedScanCheaperThanIndependent) {
+  // The §3.5 claim: a batch of Q queries scans far fewer edges than Q
+  // independent traversals when subgraphs overlap.
+  const Graph g = make_test_graph(10, 10, 21);
+  const auto queries = spread_queries(g, 64, 3);
+  const MsBfsBatchResult batch = msbfs_batch(g, queries);
+  std::uint64_t independent_edges = 0;
+  for (const auto& q : queries) {
+    const MsBfsBatchResult solo = msbfs_batch(g, std::span(&q, 1));
+    independent_edges += solo.edges_scanned;
+  }
+  EXPECT_LT(batch.edges_scanned, independent_edges / 4);
+}
+
+TEST(MsBfsSingle, CompletionTimesMonotoneInLevels) {
+  const Graph g = make_test_graph(9, 6, 13);
+  std::vector<KHopQuery> queries{{0, 1, 1}, {1, 1, 5}};
+  const MsBfsBatchResult r = msbfs_batch(g, queries);
+  EXPECT_LE(r.levels[0], r.levels[1]);
+  EXPECT_LE(r.completion_wall_seconds[0], r.completion_wall_seconds[1]);
+}
+
+// ---- Distributed engine: sweep (machines, k) against the reference. ----
+
+class MsBfsDistributed
+    : public ::testing::TestWithParam<std::tuple<PartitionId, Depth>> {};
+
+TEST_P(MsBfsDistributed, MatchesSerialReference) {
+  const auto [machines, k] = GetParam();
+  const Graph g = make_test_graph(9, 6, 17);
+  const auto part = RangePartition::balanced_by_edges(g, machines);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(machines);
+
+  const auto queries = spread_queries(g, 16, k);
+  const MsBfsBatchResult r =
+      run_distributed_msbfs(cluster, shards, part, queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(r.visited[i],
+              khop_reach_count(g, queries[i].source, queries[i].k))
+        << "machines=" << machines << " k=" << int(k) << " query=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MsBfsDistributed,
+    ::testing::Combine(::testing::Values<PartitionId>(1, 2, 3, 5, 9),
+                       ::testing::Values<Depth>(1, 2, 3, 6)));
+
+TEST(MsBfsDistributedOne, AgreesWithSingleMachineEngine) {
+  const Graph g = make_test_graph(9, 8, 23);
+  const auto part = RangePartition::balanced_by_edges(g, 4);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(4);
+  const auto queries = spread_queries(g, 32, 3);
+  const MsBfsBatchResult dist =
+      run_distributed_msbfs(cluster, shards, part, queries);
+  const MsBfsBatchResult single = msbfs_batch(g, queries);
+  EXPECT_EQ(dist.visited, single.visited);
+  EXPECT_EQ(dist.levels, single.levels);
+}
+
+TEST(MsBfsDistributedOne, SimTimePopulated) {
+  const Graph g = make_test_graph(8, 6, 29);
+  const auto part = RangePartition::balanced_by_edges(g, 3);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(3);
+  const auto queries = spread_queries(g, 8, 3);
+  const MsBfsBatchResult r =
+      run_distributed_msbfs(cluster, shards, part, queries);
+  EXPECT_GT(r.sim_seconds, 0.0);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_LE(r.completion_sim_seconds[i], r.sim_seconds + 1e-12);
+  }
+}
+
+TEST(MsBfsDistributedOne, FrontierBytesReported) {
+  const Graph g = make_test_graph(8, 4, 31);
+  const auto part = RangePartition::balanced_by_edges(g, 2);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(2);
+  const auto queries = spread_queries(g, 64, 2);
+  const MsBfsBatchResult r =
+      run_distributed_msbfs(cluster, shards, part, queries);
+  // 3 planes x 1 word x V vertices across all machines.
+  EXPECT_EQ(r.frontier_bytes, 3u * sizeof(Word) * g.num_vertices());
+}
+
+// ---- Multi-source queries (the paper's Fig. 7 "10 sources per query"
+// protocol): union reachability in one bit column. ----
+
+std::uint64_t union_reach_count(const Graph& g,
+                                std::span<const VertexId> sources, Depth k) {
+  std::vector<char> reached(g.num_vertices(), 0);
+  for (VertexId s : sources) {
+    const auto depth = bfs_levels(g, s, k);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (depth[v] != kUnvisitedDepth) reached[v] = 1;
+    }
+  }
+  std::uint64_t count = 0;
+  std::vector<char> is_source(g.num_vertices(), 0);
+  for (VertexId s : sources) is_source[s] = 1;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (reached[v] && !is_source[v]) ++count;
+  }
+  return count;
+}
+
+TEST(MsBfsMultiSource, UnionReachabilityMatchesReference) {
+  const Graph g = make_test_graph(9, 5, 37);
+  std::vector<MultiKHopQuery> queries;
+  for (QueryId i = 0; i < 8; ++i) {
+    MultiKHopQuery q;
+    q.id = i;
+    q.k = 3;
+    for (std::size_t s = 0; s < 10; ++s) {  // paper: 10 sources per query
+      q.sources.push_back(
+          static_cast<VertexId>((i * 97 + s * 13) % g.num_vertices()));
+    }
+    queries.push_back(std::move(q));
+  }
+  const MsBfsBatchResult r = msbfs_batch(g, std::span<const MultiKHopQuery>(queries));
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(r.visited[i],
+              union_reach_count(g, queries[i].sources, queries[i].k))
+        << "query " << i;
+  }
+}
+
+TEST(MsBfsMultiSource, DistributedMatchesSingleMachine) {
+  const Graph g = make_test_graph(9, 6, 41);
+  const auto part = RangePartition::balanced_by_edges(g, 3);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(3);
+  std::vector<MultiKHopQuery> queries;
+  for (QueryId i = 0; i < 6; ++i) {
+    MultiKHopQuery q;
+    q.id = i;
+    q.k = static_cast<Depth>(1 + i % 3);
+    for (std::size_t s = 0; s < 4; ++s) {
+      q.sources.push_back(
+          static_cast<VertexId>((i * 31 + s * 111) % g.num_vertices()));
+    }
+    queries.push_back(std::move(q));
+  }
+  const auto dist = run_distributed_msbfs(
+      cluster, shards, part, std::span<const MultiKHopQuery>(queries));
+  const auto single =
+      msbfs_batch(g, std::span<const MultiKHopQuery>(queries));
+  EXPECT_EQ(dist.visited, single.visited);
+}
+
+TEST(MsBfsMultiSource, DuplicateSourcesDeduplicated) {
+  const Graph g = make_test_graph(8, 4, 43);
+  MultiKHopQuery q;
+  q.sources = {7, 7, 7};
+  q.k = 2;
+  const auto multi =
+      msbfs_batch(g, std::span<const MultiKHopQuery>(&q, 1));
+  const KHopQuery single{0, 7, 2};
+  const auto ref = msbfs_batch(g, std::span(&single, 1));
+  EXPECT_EQ(multi.visited[0], ref.visited[0]);
+}
+
+TEST(MsBfsMultiSource, SingleSourceEquivalence) {
+  const Graph g = make_test_graph(8, 5, 47);
+  MultiKHopQuery mq;
+  mq.sources = {42};
+  mq.k = 3;
+  const KHopQuery sq{0, 42, 3};
+  const auto a = msbfs_batch(g, std::span<const MultiKHopQuery>(&mq, 1));
+  const auto b = msbfs_batch(g, std::span(&sq, 1));
+  EXPECT_EQ(a.visited, b.visited);
+  EXPECT_EQ(a.levels, b.levels);
+}
+
+TEST(MsBfsMultiSourceDeathTest, EmptySourcesAbort) {
+  const Graph g = make_test_graph(6, 2, 1);
+  MultiKHopQuery q;  // no sources
+  EXPECT_DEATH(msbfs_batch(g, std::span<const MultiKHopQuery>(&q, 1)),
+               "at least one source");
+}
+
+TEST(MsBfsSingleDeathTest, OversizedBatchAborts) {
+  const Graph g = make_test_graph(6, 2, 1);
+  std::vector<KHopQuery> queries(513, KHopQuery{0, 0, 1});
+  EXPECT_DEATH(msbfs_batch(g, queries), "exceeds bit-parallel capacity");
+}
+
+}  // namespace
+}  // namespace cgraph

@@ -1,0 +1,143 @@
+// Unit tests for serialization, mailboxes, the fabric, and the cost model.
+#include <gtest/gtest.h>
+
+#include "net/cost_model.hpp"
+#include "net/fabric.hpp"
+#include "net/mailbox.hpp"
+#include "net/serialize.hpp"
+
+namespace cgraph {
+namespace {
+
+TEST(Serialize, PodRoundTrip) {
+  PacketWriter w;
+  w.write<std::uint32_t>(42);
+  w.write<double>(3.5);
+  w.write<std::uint8_t>(7);
+  const Packet p = w.take();
+  PacketReader r(p);
+  EXPECT_EQ(r.read<std::uint32_t>(), 42u);
+  EXPECT_DOUBLE_EQ(r.read<double>(), 3.5);
+  EXPECT_EQ(r.read<std::uint8_t>(), 7);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, SpanRoundTrip) {
+  PacketWriter w;
+  const std::vector<std::uint32_t> v{1, 2, 3, 4, 5};
+  w.write_span(std::span<const std::uint32_t>(v));
+  const Packet p = w.take();
+  PacketReader r(p);
+  EXPECT_EQ(r.read_vector<std::uint32_t>(), v);
+}
+
+TEST(Serialize, EmptySpan) {
+  PacketWriter w;
+  w.write_span(std::span<const int>{});
+  const Packet p = w.take();
+  PacketReader r(p);
+  EXPECT_TRUE(r.read_vector<int>().empty());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, WriterReusableAfterTake) {
+  PacketWriter w;
+  w.write<int>(1);
+  (void)w.take();
+  EXPECT_TRUE(w.empty());
+  w.write<int>(2);
+  const Packet p = w.take();
+  PacketReader r(p);
+  EXPECT_EQ(r.read<int>(), 2);
+}
+
+TEST(SerializeDeathTest, UnderflowAborts) {
+  PacketWriter w;
+  w.write<std::uint16_t>(1);
+  const Packet p = w.take();
+  PacketReader r(p);
+  EXPECT_DEATH(r.read<std::uint64_t>(), "packet underflow");
+}
+
+TEST(SerializeDeathTest, VectorUnderflowAborts) {
+  PacketWriter w;
+  w.write<std::uint64_t>(1000);  // claims 1000 elements, provides none
+  const Packet p = w.take();
+  PacketReader r(p);
+  EXPECT_DEATH(r.read_vector<std::uint64_t>(), "packet underflow");
+}
+
+TEST(Mailbox, AsyncDeliveryImmediate) {
+  Mailbox mb;
+  PacketWriter w;
+  w.write<int>(5);
+  mb.push_now({0, 1, w.take()});
+  EXPECT_FALSE(mb.empty_now());
+  auto msgs = mb.drain_now();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].from, 0u);
+  EXPECT_EQ(msgs[0].tag, 1u);
+  EXPECT_TRUE(mb.empty_now());
+}
+
+TEST(Mailbox, SuperstepStagingByParity) {
+  Mailbox mb;
+  mb.push_superstep({0, 1, {}}, /*superstep=*/0);
+  mb.push_superstep({0, 2, {}}, /*superstep=*/1);
+  auto s0 = mb.drain_superstep(0);
+  ASSERT_EQ(s0.size(), 1u);
+  EXPECT_EQ(s0[0].tag, 1u);
+  auto s1 = mb.drain_superstep(1);
+  ASSERT_EQ(s1.size(), 1u);
+  EXPECT_EQ(s1[0].tag, 2u);
+  EXPECT_TRUE(mb.drain_superstep(0).empty());
+}
+
+TEST(Fabric, RoutesAndCounts) {
+  Fabric fabric(3);
+  PacketWriter w;
+  w.write<std::uint64_t>(99);
+  fabric.send_now(0, 2, 7, w.take());
+  EXPECT_EQ(fabric.total_packets(), 1u);
+  EXPECT_EQ(fabric.total_bytes(), sizeof(std::uint64_t));
+  auto msgs = fabric.mailbox(2).drain_now();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].from, 0u);
+  EXPECT_TRUE(fabric.mailbox(0).drain_now().empty());
+  EXPECT_TRUE(fabric.mailbox(1).drain_now().empty());
+}
+
+TEST(Fabric, ResetCountersZeroes) {
+  Fabric fabric(2);
+  fabric.send_now(0, 1, 0, Packet(16));
+  fabric.reset_counters();
+  EXPECT_EQ(fabric.total_packets(), 0u);
+  EXPECT_EQ(fabric.total_bytes(), 0u);
+}
+
+TEST(CostModel, ComputeAndCommCharges) {
+  CostModel cm;
+  cm.ns_per_edge = 2.0;
+  cm.ns_per_vertex = 10.0;
+  cm.ns_per_byte = 1.0;
+  cm.ns_per_packet = 1000.0;
+  EXPECT_DOUBLE_EQ(cm.compute_ns(100, 10), 300.0);
+  EXPECT_DOUBLE_EQ(cm.comm_ns(2, 500), 2500.0);
+}
+
+TEST(SimClock, ChargesAccumulateAndAdvance) {
+  CostModel cm;
+  SimClock clock;
+  clock.charge_compute(cm, 1000, 0);
+  const double t1 = clock.nanos();
+  EXPECT_GT(t1, 0);
+  clock.advance_to(t1 - 5);  // never goes backwards
+  EXPECT_DOUBLE_EQ(clock.nanos(), t1);
+  clock.advance_to(t1 + 5);
+  EXPECT_DOUBLE_EQ(clock.nanos(), t1 + 5);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.nanos(), 0);
+}
+
+}  // namespace
+}  // namespace cgraph

@@ -1,0 +1,162 @@
+// Tests for the GAS engine and PageRank: distributed == serial reference
+// for every machine count, boundary synchronization correctness, and the
+// per-iteration time accounting used by Fig. 10.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/pagerank.hpp"
+#include "gen/rmat.hpp"
+#include "graph/shard.hpp"
+
+namespace cgraph {
+namespace {
+
+Graph small_web() {
+  // The classic 4-page example graph.
+  EdgeList el;
+  el.add(0, 1);
+  el.add(0, 2);
+  el.add(1, 2);
+  el.add(2, 0);
+  el.add(3, 2);
+  return Graph::build(std::move(el), 4);
+}
+
+TEST(PageRankSerial, ConvergesToKnownRanking) {
+  const Graph g = small_web();
+  const auto pr = pagerank_serial(g, 50);
+  // Page 2 receives from everyone -> top rank; page 3 has no in-edges ->
+  // bottom rank (0.15 exactly under the unnormalized formulation).
+  EXPECT_GT(pr[2], pr[0]);
+  EXPECT_GT(pr[0], pr[1]);
+  EXPECT_NEAR(pr[3], 0.15, 1e-12);
+}
+
+TEST(PageRankSerial, DanglingVertexContributesNothing) {
+  EdgeList el;
+  el.add(0, 1);  // vertex 1 is dangling (out-degree 0)
+  const Graph g = Graph::build(std::move(el), 2);
+  const auto pr = pagerank_serial(g, 10);
+  EXPECT_NEAR(pr[0], 0.15, 1e-12);               // nothing flows into 0
+  EXPECT_NEAR(pr[1], 0.15 + 0.85 * 0.15, 1e-12); // receives 0's full value
+}
+
+class PageRankDistributed : public ::testing::TestWithParam<PartitionId> {};
+
+TEST_P(PageRankDistributed, MatchesSerialReference) {
+  RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 8;
+  params.seed = 5;
+  const Graph g = Graph::build(generate_rmat(params),
+                               VertexId{1} << params.scale);
+  const PartitionId machines = GetParam();
+  const auto part = RangePartition::balanced_by_edges(g, machines);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(machines);
+
+  constexpr std::uint64_t kIters = 10;
+  const GasResult dist = run_pagerank(cluster, shards, part, kIters);
+  const auto serial = pagerank_serial(g, kIters);
+
+  ASSERT_EQ(dist.values.size(), serial.size());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(dist.values[v], serial[v], 1e-9) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, PageRankDistributed,
+                         ::testing::Values(1, 2, 3, 4, 6, 9));
+
+TEST(PageRankDistributed, StatsArePopulated) {
+  const Graph g = small_web();
+  const auto part = RangePartition::balanced_by_edges(g, 2);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(2);
+  const GasResult r = run_pagerank(cluster, shards, part, 5);
+  EXPECT_EQ(r.stats.iterations, 5u);
+  ASSERT_EQ(r.stats.per_iteration_sim_seconds.size(), 5u);
+  for (double t : r.stats.per_iteration_sim_seconds) EXPECT_GT(t, 0.0);
+  EXPECT_GT(r.stats.sim_seconds, 0.0);
+  EXPECT_GT(r.stats.bytes, 0u);  // the cross-partition edge forces traffic
+}
+
+TEST(PageRankDistributed, NoTrafficOnSinglePartition) {
+  const Graph g = small_web();
+  const auto part = RangePartition::balanced_by_edges(g, 1);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(1);
+  const GasResult r = run_pagerank(cluster, shards, part, 3);
+  EXPECT_EQ(r.stats.packets, 0u);
+  EXPECT_EQ(r.stats.bytes, 0u);
+}
+
+TEST(Gas, CustomProgramRuns) {
+  // Degree-sum program: value becomes the sum of in-neighbor out-degrees.
+  struct DegreeSum final : GasProgram {
+    double init_value(VertexId, EdgeIndex out_degree,
+                      VertexId) const override {
+      return static_cast<double>(out_degree);
+    }
+    double gather(double sum, double in) const override { return sum + in; }
+    double apply(double sum, double, VertexId) const override { return sum; }
+    double scatter(double value, EdgeIndex) const override { return value; }
+  };
+
+  const Graph g = small_web();
+  const auto part = RangePartition::balanced_by_edges(g, 2);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(2);
+  const GasResult r = run_gas(cluster, shards, part, DegreeSum{}, 1);
+  // Vertex 2's parents are 0 (deg 2), 1 (deg 1), 3 (deg 1): sum = 4.
+  EXPECT_DOUBLE_EQ(r.values[2], 4.0);
+  // Vertex 0's parent is 2 (deg 1).
+  EXPECT_DOUBLE_EQ(r.values[0], 1.0);
+  // Vertex 3 has no parents.
+  EXPECT_DOUBLE_EQ(r.values[3], 0.0);
+}
+
+TEST(PageRankDistributed, VerticalConsolidationGathersIdentically) {
+  // Shards built with tiled in-edges (vertical consolidation) must give
+  // bit-identical PageRank values.
+  RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 8;
+  params.seed = 5;
+  const Graph g = Graph::build(generate_rmat(params),
+                               VertexId{1} << params.scale);
+  const auto part = RangePartition::balanced_by_edges(g, 3);
+  ShardOptions tiled;
+  tiled.build_in_edge_sets = true;
+  const auto shards_csc = build_shards(g, part);
+  const auto shards_grid = build_shards(g, part, tiled);
+  Cluster cluster(3);
+  const GasResult a = run_pagerank(cluster, shards_csc, part, 8);
+  const GasResult b = run_pagerank(cluster, shards_grid, part, 8);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(a.values[v], b.values[v], 1e-12) << "vertex " << v;
+  }
+}
+
+TEST(PageRankDistributed, SimTimeDecreasesWithMachinesOnLargeGraph) {
+  // The Fig. 10 property at test scale: simulated PageRank time shrinks
+  // when machines are added to a big enough graph.
+  RmatParams params;
+  params.scale = 14;
+  params.edge_factor = 16;
+  const Graph g = Graph::build(generate_rmat(params),
+                               VertexId{1} << params.scale);
+  double t1 = 0, t4 = 0;
+  for (PartitionId m : {1u, 4u}) {
+    const auto part = RangePartition::balanced_by_edges(g, m);
+    const auto shards = build_shards(g, part);
+    Cluster cluster(m);
+    const GasResult r = run_pagerank(cluster, shards, part, 3);
+    (m == 1 ? t1 : t4) = r.stats.sim_seconds;
+  }
+  EXPECT_LT(t4, t1);
+}
+
+}  // namespace
+}  // namespace cgraph

@@ -1,0 +1,94 @@
+// Unit and property tests for range-based partitioning (paper §3.1).
+#include <gtest/gtest.h>
+
+#include "gen/rmat.hpp"
+#include "graph/partition.hpp"
+
+namespace cgraph {
+namespace {
+
+Graph star_plus_chain() {
+  // Vertex 0 has out-degree 8 (a hub); 9..14 form a light chain.
+  EdgeList el;
+  for (VertexId t = 1; t <= 8; ++t) el.add(0, t);
+  for (VertexId v = 9; v < 14; ++v) el.add(v, v + 1);
+  return Graph::build(std::move(el), 15);
+}
+
+TEST(RangePartition, ByVerticesEvenSplit) {
+  const auto part = RangePartition::balanced_by_vertices(10, 3);
+  ASSERT_EQ(part.num_partitions(), 3u);
+  EXPECT_EQ(part.range(0), (VertexRange{0, 4}));
+  EXPECT_EQ(part.range(1), (VertexRange{4, 7}));
+  EXPECT_EQ(part.range(2), (VertexRange{7, 10}));
+}
+
+TEST(RangePartition, RangesAreContiguousAndCovering) {
+  const Graph g = star_plus_chain();
+  for (PartitionId p : {1u, 2u, 3u, 5u}) {
+    const auto part = RangePartition::balanced_by_edges(g, p);
+    ASSERT_EQ(part.num_partitions(), p);
+    EXPECT_EQ(part.range(0).begin, 0u);
+    EXPECT_EQ(part.range(p - 1).end, g.num_vertices());
+    for (PartitionId i = 0; i + 1 < p; ++i) {
+      EXPECT_EQ(part.range(i).end, part.range(i + 1).begin);
+    }
+  }
+}
+
+TEST(RangePartition, OwnerMatchesRanges) {
+  const Graph g = star_plus_chain();
+  const auto part = RangePartition::balanced_by_edges(g, 4);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const PartitionId p = part.owner(v);
+    EXPECT_TRUE(part.range(p).contains(v)) << "vertex " << v;
+  }
+}
+
+TEST(RangePartition, SinglePartitionOwnsEverything) {
+  const Graph g = star_plus_chain();
+  const auto part = RangePartition::balanced_by_edges(g, 1);
+  EXPECT_EQ(part.range(0), (VertexRange{0, g.num_vertices()}));
+  EXPECT_EQ(part.owner(14), 0u);
+}
+
+TEST(RangePartition, MorePartitionsThanVertices) {
+  EdgeList el;
+  el.add(0, 1);
+  const Graph g = Graph::build(std::move(el), 2);
+  const auto part = RangePartition::balanced_by_edges(g, 5);
+  EXPECT_EQ(part.num_partitions(), 5u);
+  EXPECT_EQ(part.range(4).end, 2u);
+  // Every vertex still has exactly one owner.
+  EXPECT_TRUE(part.range(part.owner(0)).contains(0));
+  EXPECT_TRUE(part.range(part.owner(1)).contains(1));
+}
+
+// Property sweep: edge balance on skewed R-MAT graphs stays reasonable for
+// realistic partition counts (the paper balances partitions by edges).
+class PartitionBalance : public ::testing::TestWithParam<PartitionId> {};
+
+TEST_P(PartitionBalance, EdgeBalancedWithinFactorTwo) {
+  RmatParams params;
+  params.scale = 12;
+  params.edge_factor = 8;
+  params.seed = 99;
+  const Graph g = Graph::build(generate_rmat(params),
+                               VertexId{1} << params.scale);
+  const auto part = RangePartition::balanced_by_edges(g, GetParam());
+  // max/mean <= 2 is a loose bound; typical values are ~1.02.
+  EXPECT_LE(part.edge_balance(g), 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, PartitionBalance,
+                         ::testing::Values(2, 3, 4, 6, 8, 9, 16));
+
+TEST(RangePartition, VertexBalancedHandlesRemainder) {
+  const auto part = RangePartition::balanced_by_vertices(7, 3);
+  EXPECT_EQ(part.range(0).size(), 3u);
+  EXPECT_EQ(part.range(1).size(), 2u);
+  EXPECT_EQ(part.range(2).size(), 2u);
+}
+
+}  // namespace
+}  // namespace cgraph

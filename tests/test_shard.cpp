@@ -1,0 +1,161 @@
+// Unit and property tests for SubgraphShard (paper Fig. 2).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/rmat.hpp"
+#include "graph/shard.hpp"
+
+namespace cgraph {
+namespace {
+
+Graph sample_graph() {
+  EdgeList el;
+  // Two communities joined by cross edges.
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(2, 0);
+  el.add(2, 5);  // boundary: 5 lives in the second half
+  el.add(4, 5);
+  el.add(5, 6);
+  el.add(6, 4);
+  el.add(6, 1);  // boundary back-edge
+  return Graph::build(std::move(el), 8);
+}
+
+TEST(Shard, LocalRangeAndIndexing) {
+  const Graph g = sample_graph();
+  const auto part = RangePartition::balanced_by_vertices(8, 2);
+  const auto shard = SubgraphShard::build(g, part, 0);
+  EXPECT_EQ(shard.id(), 0u);
+  EXPECT_EQ(shard.local_range(), (VertexRange{0, 4}));
+  EXPECT_TRUE(shard.is_local(3));
+  EXPECT_FALSE(shard.is_local(4));
+  EXPECT_EQ(shard.local_index(2), 2u);
+  EXPECT_EQ(shard.global_id(2), 2u);
+}
+
+TEST(Shard, BoundaryVerticesAreRemoteDestinations) {
+  const Graph g = sample_graph();
+  const auto part = RangePartition::balanced_by_vertices(8, 2);
+  const auto s0 = SubgraphShard::build(g, part, 0);
+  // Shard 0's only remote destination is 5 (from edge 2->5).
+  EXPECT_EQ(s0.boundary_out(), (std::vector<VertexId>{5}));
+  const auto s1 = SubgraphShard::build(g, part, 1);
+  // Shard 1's remote destination is 1 (from edge 6->1).
+  EXPECT_EQ(s1.boundary_out(), (std::vector<VertexId>{1}));
+}
+
+TEST(Shard, OutDegreesMatchGraph) {
+  const Graph g = sample_graph();
+  const auto part = RangePartition::balanced_by_vertices(8, 2);
+  for (PartitionId p = 0; p < 2; ++p) {
+    const auto shard = SubgraphShard::build(g, part, p);
+    for (VertexId v = shard.local_range().begin;
+         v < shard.local_range().end; ++v) {
+      EXPECT_EQ(shard.out_degree(v), g.out_degree(v)) << "vertex " << v;
+    }
+  }
+}
+
+TEST(Shard, InCsrHoldsGlobalParents) {
+  const Graph g = sample_graph();
+  const auto part = RangePartition::balanced_by_vertices(8, 2);
+  const auto s1 = SubgraphShard::build(g, part, 1);
+  // Vertex 5 (local index 1) has parents {2, 4}; 2 is remote.
+  const auto parents = s1.in_csr().neighbors(s1.local_index(5));
+  std::set<VertexId> got(parents.begin(), parents.end());
+  EXPECT_EQ(got, (std::set<VertexId>{2, 4}));
+}
+
+TEST(Shard, ShardsJointlyCoverAllEdges) {
+  RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 8;
+  const Graph g = Graph::build(generate_rmat(params),
+                               VertexId{1} << params.scale);
+  for (PartitionId machines : {1u, 2u, 3u, 5u}) {
+    const auto part = RangePartition::balanced_by_edges(g, machines);
+    const auto shards = build_shards(g, part);
+    ASSERT_EQ(shards.size(), machines);
+    EdgeIndex total = 0;
+    for (const auto& s : shards) total += s.num_out_edges();
+    EXPECT_EQ(total, g.num_edges()) << machines << " machines";
+  }
+}
+
+TEST(Shard, NeighborhoodsMatchGraphAcrossShards) {
+  RmatParams params;
+  params.scale = 9;
+  params.edge_factor = 4;
+  const Graph g = Graph::build(generate_rmat(params),
+                               VertexId{1} << params.scale);
+  const auto part = RangePartition::balanced_by_edges(g, 3);
+  const auto shards = build_shards(g, part);
+  for (const auto& shard : shards) {
+    for (VertexId v = shard.local_range().begin;
+         v < shard.local_range().end; v += 11) {
+      std::vector<VertexId> got;
+      shard.out_sets().for_each_neighbor(v,
+                                         [&](VertexId t) { got.push_back(t); });
+      std::sort(got.begin(), got.end());
+      const auto expected = g.out_neighbors(v);
+      ASSERT_EQ(got.size(), expected.size());
+      EXPECT_TRUE(std::equal(got.begin(), got.end(), expected.begin()));
+    }
+  }
+}
+
+TEST(Shard, NoInEdgesWhenDisabled) {
+  const Graph g = sample_graph();
+  const auto part = RangePartition::balanced_by_vertices(8, 2);
+  ShardOptions opts;
+  opts.build_in_edges = false;
+  const auto shard = SubgraphShard::build(g, part, 0, opts);
+  EXPECT_FALSE(shard.has_in_edges());
+}
+
+TEST(Shard, InEdgeSetsMatchCsc) {
+  RmatParams params;
+  params.scale = 9;
+  params.edge_factor = 5;
+  const Graph g = Graph::build(generate_rmat(params),
+                               VertexId{1} << params.scale);
+  const auto part = RangePartition::balanced_by_edges(g, 3);
+  ShardOptions opts;
+  opts.build_in_edge_sets = true;
+  for (PartitionId p = 0; p < 3; ++p) {
+    const auto shard = SubgraphShard::build(g, part, p, opts);
+    ASSERT_TRUE(shard.has_in_sets());
+    EXPECT_EQ(shard.in_sets().num_edges(), shard.in_csr().num_edges());
+    for (VertexId v = shard.local_range().begin;
+         v < shard.local_range().end; v += 7) {
+      std::vector<VertexId> via_grid;
+      shard.in_sets().for_each_neighbor(
+          v, [&](VertexId parent) { via_grid.push_back(parent); });
+      std::sort(via_grid.begin(), via_grid.end());
+      const auto via_csc = shard.in_csr().neighbors(shard.local_index(v));
+      ASSERT_EQ(via_grid.size(), via_csc.size()) << "vertex " << v;
+      EXPECT_TRUE(
+          std::equal(via_grid.begin(), via_grid.end(), via_csc.begin()));
+    }
+  }
+}
+
+TEST(Shard, InEdgeSetsOffByDefault) {
+  const Graph g = sample_graph();
+  const auto part = RangePartition::balanced_by_vertices(8, 2);
+  const auto shard = SubgraphShard::build(g, part, 0);
+  EXPECT_FALSE(shard.has_in_sets());
+  EXPECT_TRUE(shard.has_in_edges());
+}
+
+TEST(Shard, MemoryBytesNonZero) {
+  const Graph g = sample_graph();
+  const auto part = RangePartition::balanced_by_vertices(8, 1);
+  const auto shard = SubgraphShard::build(g, part, 0);
+  EXPECT_GT(shard.memory_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace cgraph

@@ -1,0 +1,191 @@
+// Stress and corner-case tests: concurrency hammering on the fabric,
+// engine reuse, extreme batch widths, and degenerate query parameters.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cgraph/cgraph.hpp"
+#include "util/rng.hpp"
+
+namespace cgraph {
+namespace {
+
+TEST(Stress, MailboxConcurrentPushersAndDrainer) {
+  Mailbox mb;
+  constexpr int kPushers = 4;
+  constexpr int kPerPusher = 2000;
+  std::atomic<bool> stop{false};
+  std::atomic<int> drained{0};
+
+  std::thread drainer([&] {
+    while (!stop.load(std::memory_order_acquire) || !mb.empty_now()) {
+      drained.fetch_add(static_cast<int>(mb.drain_now().size()),
+                        std::memory_order_relaxed);
+    }
+    drained.fetch_add(static_cast<int>(mb.drain_now().size()),
+                      std::memory_order_relaxed);
+  });
+  {
+    std::vector<std::thread> pushers;
+    for (int p = 0; p < kPushers; ++p) {
+      pushers.emplace_back([&, p] {
+        for (int i = 0; i < kPerPusher; ++i) {
+          mb.push_now({static_cast<PartitionId>(p), 0, Packet(8)});
+        }
+      });
+    }
+    for (auto& t : pushers) t.join();
+  }
+  stop.store(true, std::memory_order_release);
+  drainer.join();
+  EXPECT_EQ(drained.load(), kPushers * kPerPusher);
+}
+
+TEST(Stress, ManySuperstepsKeepClocksConsistent) {
+  CostModel cm;
+  cm.ns_per_barrier = 10.0;
+  Cluster cluster(4, cm);
+  constexpr int kSteps = 500;
+  cluster.run([&](MachineContext& mc) {
+    Xoshiro256 rng(mc.id() + 1);
+    for (int s = 0; s < kSteps; ++s) {
+      mc.charge_compute(rng.next_bounded(1000));
+      mc.barrier();
+    }
+  });
+  // All clocks were repeatedly synchronized to the max; the makespan is at
+  // least the barrier cost times the step count.
+  EXPECT_GE(cluster.sim_seconds(), kSteps * 10.0 * 1e-9);
+  for (PartitionId m = 0; m < 4; ++m) {
+    EXPECT_DOUBLE_EQ(cluster.clock(m).seconds(), cluster.sim_seconds());
+  }
+}
+
+TEST(Stress, ClusterReusedAcrossManyEngineRuns) {
+  RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 6;
+  p.seed = 3;
+  const Graph g = Graph::build(generate_rmat(p), VertexId{1} << p.scale);
+  const auto part = RangePartition::balanced_by_edges(g, 3);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(3);
+
+  const auto queries = make_random_queries(g, 8, 3, 5);
+  std::vector<std::uint64_t> first;
+  for (int round = 0; round < 10; ++round) {
+    const auto r = run_distributed_msbfs(cluster, shards, part, queries);
+    if (round == 0) {
+      first = r.visited;
+    } else {
+      EXPECT_EQ(r.visited, first) << "round " << round;
+    }
+  }
+}
+
+TEST(Stress, FullWidthBatch512Queries) {
+  RmatParams p;
+  p.scale = 9;
+  p.edge_factor = 6;
+  p.seed = 7;
+  const Graph g = Graph::build(generate_rmat(p), VertexId{1} << p.scale);
+  std::vector<KHopQuery> queries;
+  for (QueryId i = 0; i < 512; ++i) {
+    queries.push_back({i, static_cast<VertexId>((i * 3) % g.num_vertices()),
+                       2});
+  }
+  const auto r = msbfs_batch(g, queries);
+  // Spot-check a sample against the reference.
+  for (std::size_t i = 0; i < queries.size(); i += 37) {
+    EXPECT_EQ(r.visited[i],
+              khop_reach_count(g, queries[i].source, queries[i].k));
+  }
+}
+
+TEST(Stress, SchedulerBatchWidthInvariance) {
+  RmatParams p;
+  p.scale = 9;
+  p.edge_factor = 5;
+  p.seed = 9;
+  const Graph g = Graph::build(generate_rmat(p), VertexId{1} << p.scale);
+  const auto part = RangePartition::balanced_by_edges(g, 2);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(2);
+  const auto queries = make_random_queries(g, 70, 3, 11);
+
+  std::vector<std::uint64_t> reference;
+  for (const std::size_t width : {1u, 16u, 64u, 512u}) {
+    SchedulerOptions opts;
+    opts.batch_width = width;
+    const auto run =
+        run_concurrent_queries(cluster, shards, part, queries, opts);
+    std::vector<std::uint64_t> visited;
+    for (const auto& q : run.queries) visited.push_back(q.visited);
+    if (reference.empty()) {
+      reference = visited;
+    } else {
+      EXPECT_EQ(visited, reference) << "width " << width;
+    }
+  }
+}
+
+TEST(Stress, ZeroHopQueriesAnswerImmediately) {
+  RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 4;
+  p.seed = 13;
+  const Graph g = Graph::build(generate_rmat(p), VertexId{1} << p.scale);
+  const auto part = RangePartition::balanced_by_edges(g, 2);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(2);
+  std::vector<KHopQuery> queries{{0, 5, 0}, {1, 9, 0}};
+  const auto r = run_distributed_msbfs(cluster, shards, part, queries);
+  EXPECT_EQ(r.visited[0], 0u);  // k = 0 reaches nothing beyond the source
+  EXPECT_EQ(r.visited[1], 0u);
+}
+
+TEST(Stress, SingleVertexGraph) {
+  EdgeList el;
+  const Graph g = Graph::build(std::move(el), 1);
+  const auto part = RangePartition::balanced_by_vertices(1, 1);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(1);
+  const KHopQuery q{0, 0, 3};
+  const auto r = run_distributed_msbfs(cluster, shards, part,
+                                       std::span(&q, 1));
+  EXPECT_EQ(r.visited[0], 0u);
+}
+
+TEST(Stress, ManyMoreMachinesThanWork) {
+  // 9 machines, 12 vertices: several shards are nearly empty but the
+  // protocol must still terminate and agree with the reference.
+  EdgeList el;
+  for (VertexId v = 0; v + 1 < 12; ++v) el.add(v, v + 1);
+  const Graph g = Graph::build(std::move(el), 12);
+  const auto part = RangePartition::balanced_by_vertices(12, 9);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(9);
+  const KHopQuery q{0, 0, 11};
+  const auto r = run_distributed_khop(cluster, shards, part,
+                                      std::span(&q, 1));
+  EXPECT_EQ(r.visited[0], 11u);
+}
+
+TEST(Stress, AsyncEngineRepeatedRunsTerminate) {
+  RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 5;
+  p.seed = 17;
+  const Graph g = Graph::build(generate_rmat(p), VertexId{1} << p.scale);
+  const auto part = RangePartition::balanced_by_edges(g, 3);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(3);
+  const auto queries = make_random_queries(g, 6, 3, 19);
+  for (int round = 0; round < 5; ++round) {
+    const auto r = run_async_khop(cluster, shards, part, queries);
+    EXPECT_EQ(r.visited.size(), queries.size());
+  }
+}
+
+}  // namespace
+}  // namespace cgraph
