@@ -50,4 +50,13 @@ inline void print_header(const char* figure, const std::string& detail) {
   std::printf("################################################------\n");
 }
 
+/// At-exit metrics sink: when $CGRAPH_METRICS is set, every harness dumps
+/// the global registry on normal exit with no per-harness code. (The global
+/// registry is intentionally leaked, so this static's destructor running
+/// late is safe.)
+struct MetricsAtExit {
+  ~MetricsAtExit() { obs::maybe_write_metrics_env(); }
+};
+inline MetricsAtExit metrics_at_exit{};
+
 }  // namespace cgraph::bench

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# ThreadSanitizer variant of the test suite: builds the concurrency-heavy
+# targets with -fsanitize=thread and runs them under ctest. The obs
+# registry, cluster barrier telemetry, and scheduler all bump shared state
+# from worker threads; this catches data races the regular suite cannot.
+#
+# Usage: ci/tsan.sh [build-dir]   (default: build-tsan)
+set -eu
+
+BUILD_DIR="${1:-build-tsan}"
+SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DCGRAPH_SANITIZE=thread
+cmake --build "$BUILD_DIR" --target test_obs test_scheduler -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^(test_obs|test_scheduler)$'

@@ -9,6 +9,11 @@
 //                        [--paths] [--target 42]
 //   cgraph_tool batch    --in g.bin --queries 100 [--k 3] [--machines 4]
 //   cgraph_tool pagerank --in g.bin [--iterations 10] [--machines 4]
+//
+// Any command also takes --metrics-out PATH: after the command runs, the
+// process-global metrics registry (query spans, superstep counters, fabric
+// traffic) is written there — Prometheus text format, or JSON when PATH
+// ends in .json. Without the flag, $CGRAPH_METRICS names the same sink.
 #include <cstdio>
 #include <string>
 
@@ -172,6 +177,9 @@ int cmd_query(const Options& opts) {
                 static_cast<unsigned long long>(r.visited[0]),
                 unsigned{r.levels[0]}, r.sim_seconds, r.wall_seconds);
   }
+  // Single-query commands bypass the scheduler, so surface the cluster's
+  // own superstep/fabric counters for --metrics-out.
+  cluster.publish_metrics(obs::MetricsRegistry::global());
   return 0;
 }
 
@@ -245,11 +253,20 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   const Options opts(argc - 1, argv + 1);
-  if (cmd == "gen") return cmd_gen(opts);
-  if (cmd == "convert") return cmd_convert(opts);
-  if (cmd == "stats") return cmd_stats(opts);
-  if (cmd == "query") return cmd_query(opts);
-  if (cmd == "batch") return cmd_batch(opts);
-  if (cmd == "pagerank") return cmd_pagerank(opts);
-  return usage();
+  int rc = 2;
+  if (cmd == "gen") rc = cmd_gen(opts);
+  else if (cmd == "convert") rc = cmd_convert(opts);
+  else if (cmd == "stats") rc = cmd_stats(opts);
+  else if (cmd == "query") rc = cmd_query(opts);
+  else if (cmd == "batch") rc = cmd_batch(opts);
+  else if (cmd == "pagerank") rc = cmd_pagerank(opts);
+  else return usage();
+
+  const std::string metrics_out = opts.get("metrics-out");
+  if (!metrics_out.empty()) {
+    if (!obs::write_metrics_file(metrics_out)) rc = rc == 0 ? 1 : rc;
+  } else {
+    obs::maybe_write_metrics_env();
+  }
+  return rc;
 }

@@ -40,6 +40,9 @@
 #include "net/cost_model.hpp"
 #include "net/fabric.hpp"
 #include "net/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
 #include "query/async_khop.hpp"
 #include "query/bfs.hpp"
 #include "query/distributed_khop.hpp"

@@ -11,6 +11,7 @@
 
 #include "engine/partition_context.hpp"
 #include "net/cluster.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace cgraph {
@@ -50,8 +51,10 @@ BspStats run_partition_programs(
   std::atomic<std::uint64_t> superstep_count{0};
 
   cluster.reset_clocks();
+  cluster.reset_telemetry();
   cluster.fabric().reset_counters();
 
+  obs::TraceSpan span("bsp_run");
   WallTimer wall;
   cluster.run([&](MachineContext& mc) {
     PartitionContext<M> ctx(mc, shards[mc.id()], partition);
@@ -95,6 +98,7 @@ BspStats run_partition_programs(
   stats.supersteps = superstep_count.load(std::memory_order_relaxed);
   stats.packets = cluster.fabric().total_packets();
   stats.bytes = cluster.fabric().total_bytes();
+  cluster.publish_metrics(obs::MetricsRegistry::global());
   return stats;
 }
 

@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+
+#include "util/logging.hpp"
 
 #include "util/histogram.hpp"
 #include "util/table.hpp"
@@ -83,14 +86,42 @@ void Reporter::print_histograms(const std::vector<ResponseTimeSeries>& series,
   }
 }
 
+namespace {
+
+/// Keep [A-Za-z0-9._-]; anything else (spaces, slashes, shell metachars
+/// from free-form labels) becomes '_' so the file name stays safe.
+std::string sanitize_component(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
 void Reporter::maybe_write_csv(const ResponseTimeSeries& series,
                                const std::string& experiment) {
   const char* dir = std::getenv("CGRAPH_CSV_DIR");
   if (dir == nullptr) return;
-  const std::string path =
-      std::string(dir) + "/" + experiment + "_" + series.label() + ".csv";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    CGRAPH_LOG_WARN("cannot create CGRAPH_CSV_DIR %s: %s", dir,
+                    ec.message().c_str());
+    return;
+  }
+  const std::string path = std::string(dir) + "/" +
+                           sanitize_component(experiment) + "_" +
+                           sanitize_component(series.label()) + ".csv";
   std::ofstream out(path);
-  if (!out) return;
+  if (!out) {
+    CGRAPH_LOG_WARN("cannot open %s for writing", path.c_str());
+    return;
+  }
   out << "rank,seconds\n";
   const auto sorted = series.sorted();
   for (std::size_t i = 0; i < sorted.size(); ++i) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace cgraph {
 
@@ -17,6 +19,13 @@ void SyncBarrier::arrive_and_wait() {
   } else {
     cv_.wait(lk, [&] { return generation_ != gen; });
   }
+}
+
+double ClusterTelemetry::straggler_ratio() const {
+  if (supersteps.empty()) return 0.0;
+  double sum = 0;
+  for (const SuperstepTelemetry& s : supersteps) sum += s.straggler_ratio;
+  return sum / static_cast<double>(supersteps.size());
 }
 
 MachineContext::MachineContext(Cluster& cluster, PartitionId id)
@@ -57,7 +66,14 @@ void MachineContext::barrier() {
                                     step_bytes_);
   step_packets_ = 0;
   step_bytes_ = 0;
+  WallTimer wait_timer;
   cluster_.barrier_.arrive_and_wait();
+  // Own-slot fields only; the sim-wait field of this slot is written by
+  // the completion callback while every machine is parked in the barrier,
+  // so the accesses never overlap.
+  MachineTelemetry& mt = cluster_.telemetry_.machines[id_];
+  mt.barrier_wait_wall_seconds += wait_timer.seconds();
+  mt.supersteps += 1;
   ++superstep_;
 }
 
@@ -74,26 +90,50 @@ Cluster::Cluster(PartitionId num_machines, CostModel cost_model)
       clocks_(num_machines),
       barrier_(num_machines, [this] {
         // BSP step end: every clock advances to the slowest machine, plus
-        // the global synchronization cost.
+        // the global synchronization cost. Runs on exactly one thread while
+        // the rest are parked, so telemetry writes need no atomics.
         double max_ns = 0;
         for (const SimClock& c : clocks_) max_ns = std::max(max_ns, c.nanos());
+
+        SuperstepTelemetry step;
+        double sum_delta = 0;
+        double max_delta = 0;
+        for (std::size_t i = 0; i < clocks_.size(); ++i) {
+          const double delta =
+              std::max(0.0, clocks_[i].nanos() - step_start_ns_);
+          sum_delta += delta;
+          max_delta = std::max(max_delta, delta);
+          const double wait_ns = max_ns - clocks_[i].nanos();
+          telemetry_.machines[i].barrier_wait_sim_seconds += wait_ns * 1e-9;
+          step.barrier_wait_sim_seconds += wait_ns * 1e-9;
+        }
+        const double mean_delta =
+            sum_delta / static_cast<double>(clocks_.size());
+        step.straggler_ratio = mean_delta > 0 ? max_delta / mean_delta : 1.0;
+        telemetry_.supersteps.push_back(step);
+
         max_ns += cost_model_.ns_per_barrier;
         for (SimClock& c : clocks_) c.advance_to(max_ns);
+        step_start_ns_ = max_ns;
       }) {
   CGRAPH_CHECK(num_machines > 0);
+  telemetry_.machines.resize(num_machines);
 }
 
 void Cluster::run(const std::function<void(MachineContext&)>& body) {
   const PartitionId n = num_machines();
   if (n == 1) {
+    set_thread_machine(0);
     MachineContext ctx(*this, 0);
     body(ctx);
+    set_thread_machine(-1);
     return;
   }
   std::vector<std::thread> threads;
   threads.reserve(n);
   for (PartitionId i = 0; i < n; ++i) {
     threads.emplace_back([this, &body, i] {
+      set_thread_machine(static_cast<int>(i));
       MachineContext ctx(*this, i);
       body(ctx);
     });
@@ -105,6 +145,49 @@ double Cluster::sim_seconds() const {
   double max_ns = 0;
   for (const SimClock& c : clocks_) max_ns = std::max(max_ns, c.nanos());
   return max_ns * 1e-9;
+}
+
+void Cluster::reset_telemetry() {
+  for (auto& m : telemetry_.machines) m = MachineTelemetry{};
+  telemetry_.supersteps.clear();
+}
+
+void Cluster::publish_metrics(obs::MetricsRegistry& reg) const {
+  for (PartitionId i = 0; i < num_machines(); ++i) {
+    const obs::Labels ml{{"machine", std::to_string(i)}};
+    const MachineTelemetry& m = telemetry_.machines[i];
+    reg.counter("cgraph_machine_supersteps_total",
+                "BSP supersteps executed per machine", ml)
+        .inc(static_cast<double>(m.supersteps));
+    reg.counter("cgraph_machine_barrier_wait_sim_seconds_total",
+                "Simulated idle time waiting at barriers per machine", ml)
+        .inc(m.barrier_wait_sim_seconds);
+    reg.counter("cgraph_machine_barrier_wait_wall_seconds_total",
+                "Host wall-clock blocked at barriers per machine", ml)
+        .inc(m.barrier_wait_wall_seconds);
+    const TrafficCounters& t = fabric_.sent_counters(i);
+    reg.counter("cgraph_fabric_staged_packets_total",
+                "BSP (staged) packets sent per machine", ml)
+        .inc(static_cast<double>(
+            t.staged_packets.load(std::memory_order_relaxed)));
+    reg.counter("cgraph_fabric_staged_bytes_total",
+                "BSP (staged) bytes sent per machine", ml)
+        .inc(static_cast<double>(
+            t.staged_bytes.load(std::memory_order_relaxed)));
+    reg.counter("cgraph_fabric_async_packets_total",
+                "Async packets sent per machine", ml)
+        .inc(static_cast<double>(
+            t.async_packets.load(std::memory_order_relaxed)));
+    reg.counter("cgraph_fabric_async_bytes_total",
+                "Async bytes sent per machine", ml)
+        .inc(static_cast<double>(
+            t.async_bytes.load(std::memory_order_relaxed)));
+  }
+  if (!telemetry_.supersteps.empty()) {
+    reg.gauge("cgraph_straggler_ratio",
+              "Mean max/mean machine step time of the latest run")
+        .set(telemetry_.straggler_ratio());
+  }
 }
 
 }  // namespace cgraph

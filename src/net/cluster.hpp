@@ -16,8 +16,36 @@
 
 #include "net/cost_model.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
 
 namespace cgraph {
+
+/// Per-machine telemetry accumulated by MachineContext::barrier().
+/// `barrier_wait_sim_seconds` is the simulated idle time waiting for the
+/// slowest machine (how far the barrier advanced this clock, barrier cost
+/// excluded); `barrier_wait_wall_seconds` is host time blocked in the
+/// barrier primitive.
+struct MachineTelemetry {
+  std::uint64_t supersteps = 0;
+  double barrier_wait_sim_seconds = 0;
+  double barrier_wait_wall_seconds = 0;
+};
+
+/// Per-superstep telemetry recorded by the barrier completion callback.
+struct SuperstepTelemetry {
+  /// Sum over machines of simulated idle time at this barrier.
+  double barrier_wait_sim_seconds = 0;
+  /// Max/mean machine step time (1.0 = balanced; higher = stragglers).
+  double straggler_ratio = 0;
+};
+
+struct ClusterTelemetry {
+  std::vector<MachineTelemetry> machines;
+  std::vector<SuperstepTelemetry> supersteps;
+
+  /// Mean straggler ratio across recorded supersteps (0 if none).
+  [[nodiscard]] double straggler_ratio() const;
+};
 
 /// Reusable N-party barrier with a completion callback executed by exactly
 /// one (the last-arriving) thread while the others wait.
@@ -99,7 +127,20 @@ class Cluster {
 
   void reset_clocks() {
     for (auto& c : clocks_) c.reset();
+    step_start_ns_ = 0;
   }
+
+  /// Barrier/superstep telemetry since the last reset_telemetry(). Safe to
+  /// read once run() has returned.
+  [[nodiscard]] const ClusterTelemetry& telemetry() const {
+    return telemetry_;
+  }
+  void reset_telemetry();
+
+  /// Publish per-machine superstep/barrier/fabric counters and the mean
+  /// straggler ratio into `registry` (cgraph_machine_*, cgraph_fabric_*,
+  /// cgraph_straggler_ratio).
+  void publish_metrics(obs::MetricsRegistry& registry) const;
 
  private:
   friend class MachineContext;
@@ -107,6 +148,11 @@ class Cluster {
   Fabric fabric_;
   CostModel cost_model_;
   std::vector<SimClock> clocks_;
+  // Written by the barrier completion callback (single-threaded) and by
+  // each machine for its own wall/superstep fields; distinct fields, and
+  // reads only happen after run() joins.
+  ClusterTelemetry telemetry_;
+  double step_start_ns_ = 0;  // clock value all machines shared last barrier
   SyncBarrier barrier_;
 };
 

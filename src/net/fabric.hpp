@@ -15,19 +15,36 @@
 
 namespace cgraph {
 
-/// Traffic counters for one machine (sent side). Atomics because helper
-/// threads inside a machine may send concurrently.
+/// Traffic counters for one machine (sent side), split by delivery mode so
+/// telemetry can attribute wire volume to BSP exchanges vs async pushes.
+/// Atomics because helper threads inside a machine may send concurrently.
 struct TrafficCounters {
-  std::atomic<std::uint64_t> packets{0};
-  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<std::uint64_t> staged_packets{0};
+  std::atomic<std::uint64_t> staged_bytes{0};
+  std::atomic<std::uint64_t> async_packets{0};
+  std::atomic<std::uint64_t> async_bytes{0};
 
-  void record(std::size_t payload_bytes) {
-    packets.fetch_add(1, std::memory_order_relaxed);
-    bytes.fetch_add(payload_bytes, std::memory_order_relaxed);
+  void record_staged(std::size_t payload_bytes) {
+    staged_packets.fetch_add(1, std::memory_order_relaxed);
+    staged_bytes.fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+  void record_async(std::size_t payload_bytes) {
+    async_packets.fetch_add(1, std::memory_order_relaxed);
+    async_bytes.fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t packets() const {
+    return staged_packets.load(std::memory_order_relaxed) +
+           async_packets.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes() const {
+    return staged_bytes.load(std::memory_order_relaxed) +
+           async_bytes.load(std::memory_order_relaxed);
   }
   void reset() {
-    packets.store(0, std::memory_order_relaxed);
-    bytes.store(0, std::memory_order_relaxed);
+    staged_packets.store(0, std::memory_order_relaxed);
+    staged_bytes.store(0, std::memory_order_relaxed);
+    async_packets.store(0, std::memory_order_relaxed);
+    async_bytes.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -47,7 +64,7 @@ class Fabric {
   void send_superstep(PartitionId from, PartitionId to, std::uint32_t tag,
                       Packet payload, std::uint64_t superstep) {
     CGRAPH_DCHECK(to < mailboxes_.size());
-    sent_[from]->record(payload.size());
+    sent_[from]->record_staged(payload.size());
     mailboxes_[to]->push_superstep({from, tag, std::move(payload)},
                                    superstep);
   }
@@ -56,7 +73,7 @@ class Fabric {
   void send_now(PartitionId from, PartitionId to, std::uint32_t tag,
                 Packet payload) {
     CGRAPH_DCHECK(to < mailboxes_.size());
-    sent_[from]->record(payload.size());
+    sent_[from]->record_async(payload.size());
     mailboxes_[to]->push_now({from, tag, std::move(payload)});
   }
 
@@ -68,18 +85,19 @@ class Fabric {
   [[nodiscard]] TrafficCounters& sent_counters(PartitionId id) {
     return *sent_[id];
   }
+  [[nodiscard]] const TrafficCounters& sent_counters(PartitionId id) const {
+    return *sent_[id];
+  }
 
   /// Total bytes sent across all machines since construction/reset.
   [[nodiscard]] std::uint64_t total_bytes() const {
     std::uint64_t total = 0;
-    for (const auto& c : sent_)
-      total += c->bytes.load(std::memory_order_relaxed);
+    for (const auto& c : sent_) total += c->bytes();
     return total;
   }
   [[nodiscard]] std::uint64_t total_packets() const {
     std::uint64_t total = 0;
-    for (const auto& c : sent_)
-      total += c->packets.load(std::memory_order_relaxed);
+    for (const auto& c : sent_) total += c->packets();
     return total;
   }
 

@@ -1,0 +1,159 @@
+// Lock-cheap metrics registry (the query engine's runtime telemetry core).
+//
+// Handles (Counter/Gauge/LogHistogram) are created once under a mutex and
+// then bumped with plain relaxed atomics, so instrumented hot paths pay a
+// single atomic add — the GPOP/iPregel-style per-superstep counters the
+// perf experiments need stay effectively free.
+//
+// Exposition: `to_prometheus()` renders the standard Prometheus text
+// format (HELP/TYPE headers, cumulative `_bucket{le=...}` rows, `_sum` /
+// `_count`); `to_json()` renders the same data as one JSON document. Both
+// are snapshots — collection continues concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cgraph::obs {
+
+/// Monotonic-compatible add on an atomic double (usable pre-C++20
+/// fetch_add support and TSan-clean).
+inline void atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+/// Sorted (key, value) label pairs identifying one series in a family.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing value. Double-valued (Prometheus counters are
+/// floats) so second-counters and event-counters share one type; integer
+/// increments stay exact below 2^53.
+class Counter {
+ public:
+  void inc(double delta = 1.0) { atomic_add(v_, delta); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta) { atomic_add(v_, delta); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Bucket layout for LogHistogram: nbins log-spaced upper bounds starting
+/// at `lo` growing by `growth`, plus an implicit +Inf overflow bucket.
+struct HistogramSpec {
+  double lo = 1e-6;      // first bucket upper bound (seconds scale)
+  double growth = 2.0;   // ratio between consecutive bounds
+  std::size_t nbins = 40;
+};
+
+/// Fixed log-scale-bin histogram with atomic buckets. observe() is
+/// wait-free (one relaxed add per bucket plus the sum/count updates).
+class LogHistogram {
+ public:
+  explicit LogHistogram(HistogramSpec spec = {});
+
+  void observe(double x);
+
+  [[nodiscard]] std::size_t nbins() const { return uppers_.size(); }
+  /// Upper bound of finite bucket i.
+  [[nodiscard]] double upper(std::size_t i) const { return uppers_[i]; }
+  /// Non-cumulative count in bucket i (i == nbins() is the +Inf bucket).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+  /// Value at percentile p in (0, 100], interpolated inside the containing
+  /// log bucket. Overflow observations report the last finite bound.
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  std::vector<double> uppers_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // nbins + 1 (+Inf)
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Named families of labeled series. Handle lookup/creation takes a mutex;
+/// returned references stay valid for the registry's lifetime, so callers
+/// cache them and the hot path never locks.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry (intentionally leaked: usable from destructors
+  /// of statics, e.g. the bench-harness at-exit sink).
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name, const std::string& help = "",
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help = "",
+               const Labels& labels = {});
+  LogHistogram& histogram(const std::string& name,
+                          const std::string& help = "",
+                          const Labels& labels = {},
+                          HistogramSpec spec = {});
+
+  /// Prometheus text exposition format (one snapshot).
+  [[nodiscard]] std::string to_prometheus() const;
+  /// The same snapshot as a JSON document.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Drop every family (tests / between benchmark repetitions). Invalidates
+  /// previously returned handles.
+  void clear();
+
+ private:
+  struct Child {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LogHistogram> histogram;
+  };
+  struct Family {
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    std::vector<Child> children;
+  };
+
+  Child& child(const std::string& name, const std::string& help,
+               MetricType type, const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace cgraph::obs

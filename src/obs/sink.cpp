@@ -1,0 +1,35 @@
+#include "obs/sink.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "util/logging.hpp"
+
+namespace cgraph::obs {
+
+bool write_metrics_file(const std::string& path, MetricsRegistry& registry) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out) {
+    CGRAPH_LOG_WARN("metrics sink: cannot write %s", path.c_str());
+    return false;
+  }
+  const bool json = p.extension() == ".json";
+  out << (json ? registry.to_json() : registry.to_prometheus());
+  CGRAPH_LOG_INFO("metrics sink: wrote %s (%s)", path.c_str(),
+                  json ? "json" : "prometheus");
+  return out.good();
+}
+
+bool maybe_write_metrics_env(MetricsRegistry& registry) {
+  const char* path = std::getenv("CGRAPH_METRICS");
+  if (path == nullptr || path[0] == '\0') return false;
+  return write_metrics_file(path, registry);
+}
+
+}  // namespace cgraph::obs

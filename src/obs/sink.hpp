@@ -1,0 +1,24 @@
+// Metrics exposition sink: dump a registry snapshot to a file, either on
+// demand (`--metrics-out` in cgraph_tool) or from the CGRAPH_METRICS
+// environment variable (every bench harness writes one at exit). A path
+// ending in ".json" gets the JSON document; anything else gets Prometheus
+// text format, so `CGRAPH_METRICS=run.prom bench/fig12_querycount` leaves
+// a scrape-able telemetry file next to the figure output.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace cgraph::obs {
+
+/// Write `registry` to `path` (parent directories are created). Returns
+/// false (and logs a warning) if the file cannot be written.
+bool write_metrics_file(const std::string& path,
+                        MetricsRegistry& registry = MetricsRegistry::global());
+
+/// Write to $CGRAPH_METRICS if set; returns whether a file was written.
+bool maybe_write_metrics_env(
+    MetricsRegistry& registry = MetricsRegistry::global());
+
+}  // namespace cgraph::obs

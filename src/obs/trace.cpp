@@ -1,0 +1,149 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+namespace cgraph::obs {
+
+void TraceSpan::finish() {
+  if (finished_ || registry_ == nullptr) return;
+  finished_ = true;
+  registry_
+      ->histogram("cgraph_span_seconds",
+                  "Wall-clock duration of named trace spans",
+                  {{"span", name_}})
+      .observe(timer_.seconds());
+}
+
+std::uint64_t BatchTrace::edges_scanned() const {
+  std::uint64_t total = 0;
+  for (const LevelTrace& l : levels) total += l.edges_scanned;
+  return total;
+}
+
+std::uint64_t BatchTrace::bit_ops() const {
+  std::uint64_t total = 0;
+  for (const LevelTrace& l : levels) total += l.bit_ops;
+  return total;
+}
+
+std::uint64_t RunTelemetry::total_edges_scanned() const {
+  std::uint64_t total = 0;
+  for (const BatchTrace& b : batches) total += b.edges_scanned();
+  return total;
+}
+
+void RunTelemetry::publish(MetricsRegistry& reg) const {
+  reg.counter("cgraph_queries_total", "Queries answered by the scheduler")
+      .inc(static_cast<double>(queries.size()));
+  reg.counter("cgraph_query_batches_total",
+              "Bit-parallel batches executed by the scheduler")
+      .inc(static_cast<double>(batches.size()));
+  reg.counter("cgraph_query_edges_scanned_total",
+              "Edges scanned by concurrent-query traversals")
+      .inc(static_cast<double>(total_edges_scanned()));
+
+  std::uint64_t bitops = 0;
+  for (const BatchTrace& b : batches) bitops += b.bit_ops();
+  reg.counter("cgraph_query_bit_ops_total",
+              "Bitmap words processed by concurrent-query traversals")
+      .inc(static_cast<double>(bitops));
+
+  LogHistogram& response =
+      reg.histogram("cgraph_query_response_seconds",
+                    "Per-query simulated response time (wait + execute)");
+  LogHistogram& wait = reg.histogram(
+      "cgraph_query_wait_seconds", "Per-query simulated queue wait");
+  for (const QueryTrace& q : queries) {
+    response.observe(q.wait_sim_seconds + q.execute_sim_seconds);
+    wait.observe(q.wait_sim_seconds);
+  }
+
+  LogHistogram& exec =
+      reg.histogram("cgraph_batch_execute_sim_seconds",
+                    "Per-batch simulated makespan");
+  double straggler_sum = 0;
+  std::size_t straggler_n = 0;
+  for (const BatchTrace& b : batches) {
+    exec.observe(b.execute_sim_seconds);
+    if (b.straggler_ratio > 0) {
+      straggler_sum += b.straggler_ratio;
+      ++straggler_n;
+    }
+
+    for (const LevelTrace& l : b.levels) {
+      const Labels lv{{"level", std::to_string(l.level)}};
+      reg.counter("cgraph_superstep_edges_total",
+                  "Edges scanned per traversal level", lv)
+          .inc(static_cast<double>(l.edges_scanned));
+      reg.counter("cgraph_superstep_frontier_vertices_total",
+                  "Frontier entries expanded per traversal level", lv)
+          .inc(static_cast<double>(l.frontier_vertices));
+      reg.counter("cgraph_superstep_bit_ops_total",
+                  "Bitmap words processed per traversal level", lv)
+          .inc(static_cast<double>(l.bit_ops));
+      reg.counter("cgraph_superstep_barrier_wait_seconds_total",
+                  "Simulated barrier idle time per traversal level "
+                  "(summed over machines)",
+                  lv)
+          .inc(l.barrier_wait_sim_seconds);
+    }
+
+    for (const MachineTrace& m : b.machines) {
+      const Labels ml{{"machine", std::to_string(m.machine)}};
+      reg.counter("cgraph_machine_supersteps_total",
+                  "BSP supersteps executed per machine", ml)
+          .inc(static_cast<double>(m.supersteps));
+      reg.counter("cgraph_machine_barrier_wait_sim_seconds_total",
+                  "Simulated idle time waiting at barriers per machine", ml)
+          .inc(m.barrier_wait_sim_seconds);
+      reg.counter("cgraph_machine_barrier_wait_wall_seconds_total",
+                  "Host wall-clock blocked at barriers per machine", ml)
+          .inc(m.barrier_wait_wall_seconds);
+      reg.counter("cgraph_fabric_staged_packets_total",
+                  "BSP (staged) packets sent per machine", ml)
+          .inc(static_cast<double>(m.staged_packets));
+      reg.counter("cgraph_fabric_staged_bytes_total",
+                  "BSP (staged) bytes sent per machine", ml)
+          .inc(static_cast<double>(m.staged_bytes));
+      reg.counter("cgraph_fabric_async_packets_total",
+                  "Async packets sent per machine", ml)
+          .inc(static_cast<double>(m.async_packets));
+      reg.counter("cgraph_fabric_async_bytes_total",
+                  "Async bytes sent per machine", ml)
+          .inc(static_cast<double>(m.async_bytes));
+    }
+  }
+  if (straggler_n > 0) {
+    reg.gauge("cgraph_straggler_ratio",
+              "Mean max/mean machine step time of the latest run")
+        .set(straggler_sum / static_cast<double>(straggler_n));
+  }
+}
+
+std::string RunTelemetry::summary() const {
+  std::string out;
+  char buf[192];
+  for (const BatchTrace& b : batches) {
+    std::snprintf(buf, sizeof buf,
+                  "batch %zu: width=%zu wait=%.6fs exec=%.6fs "
+                  "edges=%llu straggler=%.2f\n",
+                  b.index, b.width, b.wait_sim_seconds, b.execute_sim_seconds,
+                  static_cast<unsigned long long>(b.edges_scanned()),
+                  b.straggler_ratio);
+    out += buf;
+    for (const LevelTrace& l : b.levels) {
+      std::snprintf(buf, sizeof buf,
+                    "  level %u: frontier=%llu edges=%llu bitops=%llu "
+                    "barrier_wait=%.6fs\n",
+                    l.level,
+                    static_cast<unsigned long long>(l.frontier_vertices),
+                    static_cast<unsigned long long>(l.edges_scanned),
+                    static_cast<unsigned long long>(l.bit_ops),
+                    l.barrier_wait_sim_seconds);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace cgraph::obs

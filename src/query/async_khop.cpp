@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "net/serialize.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 
@@ -53,7 +54,9 @@ MsBfsBatchResult run_async_khop(Cluster& cluster,
   std::atomic<std::uint64_t> state_bytes_total{0};
 
   cluster.reset_clocks();
+  cluster.reset_telemetry();
   cluster.fabric().reset_counters();
+  obs::TraceSpan span("run_async_khop");
   WallTimer wall;
 
   cluster.run([&](MachineContext& mc) {

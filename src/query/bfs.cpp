@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -10,15 +11,22 @@ namespace cgraph {
 std::vector<Depth> bfs_levels(const Graph& graph, VertexId src,
                               Depth max_depth) {
   CGRAPH_CHECK(src < graph.num_vertices());
+  // Handles resolved once; inc() on the hot path is a relaxed atomic add.
+  static obs::Counter& runs_total = obs::MetricsRegistry::global().counter(
+      "cgraph_serial_bfs_runs_total", "Serial BFS traversals executed");
+  static obs::Counter& edges_total = obs::MetricsRegistry::global().counter(
+      "cgraph_serial_bfs_edges_total", "Edges relaxed by serial BFS");
   std::vector<Depth> depth(graph.num_vertices(), kUnvisitedDepth);
   std::vector<VertexId> frontier{src};
   std::vector<VertexId> next;
   depth[src] = 0;
   Depth level = 0;
+  std::uint64_t edges = 0;
   while (!frontier.empty() && level < max_depth) {
     next.clear();
     for (VertexId v : frontier) {
       for (VertexId t : graph.out_neighbors(v)) {
+        ++edges;
         if (depth[t] == kUnvisitedDepth) {
           depth[t] = static_cast<Depth>(level + 1);
           next.push_back(t);
@@ -28,6 +36,8 @@ std::vector<Depth> bfs_levels(const Graph& graph, VertexId src,
     frontier.swap(next);
     ++level;
   }
+  runs_total.inc();
+  edges_total.inc(static_cast<double>(edges));
   return depth;
 }
 

@@ -49,7 +49,19 @@ MsBfsBatchResult run_distributed_khop(
   std::atomic<std::uint64_t> edges_total{0};
   std::atomic<std::uint64_t> state_bytes_total{0};
 
+  // Per-level telemetry planes (frontier = queued tasks, bit_ops = visited
+  // bitmap test-and-set operations).
+  std::vector<std::atomic<std::uint64_t>> lvl_frontier(kMaxLevels);
+  std::vector<std::atomic<std::uint64_t>> lvl_edges(kMaxLevels);
+  std::vector<std::atomic<std::uint64_t>> lvl_bitops(kMaxLevels);
+  for (std::size_t i = 0; i < kMaxLevels; ++i) {
+    lvl_frontier[i].store(0, std::memory_order_relaxed);
+    lvl_edges[i].store(0, std::memory_order_relaxed);
+    lvl_bitops[i].store(0, std::memory_order_relaxed);
+  }
+
   cluster.reset_clocks();
+  cluster.reset_telemetry();
   cluster.fabric().reset_counters();
   WallTimer wall;
 
@@ -84,12 +96,16 @@ MsBfsBatchResult run_distributed_khop(
     for (Depth level = 0; done_count < Q; ++level) {
       // --- Expand every active query's local frontier (Listing 2 body).
       std::uint64_t level_edges = 0;
+      std::uint64_t level_tasks = 0;
+      std::uint64_t level_tnset = 0;
       for (std::size_t q = 0; q < Q; ++q) {
         if (batch[q].k <= level) continue;  // s.hops == k: stop expanding
+        level_tasks += frontier[q].size();
         for (VertexId s : frontier[q]) {
           shard.out_sets().for_each_neighbor(s, [&](VertexId t) {
             ++level_edges;
             if (range.contains(t)) {
+              ++level_tnset;
               if (visited[q].atomic_test_and_set(t - range.begin)) {
                 next[q].push_back(t);  // Q.push(t)
               }
@@ -119,12 +135,19 @@ MsBfsBatchResult run_distributed_khop(
         PacketReader pr(env.payload);
         for (const VisitTask& task : pr.read_vector<VisitTask>()) {
           CGRAPH_DCHECK(range.contains(task.target));
+          ++level_tnset;
           if (visited[task.query].atomic_test_and_set(task.target -
                                                       range.begin)) {
             next[task.query].push_back(task.target);
           }
         }
       }
+      lvl_frontier[static_cast<std::size_t>(level)].fetch_add(
+          level_tasks, std::memory_order_relaxed);
+      lvl_edges[static_cast<std::size_t>(level)].fetch_add(
+          level_edges, std::memory_order_relaxed);
+      lvl_bitops[static_cast<std::size_t>(level)].fetch_add(
+          level_tnset, std::memory_order_relaxed);
 
       // --- Publish activity, advance queues.
       {
@@ -185,6 +208,21 @@ MsBfsBatchResult run_distributed_khop(
   result.sim_seconds = cluster.sim_seconds();
   result.edges_scanned = edges_total.load(std::memory_order_relaxed);
   result.frontier_bytes = state_bytes_total.load(std::memory_order_relaxed);
+
+  // Each traversal level runs two barriers (task exchange + level close), so
+  // level l pairs with superstep telemetry records 2l and 2l+1.
+  const auto& steps = cluster.telemetry().supersteps;
+  for (std::size_t l = 0; l < result.total_levels; ++l) {
+    obs::LevelTrace lt;
+    lt.level = static_cast<std::uint32_t>(l);
+    lt.frontier_vertices = lvl_frontier[l].load(std::memory_order_relaxed);
+    lt.edges_scanned = lvl_edges[l].load(std::memory_order_relaxed);
+    lt.bit_ops = lvl_bitops[l].load(std::memory_order_relaxed);
+    for (std::size_t s = 2 * l; s < 2 * l + 2 && s < steps.size(); ++s) {
+      lt.barrier_wait_sim_seconds += steps[s].barrier_wait_sim_seconds;
+    }
+    result.level_trace.push_back(lt);
+  }
   return result;
 }
 

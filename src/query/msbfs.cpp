@@ -117,14 +117,20 @@ MsBfsBatchResult msbfs_batch_core(const Graph& graph,
     const WordRow expand = expand_mask_for_level(batch.ks, level);
 
     // Scan: advance every still-expanding query through v's out-edges.
+    obs::LevelTrace lt;
+    lt.level = level;
     WordRow masked;
+    std::uint64_t discovers = 0;
     for (VertexId v = 0; v < n; ++v) {
       const Word* row = bf.frontier().row(v);
       if (!row_masked_any(row, expand, W, masked)) continue;
+      ++lt.frontier_vertices;
       const auto nbrs = graph.out_neighbors(v);
       for (VertexId t : nbrs) {
         bf.discover(t, masked.data());
       }
+      discovers += nbrs.size();
+      lt.edges_scanned += nbrs.size();
       result.edges_scanned += nbrs.size();
     }
 
@@ -134,6 +140,11 @@ MsBfsBatchResult msbfs_batch_core(const Graph& graph,
       const Word* row = bf.next().row(v);
       for (std::size_t w = 0; w < W; ++w) nonempty[w] |= row[w];
     }
+
+    // Bitmap words touched: frontier scan + occupancy scan of every row,
+    // plus the three word-ops per discovered neighbor row (Fig. 6 update).
+    lt.bit_ops = 2 * static_cast<std::uint64_t>(n) * W + discovers * 3 * W;
+    result.level_trace.push_back(lt);
 
     bf.advance();
     result.total_levels = static_cast<Depth>(level + 1);
@@ -200,7 +211,18 @@ MsBfsBatchResult run_distributed_msbfs_core(
   std::atomic<std::uint64_t> edges_total{0};
   std::atomic<std::uint64_t> frontier_bytes_total{0};
 
+  // Per-level telemetry planes (same indexing as nonempty_planes).
+  std::vector<std::atomic<std::uint64_t>> lvl_frontier(kMaxLevels);
+  std::vector<std::atomic<std::uint64_t>> lvl_edges(kMaxLevels);
+  std::vector<std::atomic<std::uint64_t>> lvl_bitops(kMaxLevels);
+  for (std::size_t i = 0; i < kMaxLevels; ++i) {
+    lvl_frontier[i].store(0, std::memory_order_relaxed);
+    lvl_edges[i].store(0, std::memory_order_relaxed);
+    lvl_bitops[i].store(0, std::memory_order_relaxed);
+  }
+
   cluster.reset_clocks();
+  cluster.reset_telemetry();
   cluster.fabric().reset_counters();
   WallTimer wall;
 
@@ -237,15 +259,27 @@ MsBfsBatchResult run_distributed_msbfs_core(
     for (Depth level = 0; done_count < Q; ++level) {
       const WordRow expand = expand_mask_for_level(batch.ks, level);
 
-      // --- Local edge-set scan.
+      // --- Telemetry: local frontier occupancy entering this level.
       WordRow masked;
+      std::uint64_t level_frontier = 0;
+      for (VertexId v = 0; v < nlocal; ++v) {
+        if (row_masked_any(bf.frontier().row(v), expand, W, masked)) {
+          ++level_frontier;
+        }
+      }
+      lvl_frontier[level].fetch_add(level_frontier,
+                                    std::memory_order_relaxed);
+
+      // --- Local edge-set scan.
       std::uint64_t level_edges = 0;
+      std::uint64_t level_rows = 0;
       const EdgeSetGrid& grid = shard.out_sets();
       for (std::size_t r = 0; r < grid.num_rows(); ++r) {
         const VertexRange rr = grid.row_range(r);
         for (const EdgeSet& es : grid.row_sets(r)) {
           for (VertexId v = rr.begin; v < rr.end; ++v) {
             const Word* row = bf.frontier().row(v - range.begin);
+            ++level_rows;
             if (!row_masked_any(row, expand, W, masked)) continue;
             const auto nbrs = es.neighbors(v);
             level_edges += nbrs.size();
@@ -263,6 +297,15 @@ MsBfsBatchResult run_distributed_msbfs_core(
         }
       }
       my_edges += level_edges;
+      lvl_edges[level].fetch_add(level_edges, std::memory_order_relaxed);
+      // Bitmap words touched this level: occupancy pre-scan + per-row
+      // frontier masks + three word-ops per discovered neighbor row, plus
+      // the occupancy publish scan below.
+      lvl_bitops[level].fetch_add(
+          (static_cast<std::uint64_t>(nlocal) * 2 + level_rows +
+           level_edges * 3) *
+              W,
+          std::memory_order_relaxed);
       mc.charge_compute(level_edges, /*vertices=*/0);
 
       // --- Ship combined remote discoveries, grouped by owner.
@@ -377,6 +420,23 @@ MsBfsBatchResult run_distributed_msbfs_core(
   result.edges_scanned = edges_total.load(std::memory_order_relaxed);
   result.frontier_bytes =
       frontier_bytes_total.load(std::memory_order_relaxed);
+
+  // Assemble the per-level trace; each level closed with two barriers
+  // (exchange + level close), so its barrier wait is the sum of the
+  // matching pair of superstep telemetry records.
+  const auto& steps = cluster.telemetry().supersteps;
+  result.level_trace.reserve(result.total_levels);
+  for (std::size_t l = 0; l < result.total_levels; ++l) {
+    obs::LevelTrace lt;
+    lt.level = static_cast<std::uint32_t>(l);
+    lt.frontier_vertices = lvl_frontier[l].load(std::memory_order_relaxed);
+    lt.edges_scanned = lvl_edges[l].load(std::memory_order_relaxed);
+    lt.bit_ops = lvl_bitops[l].load(std::memory_order_relaxed);
+    for (std::size_t s = 2 * l; s < 2 * l + 2 && s < steps.size(); ++s) {
+      lt.barrier_wait_sim_seconds += steps[s].barrier_wait_sim_seconds;
+    }
+    result.level_trace.push_back(lt);
+  }
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include "graph/partition.hpp"
 #include "graph/shard.hpp"
 #include "net/cluster.hpp"
+#include "obs/trace.hpp"
 #include "query/query.hpp"
 
 namespace cgraph {
@@ -38,6 +39,11 @@ struct MsBfsBatchResult {
   double sim_seconds = 0;
   std::uint64_t edges_scanned = 0;
   std::uint64_t frontier_bytes = 0;  // peak bitmap memory
+
+  /// Per-level cost breakdown (frontier size, edges, bitmap word ops,
+  /// barrier waits), one entry per traversal level. Empty for engines
+  /// without level structure (async).
+  std::vector<obs::LevelTrace> level_trace;
 };
 
 /// Single-machine bit-parallel batch over the global CSR. Batch size must

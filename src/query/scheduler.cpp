@@ -1,6 +1,7 @@
 #include "query/scheduler.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "query/distributed_khop.hpp"
 #include "query/msbfs.hpp"
@@ -17,6 +18,10 @@ ConcurrentRunResult run_concurrent_queries(
   CGRAPH_CHECK(!queries.empty());
   CGRAPH_CHECK(opts.batch_width > 0 &&
                opts.batch_width <= QueryBitRows::kMaxBatchWords * kWordBits);
+
+  obs::MetricsRegistry& registry =
+      opts.metrics != nullptr ? *opts.metrics : obs::MetricsRegistry::global();
+  obs::TraceSpan run_span("run_concurrent_queries", &registry);
 
   ConcurrentRunResult run;
   run.queries.resize(queries.size());
@@ -50,10 +55,17 @@ ConcurrentRunResult run_concurrent_queries(
     const std::span<const KHopQuery> batch =
         exec_queries.subspan(begin, end - begin);
 
+    obs::BatchTrace bt;
+    bt.index = run.batches;
+    bt.width = batch.size();
+    bt.wait_sim_seconds = wait_sim;
+
+    obs::TraceSpan batch_span("batch_execute", &registry);
     MsBfsBatchResult br =
         opts.use_bit_parallel
             ? run_distributed_msbfs(cluster, shards, partition, batch)
             : run_distributed_khop(cluster, shards, partition, batch);
+    batch_span.finish();
     ++run.batches;
     run.total_edges_scanned += br.edges_scanned;
 
@@ -84,13 +96,49 @@ ConcurrentRunResult run_concurrent_queries(
       qr.wall_seconds =
           wait_wall + br.completion_wall_seconds[i] * slowdown;
       qr.sim_seconds = wait_sim + br.completion_sim_seconds[i] * slowdown;
+
+      obs::QueryTrace qt;
+      qt.id = batch[i].id;
+      qt.batch_index = bt.index;
+      qt.levels = br.levels[i];
+      qt.visited = br.visited[i];
+      qt.wait_sim_seconds = wait_sim;
+      qt.execute_sim_seconds = br.completion_sim_seconds[i] * slowdown;
+      run.telemetry.queries.push_back(qt);
     }
     wait_wall += br.wall_seconds * slowdown;
     wait_sim += br.sim_seconds * slowdown;
+
+    // Snapshot cluster + fabric state for this batch (every engine resets
+    // both at run start, so the counters are batch-scoped).
+    bt.execute_sim_seconds = br.sim_seconds * slowdown;
+    bt.execute_wall_seconds = br.wall_seconds;
+    bt.straggler_ratio = cluster.telemetry().straggler_ratio();
+    bt.levels = br.level_trace;
+    const ClusterTelemetry& ct = cluster.telemetry();
+    for (PartitionId m = 0; m < cluster.num_machines(); ++m) {
+      obs::MachineTrace mt;
+      mt.machine = m;
+      if (m < ct.machines.size()) {
+        mt.supersteps = ct.machines[m].supersteps;
+        mt.barrier_wait_sim_seconds = ct.machines[m].barrier_wait_sim_seconds;
+        mt.barrier_wait_wall_seconds =
+            ct.machines[m].barrier_wait_wall_seconds;
+      }
+      const TrafficCounters& tc = cluster.fabric().sent_counters(m);
+      mt.staged_packets = tc.staged_packets.load(std::memory_order_relaxed);
+      mt.staged_bytes = tc.staged_bytes.load(std::memory_order_relaxed);
+      mt.async_packets = tc.async_packets.load(std::memory_order_relaxed);
+      mt.async_bytes = tc.async_bytes.load(std::memory_order_relaxed);
+      bt.machines.push_back(mt);
+    }
+    run.telemetry.batches.push_back(std::move(bt));
   }
 
   run.total_wall_seconds = wait_wall;
   run.total_sim_seconds = wait_sim;
+  run_span.finish();
+  run.telemetry.publish(registry);
   return run;
 }
 

@@ -22,6 +22,7 @@
 #include "graph/partition.hpp"
 #include "graph/shard.hpp"
 #include "net/cluster.hpp"
+#include "obs/trace.hpp"
 #include "query/query.hpp"
 
 namespace cgraph {
@@ -53,6 +54,9 @@ struct SchedulerOptions {
   /// Root-degree lookup for kDegreeSorted (e.g. [&](VertexId v) { return
   /// graph.out_degree(v); }). Policy falls back to FIFO when unset.
   std::function<EdgeIndex(VertexId)> degree_of;
+  /// Registry receiving this run's spans and counters; nullptr uses the
+  /// process-global registry (tests pass a private one).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ConcurrentRunResult {
@@ -62,6 +66,9 @@ struct ConcurrentRunResult {
   std::uint64_t total_edges_scanned = 0;
   std::uint64_t peak_memory_bytes = 0;
   std::size_t batches = 0;
+  /// Structured trace of the run (per batch, level, machine, query);
+  /// already published into the configured metrics registry.
+  obs::RunTelemetry telemetry;
 };
 
 /// Execute all queries "simultaneously submitted" against the sharded

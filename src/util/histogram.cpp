@@ -41,6 +41,35 @@ double Histogram::cumulative_percent(std::size_t i) const {
   return 100.0 * static_cast<double>(cum) / static_cast<double>(total_);
 }
 
+void Histogram::merge(const Histogram& other) {
+  CGRAPH_CHECK_MSG(lo_ == other.lo_ && hi_ == other.hi_ &&
+                       counts_.size() == other.counts_.size(),
+                   "histogram merge requires identical bin geometry");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+double Histogram::percentile(double p) const {
+  if (total_ == 0) return lo_;
+  CGRAPH_CHECK(p > 0.0 && p <= 100.0);
+  const double rank = p / 100.0 * static_cast<double>(total_);
+  std::size_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t prev = cum;
+    cum += counts_[i];
+    if (static_cast<double>(cum) < rank) continue;
+    if (i == nbins()) return hi_;  // overflow bin: upper edge unknown
+    const double lower = lo_ + width_ * static_cast<double>(i);
+    if (counts_[i] == 0) return lower;
+    const double frac =
+        (rank - static_cast<double>(prev)) / static_cast<double>(counts_[i]);
+    return lower + width_ * frac;
+  }
+  return hi_;
+}
+
 std::string Histogram::to_string(const std::string& unit) const {
   std::string out;
   char buf[128];

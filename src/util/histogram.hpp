@@ -30,6 +30,15 @@ class Histogram {
   /// Render rows "<=X.Xs  NN%  cum MM%" suitable for figure output.
   [[nodiscard]] std::string to_string(const std::string& unit = "s") const;
 
+  /// Fold another histogram with identical bin geometry into this one
+  /// (used to combine per-shard / per-batch histograms before reporting).
+  void merge(const Histogram& other);
+
+  /// Value at percentile p in (0, 100], reconstructed from the bins by
+  /// linear interpolation inside the containing bin. Values in the
+  /// overflow bin report hi; an empty histogram reports lo.
+  [[nodiscard]] double percentile(double p) const;
+
  private:
   double lo_, hi_, width_;
   std::vector<std::size_t> counts_;  // nbins + 1 (overflow)

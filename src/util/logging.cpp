@@ -1,16 +1,19 @@
 #include "util/logging.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+#include <ctime>
 
 namespace cgraph {
 namespace {
 
 std::atomic<int> g_level{-1};  // -1 = not yet initialized
-std::mutex g_io_mu;
+thread_local int g_machine = -1;
 
 LogLevel init_from_env() {
   const char* env = std::getenv("CGRAPH_LOG");
@@ -46,15 +49,44 @@ void set_log_level(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+void set_thread_machine(int machine_id) { g_machine = machine_id; }
+
 void log(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::lock_guard<std::mutex> lk(g_io_mu);
-  std::fprintf(stderr, "[cgraph %s] ", level_name(level));
+
+  // Format the entire line locally and emit it with one write(2): worker
+  // threads logging concurrently produce whole, ordered-enough lines
+  // instead of interleaved fragments.
+  char buf[1024];
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm{};
+  gmtime_r(&ts.tv_sec, &tm);
+  int n;
+  if (g_machine >= 0) {
+    n = std::snprintf(buf, sizeof buf, "[cgraph %02d:%02d:%02d.%03ld m%d %s] ",
+                      tm.tm_hour, tm.tm_min, tm.tm_sec, ts.tv_nsec / 1000000,
+                      g_machine, level_name(level));
+  } else {
+    n = std::snprintf(buf, sizeof buf, "[cgraph %02d:%02d:%02d.%03ld %s] ",
+                      tm.tm_hour, tm.tm_min, tm.tm_sec, ts.tv_nsec / 1000000,
+                      level_name(level));
+  }
+  if (n < 0) return;
+  auto len = static_cast<std::size_t>(n);
+
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  const int m = std::vsnprintf(buf + len, sizeof buf - len - 1, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (m > 0) {
+    len = std::min(len + static_cast<std::size_t>(m), sizeof buf - 1);
+  }
+  buf[len++] = '\n';
+
+  // One write per line; partial writes are not retried (stderr is either a
+  // terminal or a pipe, where lines this short land atomically).
+  [[maybe_unused]] const ssize_t written = ::write(2, buf, len);
 }
 
 }  // namespace cgraph

@@ -1,5 +1,9 @@
 // Leveled logging to stderr. Benchmarks default to WARN so figure output on
 // stdout stays clean; set CGRAPH_LOG=debug|info|warn|error to override.
+//
+// Thread-safe: each line is formatted into a local buffer (timestamp +
+// machine-id prefix) and emitted with a single write(2), so concurrent
+// Cluster::run worker threads never interleave mid-line.
 #pragma once
 
 #include <cstdarg>
@@ -11,6 +15,10 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Process-wide minimum level; initialized from $CGRAPH_LOG on first use.
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/// Tag this thread's log lines with a simulated-machine id (Cluster::run
+/// sets it for each worker; -1 clears the tag).
+void set_thread_machine(int machine_id);
 
 /// printf-style logging; drops messages below the configured level.
 void log(LogLevel level, const char* fmt, ...)

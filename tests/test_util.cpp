@@ -158,6 +158,51 @@ TEST(Histogram, NegativeValuesClampToFirstBin) {
   EXPECT_EQ(h.count(0), 1u);
 }
 
+TEST(Histogram, MergeSumsIdenticalGeometry) {
+  Histogram a(0.0, 2.0, 10);
+  Histogram b(0.0, 2.0, 10);
+  a.add(0.05);
+  a.add(5.0);  // overflow
+  b.add(0.05);
+  b.add(1.99);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.count(0), 2u);
+  EXPECT_EQ(a.count(9), 1u);
+  EXPECT_EQ(a.count(10), 1u);
+  EXPECT_EQ(b.total(), 2u);  // source untouched
+}
+
+TEST(Histogram, PercentileInterpolatesWithinBin) {
+  Histogram h(0.0, 10.0, 10);
+  // 100 samples uniform over [0, 10): percentile ~= value.
+  for (int i = 0; i < 100; ++i) h.add(i * 0.1);
+  EXPECT_NEAR(h.percentile(50), 5.0, 0.2);
+  EXPECT_NEAR(h.percentile(90), 9.0, 0.2);
+  EXPECT_NEAR(h.percentile(100), 10.0, 0.2);
+
+  Histogram empty(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);  // lo for empty
+
+  Histogram over(0.0, 1.0, 4);
+  over.add(9.0);
+  EXPECT_DOUBLE_EQ(over.percentile(50), 1.0);  // overflow reports hi
+}
+
+TEST(Histogram, PercentileMonotone) {
+  Histogram h(0.0, 4.0, 8);
+  h.add(0.3);
+  h.add(1.1);
+  h.add(1.2);
+  h.add(3.7);
+  double prev = 0.0;
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 100.0}) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
 TEST(AsciiTable, RendersAlignedRows) {
   AsciiTable t({"name", "value"});
   t.add_row({"alpha", "1"});
