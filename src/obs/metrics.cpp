@@ -147,7 +147,8 @@ MetricsRegistry& MetricsRegistry::global() {
 MetricsRegistry::Child& MetricsRegistry::child(const std::string& name,
                                                const std::string& help,
                                                MetricType type,
-                                               const Labels& labels) {
+                                               const Labels& labels,
+                                               const HistogramSpec& spec) {
   const Labels key = sorted_labels(labels);
   std::lock_guard<std::mutex> lk(mu_);
   auto [it, inserted] = families_.try_emplace(name);
@@ -159,35 +160,38 @@ MetricsRegistry::Child& MetricsRegistry::child(const std::string& name,
     CGRAPH_CHECK_MSG(fam.type == type,
                      "metric family re-registered with a different type");
   }
-  for (Child& c : fam.children) {
-    if (c.labels == key) return c;
+  for (const auto& c : fam.children) {
+    if (c->labels == key) return *c;
   }
-  fam.children.push_back(Child{key, nullptr, nullptr, nullptr});
-  return fam.children.back();
+  auto c = std::make_unique<Child>();
+  c->labels = key;
+  switch (type) {
+    case MetricType::kCounter: c->counter = std::make_unique<Counter>(); break;
+    case MetricType::kGauge: c->gauge = std::make_unique<Gauge>(); break;
+    case MetricType::kHistogram:
+      c->histogram = std::make_unique<LogHistogram>(spec);
+      break;
+  }
+  fam.children.push_back(std::move(c));
+  return *fam.children.back();
 }
 
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help,
                                   const Labels& labels) {
-  Child& c = child(name, help, MetricType::kCounter, labels);
-  if (!c.counter) c.counter = std::make_unique<Counter>();
-  return *c.counter;
+  return *child(name, help, MetricType::kCounter, labels, {}).counter;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name,
                               const std::string& help, const Labels& labels) {
-  Child& c = child(name, help, MetricType::kGauge, labels);
-  if (!c.gauge) c.gauge = std::make_unique<Gauge>();
-  return *c.gauge;
+  return *child(name, help, MetricType::kGauge, labels, {}).gauge;
 }
 
 LogHistogram& MetricsRegistry::histogram(const std::string& name,
                                          const std::string& help,
                                          const Labels& labels,
                                          HistogramSpec spec) {
-  Child& c = child(name, help, MetricType::kHistogram, labels);
-  if (!c.histogram) c.histogram = std::make_unique<LogHistogram>(spec);
-  return *c.histogram;
+  return *child(name, help, MetricType::kHistogram, labels, spec).histogram;
 }
 
 std::string MetricsRegistry::to_prometheus() const {
@@ -198,7 +202,8 @@ std::string MetricsRegistry::to_prometheus() const {
       out += "# HELP " + name + " " + fam.help + "\n";
     }
     out += "# TYPE " + name + " " + type_name(fam.type) + "\n";
-    for (const Child& c : fam.children) {
+    for (const auto& cp : fam.children) {
+      const Child& c = *cp;
       switch (fam.type) {
         case MetricType::kCounter:
           out += name + label_block(c.labels) + " " +
@@ -218,12 +223,16 @@ std::string MetricsRegistry::to_prometheus() const {
                                              "\"") +
                    " " + std::to_string(cum) + "\n";
           }
+          // +Inf and _count derive from the same bucket pass rather than
+          // h.count(): a concurrent observe() between the reads would
+          // otherwise yield a non-monotonic bucket series.
+          cum += h.bucket_count(h.nbins());
           out += name + "_bucket" + label_block(c.labels, "le=\"+Inf\"") +
-                 " " + std::to_string(h.count()) + "\n";
+                 " " + std::to_string(cum) + "\n";
           out += name + "_sum" + label_block(c.labels) + " " +
                  format_value(h.sum()) + "\n";
           out += name + "_count" + label_block(c.labels) + " " +
-                 std::to_string(h.count()) + "\n";
+                 std::to_string(cum) + "\n";
           break;
         }
       }
@@ -243,7 +252,8 @@ std::string MetricsRegistry::to_json() const {
            type_name(fam.type) + "\",\"help\":\"" + json_escape(fam.help) +
            "\",\"series\":[";
     bool first_child = true;
-    for (const Child& c : fam.children) {
+    for (const auto& cp : fam.children) {
+      const Child& c = *cp;
       if (!first_child) out.push_back(',');
       first_child = false;
       out += "{\"labels\":" + json_labels(c.labels);

@@ -146,11 +146,16 @@ class MetricsRegistry {
   struct Family {
     std::string help;
     MetricType type = MetricType::kCounter;
-    std::vector<Child> children;
+    // unique_ptr elements: vector growth must not move a Child whose
+    // address another thread already holds as a metric handle.
+    std::vector<std::unique_ptr<Child>> children;
   };
 
+  /// Finds or creates the series, fully constructing its payload while mu_
+  /// is held, so concurrent lookups of the same series never double-assign.
   Child& child(const std::string& name, const std::string& help,
-               MetricType type, const Labels& labels);
+               MetricType type, const Labels& labels,
+               const HistogramSpec& spec);
 
   mutable std::mutex mu_;
   std::map<std::string, Family> families_;

@@ -11,10 +11,11 @@ namespace cgraph {
 std::vector<Depth> bfs_levels(const Graph& graph, VertexId src,
                               Depth max_depth) {
   CGRAPH_CHECK(src < graph.num_vertices());
-  // Handles resolved once; inc() on the hot path is a relaxed atomic add.
-  static obs::Counter& runs_total = obs::MetricsRegistry::global().counter(
+  // Handles resolved per call, not cached in statics: MetricsRegistry::clear()
+  // invalidates handles, and one registry lookup is noise next to a BFS.
+  obs::Counter& runs_total = obs::MetricsRegistry::global().counter(
       "cgraph_serial_bfs_runs_total", "Serial BFS traversals executed");
-  static obs::Counter& edges_total = obs::MetricsRegistry::global().counter(
+  obs::Counter& edges_total = obs::MetricsRegistry::global().counter(
       "cgraph_serial_bfs_edges_total", "Edges relaxed by serial BFS");
   std::vector<Depth> depth(graph.num_vertices(), kUnvisitedDepth);
   std::vector<VertexId> frontier{src};

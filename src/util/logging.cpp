@@ -80,7 +80,10 @@ void log(LogLevel level, const char* fmt, ...) {
   const int m = std::vsnprintf(buf + len, sizeof buf - len - 1, fmt, args);
   va_end(args);
   if (m > 0) {
-    len = std::min(len + static_cast<std::size_t>(m), sizeof buf - 1);
+    // vsnprintf returns the would-be length; on truncation it wrote only
+    // capacity - 1 chars (the last byte is its NUL). Advance by what was
+    // written so the '\n' lands after the text, never past the NUL.
+    len += std::min(static_cast<std::size_t>(m), sizeof buf - len - 2);
   }
   buf[len++] = '\n';
 
