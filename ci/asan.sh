@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# AddressSanitizer variant of the test suite: builds the memory-heavy
+# targets with -fsanitize=address and runs them under ctest. The fault
+# layer moves packets through retry/dedup/limbo paths that reuse and free
+# payload buffers aggressively; this catches lifetime bugs the regular
+# suite cannot.
+#
+# Usage: ci/asan.sh [build-dir]   (default: build-asan)
+set -eu
+
+BUILD_DIR="${1:-build-asan}"
+SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DCGRAPH_SANITIZE=address
+cmake --build "$BUILD_DIR" --target test_obs test_scheduler test_chaos \
+  -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R '^(test_obs|test_scheduler|test_chaos)$'

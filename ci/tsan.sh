@@ -11,5 +11,7 @@ BUILD_DIR="${1:-build-tsan}"
 SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 
 cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DCGRAPH_SANITIZE=thread
-cmake --build "$BUILD_DIR" --target test_obs test_scheduler -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^(test_obs|test_scheduler)$'
+cmake --build "$BUILD_DIR" --target test_obs test_scheduler test_chaos \
+  -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R '^(test_obs|test_scheduler|test_chaos)$'

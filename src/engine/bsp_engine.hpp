@@ -53,6 +53,7 @@ BspStats run_partition_programs(
   cluster.reset_clocks();
   cluster.reset_telemetry();
   cluster.fabric().reset_counters();
+  cluster.fabric().reset_delivery_state();
 
   obs::TraceSpan span("bsp_run");
   WallTimer wall;

@@ -33,12 +33,18 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
 
   cluster.reset_clocks();
   cluster.fabric().reset_counters();
+  cluster.fabric().reset_delivery_state();
 
   WallTimer wall;
   cluster.run([&](MachineContext& mc) {
     const SubgraphShard& shard = shards[mc.id()];
     const VertexRange range = shard.local_range();
     const VertexId nlocal = range.size();
+
+    // Scatter records are assignments (last write wins, values identical
+    // within an iteration), so duplicates are harmless — the filter keeps
+    // the per-run delivery accounting exact under fault plans.
+    DedupFilter dedup;
 
     // --- Setup: mirror lists. For each remote machine q, which local
     // vertices have at least one out-edge into q's range (and therefore
@@ -102,6 +108,10 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
 
       for (Envelope& env : mc.recv_staged()) {
         CGRAPH_CHECK(env.tag == kScatterTag);
+        if (!dedup.accept(env.from, env.seq)) {
+          mc.cluster().fabric().record_dedup_suppressed(mc.id());
+          continue;
+        }
         PacketReader r(env.payload);
         for (const ScatterRecord& rec : r.read_vector<ScatterRecord>()) {
           scatter_remote[rec.vertex] = rec.value;

@@ -146,12 +146,19 @@ class PartitionContext {
   }
 
   /// Collect the messages staged for this superstep (remote packets plus
-  /// the local loopback queue).
+  /// the local loopback queue). Message application is combiner-defined and
+  /// generally NOT idempotent (e.g. summed PageRank contributions), so a
+  /// packet duplicated by a faulty fabric must be applied exactly once —
+  /// duplicates are filtered by (sender, sequence) before decoding.
   void collect_incoming() {
     incoming_.clear();
     incoming_.swap(local_loopback_);
     for (Envelope& env : mc_.recv_staged()) {
       CGRAPH_CHECK(env.tag == kVertexMsgTag);
+      if (!dedup_.accept(env.from, env.seq)) {
+        mc_.cluster().fabric().record_dedup_suppressed(mc_.id());
+        continue;
+      }
       PacketReader r(env.payload);
       auto msgs = r.template read_vector<VertexMessage<M>>();
       incoming_.insert(incoming_.end(), msgs.begin(), msgs.end());
@@ -174,6 +181,7 @@ class PartitionContext {
   std::vector<std::vector<VertexMessage<M>>> outboxes_;  // one per machine
   std::vector<VertexMessage<M>> local_loopback_;
   std::vector<VertexMessage<M>> incoming_;
+  DedupFilter dedup_;
   bool halted_ = false;
 };
 

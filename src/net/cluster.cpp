@@ -1,6 +1,7 @@
 #include "net/cluster.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/assert.hpp"
 #include "util/logging.hpp"
@@ -46,7 +47,12 @@ void MachineContext::send_async(PartitionId to, std::uint32_t tag,
                                 Packet payload) {
   // Async sends are charged immediately: the sender pays injection cost.
   cluster_.clocks_[id_].charge_comm(cluster_.cost_model_, 1, payload.size());
-  cluster_.fabric_.send_now(id_, to, tag, std::move(payload));
+  // Keep a copy for retransmission until the ack arrives. (A clean fabric
+  // acks on the receiver's next poll, so the window stays tiny.)
+  Packet copy = payload;
+  const Fabric::AsyncSendResult res =
+      cluster_.fabric_.send_now(id_, to, tag, std::move(payload));
+  pending_.push_back({to, tag, std::move(copy), res.seq, res.deposited});
 }
 
 std::vector<Envelope> MachineContext::recv_staged() {
@@ -56,7 +62,68 @@ std::vector<Envelope> MachineContext::recv_staged() {
 }
 
 std::vector<Envelope> MachineContext::recv_async() {
-  return cluster_.fabric_.mailbox(id_).drain_now();
+  Fabric& fabric = cluster_.fabric_;
+  std::vector<Envelope> out;
+  for (Envelope& env : fabric.mailbox(id_).drain_now()) {
+    if (env.kind == EnvelopeKind::kAck) {
+      // Ack for one of our sends: release the retransmission copy.
+      for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (pending_[i].to == env.from && pending_[i].seq == env.seq) {
+          pending_[i] = std::move(pending_.back());
+          pending_.pop_back();
+          break;
+        }
+      }
+      continue;
+    }
+    // Data: ack it (even if it is a duplicate — the original ack may have
+    // been lost, and an unacked sender keeps retransmitting), then apply
+    // exactly once.
+    fabric.send_ack(id_, env.from, env.seq);
+    cluster_.clocks_[id_].charge_comm(cluster_.cost_model_, 1, 0);
+    if (!dedup_.accept(env.from, env.seq)) {
+      fabric.record_dedup_suppressed(id_);
+      continue;
+    }
+    out.push_back(std::move(env));
+  }
+
+  // Retry pump: retransmit unacked sends whose poll-count timeout expired;
+  // surface the ones that exhausted their budget.
+  for (std::size_t i = 0; i < pending_.size();) {
+    PendingSend& p = pending_[i];
+    if (++p.polls_since_send < kRetryAfterPolls) {
+      ++i;
+      continue;
+    }
+    if (p.attempts >= kMaxAsyncAttempts) {
+      if (!p.ever_deposited) {
+        // Every attempt was dropped: the receiver provably never saw the
+        // packet, so surfacing it as failed is safe (no double-apply and
+        // no double credit release).
+        fabric.record_delivery_failed(id_);
+        failed_.push_back({p.to, p.tag, std::move(p.payload)});
+      }
+      // else: the data reached the receiver at least once and only the
+      // acks keep getting lost — abandon the bookkeeping entry silently.
+      pending_[i] = std::move(pending_.back());
+      pending_.pop_back();
+      continue;
+    }
+    p.polls_since_send = 0;
+    ++p.attempts;
+    cluster_.clocks_[id_].charge_comm(cluster_.cost_model_, 1,
+                                      p.payload.size());
+    p.ever_deposited =
+        fabric.resend_now(id_, p.to, p.tag, p.payload, p.seq) ||
+        p.ever_deposited;
+    ++i;
+  }
+  return out;
+}
+
+std::vector<FailedSend> MachineContext::take_failed_async() {
+  return std::exchange(failed_, {});
 }
 
 void MachineContext::barrier() {
@@ -182,6 +249,44 @@ void Cluster::publish_metrics(obs::MetricsRegistry& reg) const {
                 "Async bytes sent per machine", ml)
         .inc(static_cast<double>(
             t.async_bytes.load(std::memory_order_relaxed)));
+    // Delivery outcomes: exact per-attempt accounting, meaningful (and
+    // non-zero) once a FaultPlan is installed on the fabric.
+    const struct {
+      const char* name;
+      const char* help;
+      std::uint64_t value;
+    } outcomes[] = {
+        {"cgraph_fabric_delivered_packets_total",
+         "Mailbox deposits (duplicates included) per sending machine",
+         t.delivered_packets.load(std::memory_order_relaxed)},
+        {"cgraph_fabric_dropped_packets_total",
+         "Transmission attempts dropped by the fault layer",
+         t.dropped_packets.load(std::memory_order_relaxed)},
+        {"cgraph_fabric_duplicated_packets_total",
+         "Attempts delivered twice by the fault layer",
+         t.duplicated_packets.load(std::memory_order_relaxed)},
+        {"cgraph_fabric_reordered_packets_total",
+         "Attempts delivered ahead of earlier undrained traffic",
+         t.reordered_packets.load(std::memory_order_relaxed)},
+        {"cgraph_fabric_delayed_packets_total",
+         "Attempts held in the receiver's limbo queue",
+         t.delayed_packets.load(std::memory_order_relaxed)},
+        {"cgraph_fabric_retried_packets_total",
+         "Retransmission attempts (staged retry loop + async ack timeouts)",
+         t.retried_packets.load(std::memory_order_relaxed)},
+        {"cgraph_fabric_delivery_failed_packets_total",
+         "Packets abandoned after the bounded retry budget",
+         t.delivery_failed_packets.load(std::memory_order_relaxed)},
+        {"cgraph_fabric_ack_packets_total",
+         "Acknowledgement frames sent by the reliable async protocol",
+         t.ack_packets.load(std::memory_order_relaxed)},
+        {"cgraph_fabric_dedup_suppressed_packets_total",
+         "Duplicate deliveries suppressed by receiver dedup filters",
+         t.dedup_suppressed_packets.load(std::memory_order_relaxed)},
+    };
+    for (const auto& o : outcomes) {
+      reg.counter(o.name, o.help, ml).inc(static_cast<double>(o.value));
+    }
   }
   if (!telemetry_.supersteps.empty()) {
     reg.gauge("cgraph_straggler_ratio",

@@ -16,6 +16,7 @@
 
 #include "net/cost_model.hpp"
 #include "net/fabric.hpp"
+#include "net/fault.hpp"
 #include "obs/metrics.hpp"
 
 namespace cgraph {
@@ -68,9 +69,24 @@ class SyncBarrier {
 
 class Cluster;
 
+/// An async send that exhausted its retry budget without an ack. Surfaced
+/// to the engine (see MachineContext::take_failed_async) so it can degrade
+/// gracefully — e.g. release termination-detection credits — instead of
+/// wedging on traffic that will never arrive.
+struct FailedSend {
+  PartitionId to = kInvalidPartition;
+  std::uint32_t tag = 0;
+  Packet payload;
+};
+
 /// Per-machine execution handle passed to the machine body.
 class MachineContext {
  public:
+  /// recv_async() polls between retransmissions of an unacked packet.
+  static constexpr std::uint32_t kRetryAfterPolls = 3;
+  /// Transmission attempts per async packet before it is declared failed.
+  static constexpr std::uint32_t kMaxAsyncAttempts = 24;
+
   MachineContext(Cluster& cluster, PartitionId id);
 
   [[nodiscard]] PartitionId id() const { return id_; }
@@ -80,14 +96,32 @@ class MachineContext {
 
   /// BSP send: visible to `to` after the next barrier.
   void send(PartitionId to, std::uint32_t tag, Packet payload);
-  /// Async send: visible to `to` immediately via recv_async().
+  /// Reliable async send: visible to `to` via its recv_async() (immediately
+  /// when the fabric is clean). The packet is sequence-numbered and held
+  /// until acked; recv_async() retransmits on timeout and the receiver
+  /// dedups, so delivery is exactly-once up to kMaxAsyncAttempts.
   void send_async(PartitionId to, std::uint32_t tag, Packet payload);
 
   /// Drain messages staged for the current superstep (those sent during the
   /// previous superstep, before the last barrier).
   std::vector<Envelope> recv_staged();
-  /// Drain asynchronously-delivered messages.
+  /// Drain asynchronously-delivered data messages. Also runs the delivery
+  /// protocol: acks each data packet, suppresses duplicates, consumes
+  /// incoming acks, and retransmits timed-out unacked sends.
   std::vector<Envelope> recv_async();
+
+  /// True while any async send is awaiting an ack. A quiescing engine that
+  /// stops polling with pending sends simply abandons them (the data may
+  /// well have arrived — only the acks are outstanding).
+  [[nodiscard]] bool has_pending_async() const { return !pending_.empty(); }
+
+  /// Async sends that permanently failed since the last call: every
+  /// transmission attempt in the retry budget was dropped, so the receiver
+  /// never saw the packet. (A send whose data got through but whose acks
+  /// keep getting lost is abandoned silently instead — the payload was
+  /// delivered, so it is not a failure.) Payload ownership moves to the
+  /// caller, which can release termination credits or re-route.
+  std::vector<FailedSend> take_failed_async();
 
   /// Synchronize all machines; charges this machine's accumulated comm cost
   /// and advances every clock to the slowest machine. Increments superstep.
@@ -99,11 +133,30 @@ class MachineContext {
   [[nodiscard]] SimClock& clock();
 
  private:
+  /// One unacked async send awaiting its ack (or a retry timeout).
+  struct PendingSend {
+    PartitionId to;
+    std::uint32_t tag;
+    Packet payload;  // retained for retransmission
+    std::uint64_t seq;
+    /// True once any transmission attempt reached the receiver's mailbox
+    /// (the fabric's failure-detector signal). A deposited packet WILL be
+    /// applied — only its acks can still be lost — so it must never be
+    /// reported as failed, or credit-tracking engines would double-release.
+    bool ever_deposited = false;
+    std::uint32_t polls_since_send = 0;
+    std::uint32_t attempts = 1;
+  };
+
   Cluster& cluster_;
   PartitionId id_;
   std::uint64_t superstep_ = 0;
   std::uint64_t step_packets_ = 0;
   std::uint64_t step_bytes_ = 0;
+  // Reliable-async protocol state. Only touched from this machine's thread.
+  std::vector<PendingSend> pending_;
+  std::vector<FailedSend> failed_;
+  DedupFilter dedup_;
 };
 
 class Cluster {

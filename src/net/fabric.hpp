@@ -1,6 +1,18 @@
 // Simulated cluster interconnect (stands in for the paper's MPI/socket
 // layer). Routes byte packets between machine mailboxes and keeps exact
 // per-machine traffic counters that feed the CostModel.
+//
+// An optional FaultPlan (net/fault.hpp) sits on the send path and can
+// drop, duplicate, reorder, or delay individual transmission attempts:
+//   * Staged (BSP) sends retransmit inside the send call — modelling an
+//     ack/timeout exchange absorbed by the superstep barrier — up to
+//     kMaxStagedAttempts before the packet is declared delivery_failed.
+//   * Async sends get exactly one attempt; reliability comes from the
+//     sequence/ack/retry protocol in MachineContext (net/cluster.cpp),
+//     which calls resend_now()/send_ack() here.
+// Every attempt's fate is counted (delivered/dropped/duplicated/...) so
+// telemetry reconciles exactly even under fault plans, and every
+// non-clean decision is recorded in a replayable fault log.
 #pragma once
 
 #include <atomic>
@@ -9,20 +21,39 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "net/fault.hpp"
 #include "net/mailbox.hpp"
 #include "net/serialize.hpp"
 #include "util/assert.hpp"
+#include "util/spinlock.hpp"
 
 namespace cgraph {
 
-/// Traffic counters for one machine (sent side), split by delivery mode so
-/// telemetry can attribute wire volume to BSP exchanges vs async pushes.
+/// Traffic counters for one machine, split by delivery mode so telemetry
+/// can attribute wire volume to BSP exchanges vs async pushes. The
+/// staged/async pairs count *logical* sends (once per send call,
+/// retransmissions excluded); the delivery-outcome counters below count
+/// individual transmission attempts and mailbox deposits, so under a fault
+/// plan the books still balance:
+///   attempts  = staged + async + ack + retried
+///   delivered = attempts - dropped + duplicated
 /// Atomics because helper threads inside a machine may send concurrently.
 struct TrafficCounters {
   std::atomic<std::uint64_t> staged_packets{0};
   std::atomic<std::uint64_t> staged_bytes{0};
   std::atomic<std::uint64_t> async_packets{0};
   std::atomic<std::uint64_t> async_bytes{0};
+  // Delivery outcomes (sender-attributed, i.e. on the sending machine).
+  std::atomic<std::uint64_t> delivered_packets{0};
+  std::atomic<std::uint64_t> dropped_packets{0};
+  std::atomic<std::uint64_t> duplicated_packets{0};
+  std::atomic<std::uint64_t> reordered_packets{0};
+  std::atomic<std::uint64_t> delayed_packets{0};
+  std::atomic<std::uint64_t> retried_packets{0};
+  std::atomic<std::uint64_t> delivery_failed_packets{0};
+  std::atomic<std::uint64_t> ack_packets{0};
+  // Receiver-attributed: duplicate deliveries suppressed by dedup filters.
+  std::atomic<std::uint64_t> dedup_suppressed_packets{0};
 
   void record_staged(std::size_t payload_bytes) {
     staged_packets.fetch_add(1, std::memory_order_relaxed);
@@ -40,41 +71,156 @@ struct TrafficCounters {
     return staged_bytes.load(std::memory_order_relaxed) +
            async_bytes.load(std::memory_order_relaxed);
   }
+  /// Transmission attempts this machine made (logical sends + acks +
+  /// retransmissions). Each attempt lands in delivered or dropped.
+  [[nodiscard]] std::uint64_t attempts() const {
+    return packets() + ack_packets.load(std::memory_order_relaxed) +
+           retried_packets.load(std::memory_order_relaxed);
+  }
   void reset() {
-    staged_packets.store(0, std::memory_order_relaxed);
-    staged_bytes.store(0, std::memory_order_relaxed);
-    async_packets.store(0, std::memory_order_relaxed);
-    async_bytes.store(0, std::memory_order_relaxed);
+    for (auto* a :
+         {&staged_packets, &staged_bytes, &async_packets, &async_bytes,
+          &delivered_packets, &dropped_packets, &duplicated_packets,
+          &reordered_packets, &delayed_packets, &retried_packets,
+          &delivery_failed_packets, &ack_packets,
+          &dedup_suppressed_packets}) {
+      a->store(0, std::memory_order_relaxed);
+    }
   }
 };
 
 class Fabric {
  public:
+  /// Retransmissions a staged send makes before giving up. High enough
+  /// that any drop rate a chaos plan uses (<= ~50%) fails with negligible
+  /// probability; a deliberately dead link (drop = 1.0) exhausts it and
+  /// surfaces delivery_failed instead of wedging the barrier.
+  static constexpr std::uint32_t kMaxStagedAttempts = 24;
+
   explicit Fabric(PartitionId num_machines)
-      : mailboxes_(num_machines), sent_(num_machines) {
+      : mailboxes_(num_machines),
+        sent_(num_machines),
+        links_(static_cast<std::size_t>(num_machines) * num_machines) {
     for (auto& m : mailboxes_) m = std::make_unique<Mailbox>();
     for (auto& c : sent_) c = std::make_unique<TrafficCounters>();
+    for (auto& l : links_) l = std::make_unique<LinkState>();
   }
 
   [[nodiscard]] PartitionId num_machines() const {
     return static_cast<PartitionId>(mailboxes_.size());
   }
 
-  /// BSP send: delivered when the receiver drains `superstep`.
-  void send_superstep(PartitionId from, PartitionId to, std::uint32_t tag,
+  /// Install (or clear, with nullptr) the fault plan consulted on every
+  /// subsequent transmission attempt. The plan is shared and const: one
+  /// plan can drive many fabrics/runs deterministically.
+  void install_fault_plan(std::shared_ptr<const FaultPlan> plan) {
+    plan_ = std::move(plan);
+  }
+  [[nodiscard]] const FaultPlan* fault_plan() const { return plan_.get(); }
+
+  /// BSP send: delivered when the receiver drains `superstep`. Returns
+  /// false only if the fault layer permanently dropped the packet
+  /// (delivery_failed); callers normally ignore this — a real sender only
+  /// learns of the failure through the counters.
+  bool send_superstep(PartitionId from, PartitionId to, std::uint32_t tag,
                       Packet payload, std::uint64_t superstep) {
     CGRAPH_DCHECK(to < mailboxes_.size());
-    sent_[from]->record_staged(payload.size());
-    mailboxes_[to]->push_superstep({from, tag, std::move(payload)},
-                                   superstep);
+    TrafficCounters& tc = *sent_[from];
+    tc.record_staged(payload.size());
+    Envelope env{from, tag, std::move(payload), next_seq(from, to),
+                 EnvelopeKind::kData};
+    // Ack/timeout retransmit absorbed by the barrier: keep attempting
+    // until delivered or the bounded-retry budget is exhausted.
+    for (std::uint32_t att = 0;; ++att) {
+      const FaultAction action = next_action(from, to);
+      switch (action) {
+        case FaultAction::kDrop:
+          tc.dropped_packets.fetch_add(1, std::memory_order_relaxed);
+          if (att + 1 >= kMaxStagedAttempts) {
+            tc.delivery_failed_packets.fetch_add(1,
+                                                 std::memory_order_relaxed);
+            return false;
+          }
+          tc.retried_packets.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        case FaultAction::kDuplicate:
+          tc.duplicated_packets.fetch_add(1, std::memory_order_relaxed);
+          tc.delivered_packets.fetch_add(2, std::memory_order_relaxed);
+          mailboxes_[to]->push_superstep(env, superstep);  // copy
+          mailboxes_[to]->push_superstep(std::move(env), superstep);
+          return true;
+        case FaultAction::kReorder:
+          tc.reordered_packets.fetch_add(1, std::memory_order_relaxed);
+          tc.delivered_packets.fetch_add(1, std::memory_order_relaxed);
+          mailboxes_[to]->push_superstep_front(std::move(env), superstep);
+          return true;
+        case FaultAction::kDelay:
+          // A late packet still lands before the barrier lifts (the
+          // exchange waits for it); only the counters notice.
+          tc.delayed_packets.fetch_add(1, std::memory_order_relaxed);
+          tc.delivered_packets.fetch_add(1, std::memory_order_relaxed);
+          mailboxes_[to]->push_superstep(std::move(env), superstep);
+          return true;
+        case FaultAction::kDeliver:
+          tc.delivered_packets.fetch_add(1, std::memory_order_relaxed);
+          mailboxes_[to]->push_superstep(std::move(env), superstep);
+          return true;
+      }
+    }
   }
 
-  /// Async send: visible to the receiver's drain_now() immediately.
-  void send_now(PartitionId from, PartitionId to, std::uint32_t tag,
-                Packet payload) {
+  /// Outcome of one async transmission attempt. `deposited` is the
+  /// transport-level failure-detector signal: true iff the attempt reached
+  /// the receiver's mailbox in some form (normal, duplicated, reordered,
+  /// or delayed), false iff the fault layer dropped it.
+  struct AsyncSendResult {
+    std::uint64_t seq = 0;
+    bool deposited = false;
+  };
+
+  /// Async send: visible to the receiver's drain_now() immediately (unless
+  /// faulted). Exactly one attempt; the caller's ack/retry protocol
+  /// recovers from drops. Returns the sequence number assigned (so the
+  /// sender can match the eventual ack) and the attempt's fate.
+  AsyncSendResult send_now(PartitionId from, PartitionId to,
+                           std::uint32_t tag, Packet payload) {
     CGRAPH_DCHECK(to < mailboxes_.size());
     sent_[from]->record_async(payload.size());
-    mailboxes_[to]->push_now({from, tag, std::move(payload)});
+    const std::uint64_t seq = next_seq(from, to);
+    const bool deposited =
+        transmit_now(from, to,
+                     Envelope{from, tag, std::move(payload), seq,
+                              EnvelopeKind::kData});
+    return {seq, deposited};
+  }
+
+  /// Retransmission of an async packet (same sequence number, fresh fault
+  /// decision). Counted under retried, not as a new logical send. Returns
+  /// whether this attempt was deposited (see AsyncSendResult).
+  bool resend_now(PartitionId from, PartitionId to, std::uint32_t tag,
+                  Packet payload, std::uint64_t seq) {
+    sent_[from]->retried_packets.fetch_add(1, std::memory_order_relaxed);
+    return transmit_now(from, to,
+                        Envelope{from, tag, std::move(payload), seq,
+                                 EnvelopeKind::kData});
+  }
+
+  /// Acknowledge receipt of sequence number `acked_seq` back to `to` (the
+  /// original sender). Acks ride the same faulty links: a lost ack causes
+  /// a retransmission, which the receiver's dedup filter absorbs.
+  void send_ack(PartitionId from, PartitionId to, std::uint64_t acked_seq) {
+    sent_[from]->ack_packets.fetch_add(1, std::memory_order_relaxed);
+    transmit_now(from, to,
+                 Envelope{from, 0, Packet{}, acked_seq, EnvelopeKind::kAck});
+  }
+
+  void record_dedup_suppressed(PartitionId receiver) {
+    sent_[receiver]->dedup_suppressed_packets.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  void record_delivery_failed(PartitionId sender) {
+    sent_[sender]->delivery_failed_packets.fetch_add(
+        1, std::memory_order_relaxed);
   }
 
   [[nodiscard]] Mailbox& mailbox(PartitionId id) {
@@ -100,14 +246,107 @@ class Fabric {
     for (const auto& c : sent_) total += c->packets();
     return total;
   }
+  [[nodiscard]] std::uint64_t total_delivery_failed() const {
+    std::uint64_t total = 0;
+    for (const auto& c : sent_)
+      total += c->delivery_failed_packets.load(std::memory_order_relaxed);
+    return total;
+  }
 
   void reset_counters() {
     for (auto& c : sent_) c->reset();
   }
 
+  /// Reset per-link sequence/attempt counters, purge every mailbox (stale
+  /// duplicates from a previous run must not leak into the next one), and
+  /// clear the fault log. Engines call this at run start so sequence
+  /// numbers start at 0 per link per run and the log describes one run.
+  void reset_delivery_state() {
+    for (auto& l : links_) {
+      l->seq.store(0, std::memory_order_relaxed);
+      l->attempts.store(0, std::memory_order_relaxed);
+    }
+    for (auto& m : mailboxes_) m->clear_all();
+    std::lock_guard<SpinLock> lk(log_mu_);
+    fault_log_.clear();
+  }
+
+  /// Non-deliver decisions taken since the last reset_delivery_state(),
+  /// in per-link attempt order (global order across links is unspecified).
+  [[nodiscard]] std::vector<FaultEvent> fault_log() const {
+    std::lock_guard<SpinLock> lk(log_mu_);
+    return fault_log_;
+  }
+
  private:
+  struct LinkState {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> attempts{0};
+  };
+
+  [[nodiscard]] LinkState& link(PartitionId from, PartitionId to) {
+    return *links_[static_cast<std::size_t>(from) * mailboxes_.size() + to];
+  }
+
+  std::uint64_t next_seq(PartitionId from, PartitionId to) {
+    return link(from, to).seq.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Consume one per-link attempt index and decide this attempt's fate.
+  FaultAction next_action(PartitionId from, PartitionId to) {
+    const std::uint64_t attempt =
+        link(from, to).attempts.fetch_add(1, std::memory_order_relaxed);
+    if (!plan_) return FaultAction::kDeliver;
+    const FaultAction action = plan_->decide(from, to, attempt);
+    if (action != FaultAction::kDeliver) {
+      std::lock_guard<SpinLock> lk(log_mu_);
+      fault_log_.push_back({from, to, attempt, action});
+    }
+    return action;
+  }
+
+  /// One async transmission attempt (data or ack) through the fault layer.
+  /// Returns true iff the envelope was deposited into the receiver's
+  /// mailbox (in any form), false iff the attempt was dropped.
+  bool transmit_now(PartitionId from, PartitionId to, Envelope env) {
+    TrafficCounters& tc = *sent_[from];
+    switch (next_action(from, to)) {
+      case FaultAction::kDrop:
+        tc.dropped_packets.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      case FaultAction::kDuplicate:
+        tc.duplicated_packets.fetch_add(1, std::memory_order_relaxed);
+        tc.delivered_packets.fetch_add(2, std::memory_order_relaxed);
+        mailboxes_[to]->push_now(env);  // copy
+        mailboxes_[to]->push_now(std::move(env));
+        return true;
+      case FaultAction::kReorder:
+        tc.reordered_packets.fetch_add(1, std::memory_order_relaxed);
+        tc.delivered_packets.fetch_add(1, std::memory_order_relaxed);
+        mailboxes_[to]->push_now_front(std::move(env));
+        return true;
+      case FaultAction::kDelay: {
+        const std::uint32_t polls =
+            plan_ ? plan_->link_spec(from, to).delay_polls : 1;
+        tc.delayed_packets.fetch_add(1, std::memory_order_relaxed);
+        tc.delivered_packets.fetch_add(1, std::memory_order_relaxed);
+        mailboxes_[to]->push_delayed(std::move(env), polls);
+        return true;
+      }
+      case FaultAction::kDeliver:
+        tc.delivered_packets.fetch_add(1, std::memory_order_relaxed);
+        mailboxes_[to]->push_now(std::move(env));
+        return true;
+    }
+    return false;  // unreachable
+  }
+
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<TrafficCounters>> sent_;
+  std::vector<std::unique_ptr<LinkState>> links_;
+  std::shared_ptr<const FaultPlan> plan_;
+  mutable SpinLock log_mu_;
+  std::vector<FaultEvent> fault_log_;
 };
 
 }  // namespace cgraph

@@ -1,0 +1,59 @@
+#include "net/fault.hpp"
+
+#include <sstream>
+
+namespace cgraph {
+
+const char* fault_action_name(FaultAction a) {
+  switch (a) {
+    case FaultAction::kDeliver:
+      return "deliver";
+    case FaultAction::kDrop:
+      return "drop";
+    case FaultAction::kDuplicate:
+      return "duplicate";
+    case FaultAction::kReorder:
+      return "reorder";
+    case FaultAction::kDelay:
+      return "delay";
+  }
+  return "?";
+}
+
+FaultAction FaultPlan::decide(PartitionId from, PartitionId to,
+                              std::uint64_t attempt) const {
+  const auto trig = triggers_.find(trigger_key(from, to, attempt));
+  if (trig != triggers_.end()) return trig->second;
+
+  const LinkFaultSpec& spec = link_spec(from, to);
+  if (spec.faultless()) return FaultAction::kDeliver;
+
+  // One uniform draw per attempt, derived from (seed, link, attempt) so the
+  // decision is independent of thread interleaving and replayable.
+  SplitMix64 mix(seed_ ^ (0x9e3779b97f4a7c15ULL * (link_key(from, to) + 1)) ^
+                 (attempt * 0xbf58476d1ce4e5b9ULL));
+  const double u =
+      static_cast<double>(mix.next() >> 11) * 0x1.0p-53;  // [0, 1)
+
+  double edge = spec.drop;
+  if (u < edge) return FaultAction::kDrop;
+  edge += spec.duplicate;
+  if (u < edge) return FaultAction::kDuplicate;
+  edge += spec.reorder;
+  if (u < edge) return FaultAction::kReorder;
+  edge += spec.delay;
+  if (u < edge) return FaultAction::kDelay;
+  return FaultAction::kDeliver;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << "FaultPlan{seed=" << seed_ << ", default={drop=" << default_.drop
+     << " dup=" << default_.duplicate << " reorder=" << default_.reorder
+     << " delay=" << default_.delay << " delay_polls=" << default_.delay_polls
+     << "}, link_overrides=" << links_.size()
+     << ", triggers=" << triggers_.size() << "}";
+  return os.str();
+}
+
+}  // namespace cgraph

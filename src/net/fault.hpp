@@ -1,0 +1,170 @@
+// Fault injection for the simulated interconnect (chaos testing layer).
+//
+// A FaultPlan decides, per transmission attempt on a directed link (i, j),
+// whether the packet is delivered cleanly or suffers a fault: dropped,
+// duplicated, reordered ahead of earlier undrained packets, or delayed in a
+// limbo queue at the receiver. Decisions are a pure function of
+// (seed, from, to, attempt_index) plus an explicit trigger table, so a plan
+// is thread-safe, replayable, and independent of wall-clock scheduling:
+// pushing the same packet script through the same plan twice yields the
+// identical fault sequence (see test_chaos.cpp).
+//
+// The runtime copes with these faults via two protocols:
+//   * BSP (staged) sends retransmit inside the barrier window — the fabric
+//     re-decides with fresh attempt indices until delivery or a bounded
+//     attempt cap (the barrier "absorbs" the retries, like an MPI exchange
+//     that completes before the superstep ends).
+//   * Async sends carry per-link sequence numbers; receivers ack, dedup by
+//     (sender, seq), and senders retry on poll-count timeouts (cluster.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/rng.hpp"
+
+namespace cgraph {
+
+enum class FaultAction : std::uint8_t {
+  kDeliver = 0,
+  kDrop,
+  kDuplicate,
+  kReorder,
+  kDelay,
+};
+
+[[nodiscard]] const char* fault_action_name(FaultAction a);
+
+/// Probabilistic fault mix for one directed link (or the default for all
+/// links). Probabilities are evaluated in order drop, duplicate, reorder,
+/// delay against a single uniform draw, so their sum must stay <= 1.
+struct LinkFaultSpec {
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+  double delay = 0.0;
+  /// Receiver drain_now() polls a delayed packet sits out before delivery.
+  std::uint32_t delay_polls = 2;
+
+  [[nodiscard]] bool faultless() const {
+    return drop == 0 && duplicate == 0 && reorder == 0 && delay == 0;
+  }
+};
+
+/// Deterministic trigger: apply `action` to attempt number `nth` (0-based,
+/// counted per directed link) on link (from, to). Triggers override the
+/// probabilistic mix for that attempt, which makes "drop the 3rd packet
+/// machine 0 sends to machine 2" an exact, replayable scenario.
+struct FaultTrigger {
+  PartitionId from = 0;
+  PartitionId to = 0;
+  std::uint64_t nth = 0;
+  FaultAction action = FaultAction::kDrop;
+};
+
+/// One decision the fault layer took (non-deliver only; clean deliveries
+/// are the overwhelming majority and are reconstructible from counters).
+struct FaultEvent {
+  PartitionId from = 0;
+  PartitionId to = 0;
+  std::uint64_t attempt = 0;  // per-link attempt index the decision used
+  FaultAction action = FaultAction::kDeliver;
+
+  [[nodiscard]] bool operator==(const FaultEvent& o) const {
+    return from == o.from && to == o.to && attempt == o.attempt &&
+           action == o.action;
+  }
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Fault mix applied to links without a per-link override.
+  void set_default_link(const LinkFaultSpec& spec) { default_ = spec; }
+  void set_link(PartitionId from, PartitionId to, const LinkFaultSpec& spec) {
+    links_[link_key(from, to)] = spec;
+  }
+  void add_trigger(const FaultTrigger& t) {
+    triggers_[trigger_key(t.from, t.to, t.nth)] = t.action;
+  }
+
+  [[nodiscard]] const LinkFaultSpec& link_spec(PartitionId from,
+                                               PartitionId to) const {
+    const auto it = links_.find(link_key(from, to));
+    return it == links_.end() ? default_ : it->second;
+  }
+
+  /// Fate of transmission attempt `attempt` on link (from, to). Pure and
+  /// thread-safe: same inputs always yield the same action.
+  [[nodiscard]] FaultAction decide(PartitionId from, PartitionId to,
+                                   std::uint64_t attempt) const;
+
+  /// Human-readable one-liner (seed + mix) printed by chaos tests so a
+  /// failing run can be replayed from the log alone.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  static std::uint64_t link_key(PartitionId from, PartitionId to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+  static std::uint64_t trigger_key(PartitionId from, PartitionId to,
+                                   std::uint64_t nth) {
+    // Attempt indices in any sane run stay far below 2^40.
+    return (static_cast<std::uint64_t>(from) << 52) |
+           (static_cast<std::uint64_t>(to) << 40) | nth;
+  }
+
+  std::uint64_t seed_ = 0;
+  LinkFaultSpec default_;
+  std::unordered_map<std::uint64_t, LinkFaultSpec> links_;
+  std::unordered_map<std::uint64_t, FaultAction> triggers_;
+};
+
+/// Receiver-side exactly-once filter: tracks per-sender sequence numbers
+/// already applied, with a contiguous watermark so memory stays bounded by
+/// the reorder window rather than the message count. Engines consult it
+/// before applying a message so duplicated (or retried-after-delivery)
+/// packets are idempotent. Single-threaded per receiving machine.
+class DedupFilter {
+ public:
+  /// True exactly once per (from, seq); later calls return false.
+  bool accept(PartitionId from, std::uint64_t seq) {
+    Window& w = windows_[from];
+    if (w.has_watermark && seq <= w.watermark) return false;
+    if (!w.pending.insert(seq).second) return false;
+    // Advance the contiguous prefix. Sequence numbers start at 0 per link
+    // per run (Fabric::reset_delivery_state), so the watermark can chase
+    // the front and erase the dense prefix.
+    if (!w.has_watermark && w.pending.count(0) != 0) {
+      w.has_watermark = true;
+      w.watermark = 0;
+      w.pending.erase(0);
+    }
+    if (w.has_watermark) {
+      while (w.pending.erase(w.watermark + 1) != 0) ++w.watermark;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t suppressed() const { return suppressed_; }
+  void count_suppressed() { ++suppressed_; }
+
+ private:
+  struct Window {
+    bool has_watermark = false;
+    std::uint64_t watermark = 0;
+    std::unordered_set<std::uint64_t> pending;
+  };
+  std::unordered_map<PartitionId, Window> windows_;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace cgraph

@@ -6,6 +6,11 @@
 //     by superstep parity, which is sufficient because barriers prevent any
 //     machine from running two supersteps ahead.
 //   * Async: packets are visible to drain_now() immediately.
+//
+// The fault-injection layer (net/fault.hpp) adds two delivery variants:
+// front-insertion (a "reordered" packet overtakes earlier undrained ones)
+// and a limbo queue for delayed packets, which re-enter the ready queue
+// after the receiver has polled a configured number of times.
 #pragma once
 
 #include <cstdint>
@@ -19,10 +24,22 @@
 
 namespace cgraph {
 
+/// Delivery-protocol role of an envelope. Engines only ever see kData;
+/// kAck frames are consumed inside MachineContext::recv_async().
+enum class EnvelopeKind : std::uint8_t {
+  kData = 0,
+  kAck = 1,
+};
+
 struct Envelope {
   PartitionId from = kInvalidPartition;
   std::uint32_t tag = 0;  // engine-defined message kind
   Packet payload;
+  /// Per-(from -> to) link sequence number assigned by the fabric; for
+  /// kAck frames, the sequence number being acknowledged. Receivers dedup
+  /// on (from, seq) so duplicated/retransmitted packets apply once.
+  std::uint64_t seq = 0;
+  EnvelopeKind kind = EnvelopeKind::kData;
 };
 
 class Mailbox {
@@ -33,10 +50,32 @@ class Mailbox {
     staged_[superstep & 1].push_back(std::move(env));
   }
 
+  /// Fault-layer variant: insert ahead of everything already staged for
+  /// `superstep`, modelling a packet that overtakes earlier traffic.
+  void push_superstep_front(Envelope env, std::uint64_t superstep) {
+    std::lock_guard<SpinLock> lk(mu_);
+    auto& bucket = staged_[superstep & 1];
+    bucket.insert(bucket.begin(), std::move(env));
+  }
+
   /// Deposit for immediate (async) delivery.
   void push_now(Envelope env) {
     std::lock_guard<SpinLock> lk(mu_);
     ready_.push_back(std::move(env));
+  }
+
+  /// Fault-layer variant: overtakes every undrained async packet.
+  void push_now_front(Envelope env) {
+    std::lock_guard<SpinLock> lk(mu_);
+    ready_.insert(ready_.begin(), std::move(env));
+  }
+
+  /// Fault-layer variant: withheld until the receiver has called
+  /// drain_now() `polls` more times (then delivered ahead of fresh ready
+  /// packets, since it is older traffic).
+  void push_delayed(Envelope env, std::uint32_t polls) {
+    std::lock_guard<SpinLock> lk(mu_);
+    delayed_.push_back({polls, std::move(env)});
   }
 
   /// Drain everything staged for `superstep` (call after the barrier that
@@ -48,23 +87,55 @@ class Mailbox {
     return out;
   }
 
-  /// Drain all immediately-visible messages (async mode).
+  /// Drain all immediately-visible messages (async mode). Each call also
+  /// ages the delayed queue by one poll and releases expired packets.
   std::vector<Envelope> drain_now() {
     std::lock_guard<SpinLock> lk(mu_);
-    std::vector<Envelope> out = std::move(ready_);
+    std::vector<Envelope> out;
+    if (!delayed_.empty()) {
+      for (auto it = delayed_.begin(); it != delayed_.end();) {
+        if (it->polls_left == 0 || --it->polls_left == 0) {
+          out.push_back(std::move(it->env));
+          it = delayed_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (out.empty()) {
+      out = std::move(ready_);
+    } else {
+      out.insert(out.end(), std::make_move_iterator(ready_.begin()),
+                 std::make_move_iterator(ready_.end()));
+    }
     ready_.clear();
     return out;
   }
 
   [[nodiscard]] bool empty_now() {
     std::lock_guard<SpinLock> lk(mu_);
-    return ready_.empty();
+    return ready_.empty() && delayed_.empty();
+  }
+
+  /// Discard everything (delivery-state reset between engine runs).
+  void clear_all() {
+    std::lock_guard<SpinLock> lk(mu_);
+    staged_[0].clear();
+    staged_[1].clear();
+    ready_.clear();
+    delayed_.clear();
   }
 
  private:
+  struct Delayed {
+    std::uint32_t polls_left;
+    Envelope env;
+  };
+
   SpinLock mu_;
   std::vector<Envelope> staged_[2];
   std::vector<Envelope> ready_;
+  std::deque<Delayed> delayed_;
 };
 
 }  // namespace cgraph

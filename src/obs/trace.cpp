@@ -111,6 +111,37 @@ void RunTelemetry::publish(MetricsRegistry& reg) const {
       reg.counter("cgraph_fabric_async_bytes_total",
                   "Async bytes sent per machine", ml)
           .inc(static_cast<double>(m.async_bytes));
+      const struct {
+        const char* name;
+        const char* help;
+        std::uint64_t value;
+      } outcomes[] = {
+          {"cgraph_fabric_delivered_packets_total",
+           "Mailbox deposits (duplicates included) per sending machine",
+           m.delivered_packets},
+          {"cgraph_fabric_dropped_packets_total",
+           "Transmission attempts dropped by the fault layer",
+           m.dropped_packets},
+          {"cgraph_fabric_duplicated_packets_total",
+           "Attempts delivered twice by the fault layer",
+           m.duplicated_packets},
+          {"cgraph_fabric_retried_packets_total",
+           "Retransmission attempts (staged retry loop + async ack "
+           "timeouts)",
+           m.retried_packets},
+          {"cgraph_fabric_ack_packets_total",
+           "Acknowledgement frames sent by the reliable async protocol",
+           m.ack_packets},
+          {"cgraph_fabric_delivery_failed_packets_total",
+           "Packets abandoned after the bounded retry budget",
+           m.delivery_failed_packets},
+          {"cgraph_fabric_dedup_suppressed_packets_total",
+           "Duplicate deliveries suppressed by receiver dedup filters",
+           m.dedup_suppressed_packets},
+      };
+      for (const auto& o : outcomes) {
+        reg.counter(o.name, o.help, ml).inc(static_cast<double>(o.value));
+      }
     }
   }
   if (straggler_n > 0) {

@@ -68,6 +68,16 @@ struct MachineTrace {
   std::uint64_t staged_bytes = 0;
   std::uint64_t async_packets = 0;
   std::uint64_t async_bytes = 0;
+  // Per-attempt delivery outcomes (non-zero under a FaultPlan). These obey
+  //   delivered == staged + async + ack + retried - dropped + duplicated
+  // exactly, which test_obs.cpp asserts through the exposition endpoint.
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t duplicated_packets = 0;
+  std::uint64_t retried_packets = 0;
+  std::uint64_t ack_packets = 0;
+  std::uint64_t delivery_failed_packets = 0;
+  std::uint64_t dedup_suppressed_packets = 0;
 };
 
 /// One bit-parallel (or queue-mode) batch of the concurrent scheduler.

@@ -56,6 +56,7 @@ MsBfsBatchResult run_async_khop(Cluster& cluster,
   cluster.reset_clocks();
   cluster.reset_telemetry();
   cluster.fabric().reset_counters();
+  cluster.fabric().reset_delivery_state();
   obs::TraceSpan span("run_async_khop");
   WallTimer wall;
 
@@ -112,6 +113,20 @@ MsBfsBatchResult run_async_khop(Cluster& cluster,
         }
       }
 
+      // Graceful degradation: a failed send is one the fabric dropped on
+      // every attempt, so the receiver never saw those tasks and never
+      // decremented for them — release their termination credits here or
+      // the quiescence check would wedge forever. (Quiescence tests `<= 0`
+      // purely defensively; the failure-detector contract keeps the
+      // counter non-negative.)
+      for (FailedSend& f : mc.take_failed_async()) {
+        CGRAPH_DCHECK(f.tag == kAsyncVisitTag);
+        PacketReader pr(f.payload);
+        const auto lost = pr.read_vector<AsyncTask>();
+        in_flight.fetch_sub(static_cast<std::int64_t>(lost.size()),
+                            std::memory_order_acq_rel);
+      }
+
       if (queue.empty()) {
         if (!idle) {
           idle = true;
@@ -119,7 +134,7 @@ MsBfsBatchResult run_async_khop(Cluster& cluster,
         }
         // Quiescent iff every machine is idle and nothing is in flight.
         if (idle_count.load(std::memory_order_acquire) == P &&
-            in_flight.load(std::memory_order_acquire) == 0) {
+            in_flight.load(std::memory_order_acquire) <= 0) {
           done.store(true, std::memory_order_release);
         }
         continue;

@@ -63,12 +63,19 @@ MsBfsBatchResult run_distributed_khop(
   cluster.reset_clocks();
   cluster.reset_telemetry();
   cluster.fabric().reset_counters();
+  cluster.fabric().reset_delivery_state();
   WallTimer wall;
 
   cluster.run([&](MachineContext& mc) {
     const SubgraphShard& shard = shards[mc.id()];
     const VertexRange range = shard.local_range();
     const VertexId nlocal = range.size();
+
+    // Exactly-once application of exchanged task packets: the visited
+    // bitmap makes task application idempotent anyway, but a duplicated
+    // packet must not re-queue vertices into `next`, so packets are
+    // filtered by (sender, seq) before decoding.
+    DedupFilter dedup;
 
     // Per-query state: visited bitmap over local vertices and the current
     // level's task queue (local vertex ids, global numbering).
@@ -132,6 +139,10 @@ MsBfsBatchResult run_distributed_khop(
 
       for (Envelope& env : mc.recv_staged()) {
         CGRAPH_CHECK(env.tag == kVisitTag);
+        if (!dedup.accept(env.from, env.seq)) {
+          mc.cluster().fabric().record_dedup_suppressed(mc.id());
+          continue;
+        }
         PacketReader pr(env.payload);
         for (const VisitTask& task : pr.read_vector<VisitTask>()) {
           CGRAPH_DCHECK(range.contains(task.target));

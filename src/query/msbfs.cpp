@@ -224,12 +224,18 @@ MsBfsBatchResult run_distributed_msbfs_core(
   cluster.reset_clocks();
   cluster.reset_telemetry();
   cluster.fabric().reset_counters();
+  cluster.fabric().reset_delivery_state();
   WallTimer wall;
 
   cluster.run([&](MachineContext& mc) {
     const SubgraphShard& shard = shards[mc.id()];
     const VertexRange range = shard.local_range();
     const VertexId nlocal = range.size();
+
+    // Discover bits are OR-ed (idempotent), so duplicated packets cannot
+    // corrupt state — the filter keeps delivery exactly-once so the
+    // dedup-suppression counters reconcile under fault plans.
+    DedupFilter dedup;
 
     BatchFrontier bf(nlocal, Q);
     frontier_bytes_total.fetch_add(bf.memory_bytes(),
@@ -342,6 +348,10 @@ MsBfsBatchResult run_distributed_msbfs_core(
       WordRow incoming_bits;
       for (Envelope& env : mc.recv_staged()) {
         CGRAPH_CHECK(env.tag == kRemoteDiscoverTag);
+        if (!dedup.accept(env.from, env.seq)) {
+          mc.cluster().fabric().record_dedup_suppressed(mc.id());
+          continue;
+        }
         PacketReader pr(env.payload);
         const auto count = pr.read<std::uint64_t>();
         for (std::uint64_t j = 0; j < count; ++j) {

@@ -130,6 +130,17 @@ ConcurrentRunResult run_concurrent_queries(
       mt.staged_bytes = tc.staged_bytes.load(std::memory_order_relaxed);
       mt.async_packets = tc.async_packets.load(std::memory_order_relaxed);
       mt.async_bytes = tc.async_bytes.load(std::memory_order_relaxed);
+      mt.delivered_packets =
+          tc.delivered_packets.load(std::memory_order_relaxed);
+      mt.dropped_packets = tc.dropped_packets.load(std::memory_order_relaxed);
+      mt.duplicated_packets =
+          tc.duplicated_packets.load(std::memory_order_relaxed);
+      mt.retried_packets = tc.retried_packets.load(std::memory_order_relaxed);
+      mt.ack_packets = tc.ack_packets.load(std::memory_order_relaxed);
+      mt.delivery_failed_packets =
+          tc.delivery_failed_packets.load(std::memory_order_relaxed);
+      mt.dedup_suppressed_packets =
+          tc.dedup_suppressed_packets.load(std::memory_order_relaxed);
       bt.machines.push_back(mt);
     }
     run.telemetry.batches.push_back(std::move(bt));

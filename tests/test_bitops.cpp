@@ -135,6 +135,41 @@ TEST(QueryBitRows, SwapExchangesContents) {
   EXPECT_TRUE(b.test(0, 0));
 }
 
+TEST(QueryBitRows, WordEdgeQueryCounts) {
+  // Query counts straddling the 64-bit word boundary: 63 and 64 queries
+  // must pack into one word per row, 65 must spill into two — and the
+  // bits on either side of the seam must not alias.
+  for (const std::size_t q_count : {std::size_t{63}, std::size_t{64},
+                                    std::size_t{65}}) {
+    QueryBitRows rows(3, q_count);
+    EXPECT_EQ(rows.words_per_row(), q_count <= 64 ? 1u : 2u)
+        << q_count << " queries";
+
+    // Set the last valid query bit on every row; nothing else may appear.
+    for (std::size_t r = 0; r < 3; ++r) rows.set(r, q_count - 1);
+    EXPECT_EQ(rows.count(), 3u) << q_count << " queries";
+    for (std::size_t r = 0; r < 3; ++r) {
+      EXPECT_TRUE(rows.test(r, q_count - 1));
+      EXPECT_FALSE(rows.test(r, 0));
+      EXPECT_TRUE(rows.row_any(r));
+    }
+
+    // First and last bit of the same row live in the right words.
+    rows.set(1, 0);
+    EXPECT_EQ(rows.row(1)[0] & Word{1}, Word{1});
+    if (q_count == 65) {
+      // Bit 64 is bit 0 of the second word, not bit 63 of the first.
+      EXPECT_EQ(rows.row(1)[1], Word{1});
+      EXPECT_EQ(rows.row(1)[0] >> 63, Word{0});
+    } else {
+      EXPECT_EQ(rows.row(1)[0] >> (q_count - 1), Word{1});
+    }
+    rows.clear_row(1);
+    EXPECT_FALSE(rows.row_any(1));
+    EXPECT_EQ(rows.count(), 2u);
+  }
+}
+
 TEST(QueryBitRowsDeathTest, OversizedBatchAborts) {
   EXPECT_DEATH(QueryBitRows(4, QueryBitRows::kMaxBatchWords * 64 + 1),
                "query batch exceeds");

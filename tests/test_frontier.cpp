@@ -47,6 +47,69 @@ TEST(BatchFrontier, AdvanceSwapsAndReportsActivity) {
   EXPECT_FALSE(bf.advance());
 }
 
+TEST(BatchFrontier, EmptyFrontierAdvanceReportsInactive) {
+  // A frontier with no discoveries at all: advance() must report inactive
+  // immediately and stay inactive however often it is called, without
+  // resurrecting stale bits.
+  BatchFrontier bf(16, 3);
+  EXPECT_FALSE(bf.advance());
+  EXPECT_FALSE(bf.advance());
+  for (std::size_t v = 0; v < bf.num_vertices(); ++v) {
+    EXPECT_FALSE(bf.frontier().row_any(v));
+    EXPECT_FALSE(bf.next().row_any(v));
+  }
+  // Seeding alone populates frontier, not next: the following advance
+  // rotates the (empty) next plane in and reports inactive.
+  bf.seed(5, 1);
+  EXPECT_TRUE(bf.frontier().test(5, 1));
+  EXPECT_FALSE(bf.advance());
+  EXPECT_FALSE(bf.frontier().test(5, 1));  // rotated out
+  EXPECT_TRUE(bf.visited().test(5, 1));    // visited survives rotation
+}
+
+TEST(BatchFrontier, LevelRotationKeepsPlanesDisjointOverManyLevels) {
+  // Simulate a 1 -> 2 -> 4 -> ... discovery cascade and check the
+  // frontier/next/visited invariants after every rotation:
+  //   * next is empty right after advance(),
+  //   * the new frontier is exactly the previous level's discoveries,
+  //   * visited accumulates monotonically and re-discovery never re-queues.
+  const std::size_t n = 64;
+  BatchFrontier bf(n, 2);
+  bf.seed(0, 0);
+  bf.seed(0, 1);
+
+  std::size_t level_begin = 0, level_width = 1;
+  std::uint64_t expected_visited = 2;  // both queries at vertex 0
+  for (int level = 0; level < 4; ++level) {
+    // Each frontier vertex "discovers" the next 2*width vertices.
+    Word both[1] = {0b11};
+    const std::size_t next_begin = level_begin + level_width;
+    const std::size_t next_width = 2 * level_width;
+    for (std::size_t v = next_begin; v < next_begin + next_width; ++v) {
+      bf.discover(v, both);
+      bf.discover(v, both);  // duplicate discovery must be a no-op
+    }
+    // Re-discovering an already-visited vertex must not re-enter next.
+    bf.discover(level_begin, both);
+    EXPECT_FALSE(bf.next().test(level_begin, 0));
+
+    expected_visited += 2 * next_width;
+    EXPECT_TRUE(bf.advance());
+    EXPECT_EQ(bf.visited().count(), expected_visited);
+    for (std::size_t v = 0; v < n; ++v) {
+      EXPECT_FALSE(bf.next().row_any(v)) << "next not cleared at v=" << v;
+      const bool in_frontier =
+          v >= next_begin && v < next_begin + next_width;
+      EXPECT_EQ(bf.frontier().test(v, 0), in_frontier) << "v=" << v;
+      EXPECT_EQ(bf.frontier().test(v, 1), in_frontier) << "v=" << v;
+    }
+    level_begin = next_begin;
+    level_width = next_width;
+  }
+  // No new discoveries: the cascade dies in one rotation.
+  EXPECT_FALSE(bf.advance());
+}
+
 TEST(BatchFrontier, FigureSixWalkthrough) {
   // Paper Fig. 6: 10 vertices, two queries from sources 0 and 4.
   BatchFrontier bf(10, 2);

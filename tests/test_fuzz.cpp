@@ -4,7 +4,10 @@
 // corner cases that targeted tests miss.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "cgraph/cgraph.hpp"
+#include "net/fault.hpp"
 #include "util/rng.hpp"
 
 namespace cgraph {
@@ -113,6 +116,91 @@ TEST_P(PageRankFuzz, DistributedMatchesSerial) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PageRankFuzz,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+class ChaosFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Graph shape AND fault plan are randomized together: the reliability
+// protocols must hold on any topology, not just the chaos suite's fixed
+// shapes. Mirrors EngineFuzz with a seeded FaultPlan installed; the plan's
+// describe() line lands in the failure output for replay.
+TEST_P(ChaosFuzz, EnginesMatchReferenceUnderRandomFaults) {
+  Xoshiro256 rng(GetParam() * 0x9e3779b97f4a7c15ULL);
+
+  const VertexId n = 16 + static_cast<VertexId>(rng.next_bounded(300));
+  const EdgeIndex m = 1 + rng.next_bounded(static_cast<std::uint64_t>(n) * 5);
+  EdgeList edges;
+  switch (rng.next_bounded(3)) {
+    case 0:
+      edges = generate_uniform(n, m, rng.next());
+      break;
+    case 1: {
+      RmatParams p;
+      p.scale = 5 + static_cast<unsigned>(rng.next_bounded(4));
+      p.edge_factor = 1.0 + static_cast<double>(rng.next_bounded(6));
+      p.seed = rng.next();
+      edges = generate_rmat(p);
+      break;
+    }
+    default:
+      edges = generate_watts_strogatz(
+          std::max<VertexId>(n, 8), 4,
+          0.3 * rng.next_double(), rng.next());
+      break;
+  }
+  const Graph g = Graph::build(std::move(edges));
+  if (g.num_vertices() == 0) return;
+
+  const auto machines = static_cast<PartitionId>(2 + rng.next_bounded(5));
+  const auto part = RangePartition::balanced_by_edges(g, machines);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(machines);
+
+  auto plan = std::make_shared<FaultPlan>(GetParam());
+  LinkFaultSpec mix;
+  mix.drop = 0.20 * rng.next_double();
+  mix.duplicate = 0.10 * rng.next_double();
+  mix.reorder = 0.10 * rng.next_double();
+  mix.delay = 0.05 * rng.next_double();
+  mix.delay_polls = 1 + static_cast<std::uint32_t>(rng.next_bounded(3));
+  plan->set_default_link(mix);
+  // A few links get a distinct (often harsher) override.
+  for (int i = 0; i < 2; ++i) {
+    LinkFaultSpec link = mix;
+    link.drop = 0.35 * rng.next_double();
+    plan->set_link(
+        static_cast<PartitionId>(rng.next_bounded(machines)),
+        static_cast<PartitionId>(rng.next_bounded(machines)), link);
+  }
+  SCOPED_TRACE(plan->describe());
+  cluster.fabric().install_fault_plan(plan);
+
+  std::vector<KHopQuery> queries;
+  const std::size_t q_count = 1 + rng.next_bounded(8);
+  for (QueryId i = 0; i < q_count; ++i) {
+    queries.push_back(
+        {i, static_cast<VertexId>(rng.next_bounded(g.num_vertices())),
+         static_cast<Depth>(rng.next_bounded(7))});
+  }
+  std::vector<std::uint64_t> expected;
+  for (const auto& q : queries) {
+    expected.push_back(khop_reach_count(g, q.source, q.k));
+  }
+
+  const auto bits = run_distributed_msbfs(cluster, shards, part, queries);
+  EXPECT_EQ(bits.visited, expected) << "msbfs, seed " << GetParam();
+
+  const auto queue = run_distributed_khop(cluster, shards, part, queries);
+  EXPECT_EQ(queue.visited, expected) << "khop, seed " << GetParam();
+
+  const auto async = run_async_khop(cluster, shards, part, queries);
+  EXPECT_EQ(async.visited, expected) << "async, seed " << GetParam();
+
+  EXPECT_EQ(cluster.fabric().total_delivery_failed(), 0u)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFuzz,
+                         ::testing::Range<std::uint64_t>(1, 17));
 
 }  // namespace
 }  // namespace cgraph

@@ -43,6 +43,62 @@ TEST(Scheduler, ResultsMatchReferencePerQuery) {
   }
 }
 
+// Batch-width boundaries: a degenerate width of 1 (every query is its own
+// batch, the bit planes are 1 bit wide), exactly one machine word (64 —
+// the seam where a second word would start), and more queries than the
+// graph has vertices. Each must agree with the serial reference per query.
+TEST(Scheduler, BatchWidthOneMatchesReference) {
+  Fixture f(2, /*scale=*/7);
+  const auto queries = make_random_queries(f.graph, 5, 3, 17);
+  SchedulerOptions opts;
+  opts.batch_width = 1;
+  const auto run = run_concurrent_queries(f.cluster, f.shards, f.partition,
+                                          queries, opts);
+  EXPECT_EQ(run.batches, queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(run.queries[i].visited,
+              khop_reach_count(f.graph, queries[i].source, queries[i].k))
+        << "query " << i;
+  }
+}
+
+TEST(Scheduler, BatchWidthExactlyOneWordMatchesReference) {
+  Fixture f(3, /*scale=*/8);
+  const auto queries = make_random_queries(f.graph, 64, 3, 19);
+  SchedulerOptions opts;
+  opts.batch_width = 64;  // one full word per row, zero slack bits
+  const auto run = run_concurrent_queries(f.cluster, f.shards, f.partition,
+                                          queries, opts);
+  EXPECT_EQ(run.batches, 1u);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(run.queries[i].visited,
+              khop_reach_count(f.graph, queries[i].source, queries[i].k))
+        << "query " << i;
+  }
+}
+
+TEST(Scheduler, MoreQueriesThanVerticesMatchesReference) {
+  // A tiny graph (2^5 vertex-id space) hammered by 3x more queries than
+  // vertices: sources repeat, batches span the whole graph, and both the
+  // bit-parallel and queue engines must still answer every query exactly.
+  Fixture f(2, /*scale=*/5);
+  ASSERT_LT(f.graph.num_vertices(), 96u);
+  const auto queries = make_random_queries(f.graph, 96, 4, 23);
+  for (const bool bit_parallel : {true, false}) {
+    SchedulerOptions opts;
+    opts.batch_width = 48;
+    opts.use_bit_parallel = bit_parallel;
+    const auto run = run_concurrent_queries(f.cluster, f.shards, f.partition,
+                                            queries, opts);
+    ASSERT_EQ(run.queries.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(run.queries[i].visited,
+                khop_reach_count(f.graph, queries[i].source, queries[i].k))
+          << (bit_parallel ? "bit-parallel" : "queue") << " query " << i;
+    }
+  }
+}
+
 TEST(Scheduler, LaterBatchesWaitLonger) {
   Fixture f(2);
   const auto queries = make_random_queries(f.graph, 96, 3, 9);
