@@ -202,6 +202,25 @@ void BM_MsBfsBatch64(benchmark::State& state) {
 }
 BENCHMARK(BM_MsBfsBatch64);
 
+// Thread-scaling of the bit-parallel batch: the same 64 queries with the
+// per-level scans split over Arg(0) compute threads. Results are bit-exact
+// across args; items/sec should scale with threads until physical cores
+// run out (expect >=2x at Arg(4) on a 4+ core host).
+void BM_MsBfsBatchThreads(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const auto queries = make_random_queries(g, 64, 3, 42);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::uint64_t edges = 0;
+  for (auto _ : state) {
+    auto r = msbfs_batch(g, queries, threads);
+    edges = r.edges_scanned;
+    benchmark::DoNotOptimize(r.visited.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(edges));
+}
+BENCHMARK(BM_MsBfsBatchThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
 }  // namespace
 }  // namespace cgraph
 

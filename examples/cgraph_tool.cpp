@@ -6,9 +6,16 @@
 //   cgraph_tool convert  --in edges.txt --out g.bin      (text -> binary)
 //   cgraph_tool stats    --in g.bin [--machines 4] [--hop-samples 8]
 //   cgraph_tool query    --in g.bin --source 0 [--k 3] [--machines 4]
-//                        [--paths] [--target 42]
+//                        [--paths] [--target 42] [--threads N]
 //   cgraph_tool batch    --in g.bin --queries 100 [--k 3] [--machines 4]
+//                        [--threads N]
 //   cgraph_tool pagerank --in g.bin [--iterations 10] [--machines 4]
+//                        [--threads N]
+//
+// --threads N sets the intra-machine compute threads for traversal and
+// GAS phases (0 = one per hardware core, 1 = serial; results are
+// bit-exact either way). Without the flag, $CGRAPH_THREADS applies, and
+// with neither, each simulated machine computes serially.
 //
 // Any command also takes --metrics-out PATH: after the command runs, the
 // process-global metrics registry (query spans, superstep counters, fabric
@@ -145,6 +152,10 @@ int cmd_query(const Options& opts) {
   const auto part = RangePartition::balanced_by_edges(g, machines);
   const auto shards = build_shards(g, part);
   Cluster cluster(machines);
+  if (opts.has("threads")) {
+    cluster.set_compute_threads(
+        static_cast<std::size_t>(opts.get_int("threads", 1)));
+  }
   const KHopQuery q{0, source, k};
 
   if (opts.has("paths")) {
@@ -198,7 +209,12 @@ int cmd_batch(const Options& opts) {
   Cluster cluster(machines);
   const auto queries = make_random_queries(
       g, count, k, static_cast<std::uint64_t>(opts.get_int("seed", 1)));
-  const auto run = run_concurrent_queries(cluster, shards, part, queries);
+  SchedulerOptions sched;
+  if (opts.has("threads")) {
+    sched.threads = static_cast<std::size_t>(opts.get_int("threads", 1));
+  }
+  const auto run =
+      run_concurrent_queries(cluster, shards, part, queries, sched);
 
   ResponseTimeSeries times("batch");
   for (const auto& qr : run.queries) times.add(qr.sim_seconds);
@@ -225,6 +241,10 @@ int cmd_pagerank(const Options& opts) {
   const auto part = RangePartition::balanced_by_edges(g, machines);
   const auto shards = build_shards(g, part);
   Cluster cluster(machines);
+  if (opts.has("threads")) {
+    cluster.set_compute_threads(
+        static_cast<std::size_t>(opts.get_int("threads", 1)));
+  }
   const GasResult r = run_pagerank(cluster, shards, part, iters);
 
   // Top 5 vertices by rank.

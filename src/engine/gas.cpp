@@ -1,9 +1,11 @@
 #include "engine/gas.hpp"
 
+#include <atomic>
 #include <mutex>
 
 #include "net/serialize.hpp"
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace cgraph {
@@ -30,6 +32,8 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
   result.values.assign(num_vertices, 0.0);
   result.stats.per_iteration_sim_seconds.assign(iterations, 0.0);
   std::mutex iter_time_mu;
+  std::atomic<std::uint64_t> ptasks_total{0};
+  std::atomic<std::uint64_t> stealwait_ns_total{0};
 
   cluster.reset_clocks();
   cluster.fabric().reset_counters();
@@ -40,6 +44,11 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
     const SubgraphShard& shard = shards[mc.id()];
     const VertexRange range = shard.local_range();
     const VertexId nlocal = range.size();
+    // Intra-machine compute pool (nullptr = serial), sized by
+    // Cluster::set_compute_threads / $CGRAPH_THREADS.
+    ThreadPool* pool = mc.pool();
+    std::uint64_t my_ptasks = 0;
+    double my_steal = 0;
 
     // Scatter records are assignments (last write wins, values identical
     // within an iteration), so duplicates are harmless — the filter keeps
@@ -87,9 +96,14 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
     double last_sim = mc.clock().seconds();
     for (std::uint64_t iter = 0; iter < iterations; ++iter) {
       // --- Scatter phase: compute outgoing contribution per local vertex.
-      for (VertexId i = 0; i < nlocal; ++i) {
-        scatter_local[i] = program.scatter(value[i], shard.out_degrees()[i]);
-      }
+      // Each slot is written by exactly one pool thread.
+      const ParallelForStats scatter_stats = parallel_ranges(
+          pool, nlocal, [&](std::size_t ib, std::size_t ie) {
+            for (std::size_t i = ib; i < ie; ++i) {
+              scatter_local[i] =
+                  program.scatter(value[i], shard.out_degrees()[i]);
+            }
+          });
       mc.charge_compute(/*edges=*/0, /*vertices=*/nlocal);
 
       // --- Push boundary values to the partitions that gather from them.
@@ -120,33 +134,52 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
 
       // --- Gather + apply, fully local thanks to the CSC (or its tiled
       // edge-set view when the shard was built with vertical
-      // consolidation).
-      std::uint64_t edges_scanned = 0;
+      // consolidation). Pool threads claim vertex ranges; each vertex's
+      // float fold runs wholly on one thread in edge order, so values are
+      // bit-identical for any thread count.
+      std::atomic<std::uint64_t> edges_acc{0};
       auto incoming_of = [&](VertexId p) {
         return range.contains(p) ? scatter_local[p - range.begin]
                                  : scatter_remote[p];
       };
+      ParallelForStats gather_stats;
       if (shard.has_in_sets()) {
-        for (VertexId i = 0; i < nlocal; ++i) {
-          double sum = program.gather_init();
-          shard.in_sets().for_each_neighbor(
-              range.begin + i, [&](VertexId p) {
-                sum = program.gather(sum, incoming_of(p));
-                ++edges_scanned;
-              });
-          value[i] = program.apply(sum, value[i], num_vertices);
-        }
+        gather_stats = parallel_ranges(
+            pool, nlocal, [&](std::size_t ib, std::size_t ie) {
+              std::uint64_t chunk_edges = 0;
+              for (std::size_t i = ib; i < ie; ++i) {
+                double sum = program.gather_init();
+                shard.in_sets().for_each_neighbor(
+                    range.begin + static_cast<VertexId>(i),
+                    [&](VertexId p) {
+                      sum = program.gather(sum, incoming_of(p));
+                      ++chunk_edges;
+                    });
+                value[i] = program.apply(sum, value[i], num_vertices);
+              }
+              edges_acc.fetch_add(chunk_edges, std::memory_order_relaxed);
+            });
       } else {
-        for (VertexId i = 0; i < nlocal; ++i) {
-          double sum = program.gather_init();
-          for (VertexId p : shard.in_csr().neighbors(i)) {
-            sum = program.gather(sum, incoming_of(p));
-          }
-          edges_scanned += shard.in_csr().degree(i);
-          value[i] = program.apply(sum, value[i], num_vertices);
-        }
+        gather_stats = parallel_ranges(
+            pool, nlocal, [&](std::size_t ib, std::size_t ie) {
+              std::uint64_t chunk_edges = 0;
+              for (std::size_t i = ib; i < ie; ++i) {
+                double sum = program.gather_init();
+                for (VertexId p :
+                     shard.in_csr().neighbors(static_cast<VertexId>(i))) {
+                  sum = program.gather(sum, incoming_of(p));
+                }
+                chunk_edges += shard.in_csr().degree(
+                    static_cast<VertexId>(i));
+                value[i] = program.apply(sum, value[i], num_vertices);
+              }
+              edges_acc.fetch_add(chunk_edges, std::memory_order_relaxed);
+            });
       }
-      mc.charge_compute(edges_scanned, nlocal);
+      mc.charge_compute(edges_acc.load(std::memory_order_relaxed), nlocal);
+      my_ptasks += scatter_stats.tasks + gather_stats.tasks;
+      my_steal +=
+          scatter_stats.join_wait_seconds + gather_stats.join_wait_seconds;
       mc.barrier();  // iteration boundary: everyone advances together
 
       if (mc.id() == 0) {
@@ -163,6 +196,10 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
     for (VertexId i = 0; i < nlocal; ++i) {
       result.values[range.begin + i] = value[i];
     }
+    ptasks_total.fetch_add(my_ptasks, std::memory_order_relaxed);
+    stealwait_ns_total.fetch_add(
+        static_cast<std::uint64_t>(my_steal * 1e9),
+        std::memory_order_relaxed);
   });
 
   result.stats.iterations = iterations;
@@ -170,6 +207,12 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
   result.stats.sim_seconds = cluster.sim_seconds();
   result.stats.packets = cluster.fabric().total_packets();
   result.stats.bytes = cluster.fabric().total_bytes();
+  result.stats.parallel_tasks =
+      ptasks_total.load(std::memory_order_relaxed);
+  result.stats.steal_wait_seconds =
+      static_cast<double>(
+          stealwait_ns_total.load(std::memory_order_relaxed)) *
+      1e-9;
   return result;
 }
 

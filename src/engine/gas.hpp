@@ -44,6 +44,12 @@ struct GasStats {
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
   std::vector<double> per_iteration_sim_seconds;
+  /// Intra-machine pool chunks executed across all scatter and gather
+  /// phases (summed over machines and iterations); one chunk per phase per
+  /// machine per iteration means the run was serial.
+  std::uint64_t parallel_tasks = 0;
+  /// Host seconds machine threads spent joining their compute pools.
+  double steal_wait_seconds = 0;
 };
 
 struct GasResult {
@@ -52,6 +58,10 @@ struct GasResult {
 };
 
 /// Run `iterations` synchronous GAS supersteps over the sharded graph.
+/// Inside each machine the scatter and gather+apply phases parallelize
+/// per vertex over the Cluster's compute pool (set_compute_threads /
+/// $CGRAPH_THREADS); each vertex's gather fold runs wholly on one thread
+/// in edge order, so values are bit-identical for any thread count.
 GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
                   const RangePartition& partition, const GasProgram& program,
                   std::uint64_t iterations);

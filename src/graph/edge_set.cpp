@@ -168,6 +168,12 @@ EdgeSetGrid EdgeSetGrid::build(VertexRange src_range,
   return grid;
 }
 
+std::size_t EdgeSetGrid::row_of_set(std::size_t i) const {
+  CGRAPH_DCHECK(i < sets_.size());
+  auto it = std::upper_bound(row_begin_.begin(), row_begin_.end(), i);
+  return static_cast<std::size_t>(it - row_begin_.begin() - 1);
+}
+
 std::size_t EdgeSetGrid::row_of(VertexId s) const {
   CGRAPH_DCHECK(src_range_.contains(s));
   auto it = std::upper_bound(

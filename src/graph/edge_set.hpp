@@ -115,6 +115,18 @@ class EdgeSetGrid {
 
   [[nodiscard]] const std::vector<EdgeSet>& sets() const { return sets_; }
 
+  /// Flat-index block access for parallel range scans: blocks are numbered
+  /// row-major in [0, num_sets()), so a parallel_for over flat indices
+  /// partitions the whole grid into cache-sized units of work.
+  [[nodiscard]] const EdgeSet& set_at(std::size_t i) const {
+    CGRAPH_DCHECK(i < sets_.size());
+    return sets_[i];
+  }
+
+  /// Row index of flat block i (gives the block's source vertex range via
+  /// row_range()). O(log rows).
+  [[nodiscard]] std::size_t row_of_set(std::size_t i) const;
+
   /// Row index containing global source vertex s.
   [[nodiscard]] std::size_t row_of(VertexId s) const;
 

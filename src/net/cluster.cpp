@@ -149,6 +149,8 @@ void MachineContext::charge_compute(std::uint64_t edges,
   cluster_.clocks_[id_].charge_compute(cluster_.cost_model_, edges, vertices);
 }
 
+ThreadPool* MachineContext::pool() { return cluster_.compute_pool(id_); }
+
 SimClock& MachineContext::clock() { return cluster_.clocks_[id_]; }
 
 Cluster::Cluster(PartitionId num_machines, CostModel cost_model)
@@ -185,9 +187,38 @@ Cluster::Cluster(PartitionId num_machines, CostModel cost_model)
       }) {
   CGRAPH_CHECK(num_machines > 0);
   telemetry_.machines.resize(num_machines);
+  compute_threads_ = default_compute_threads();
+}
+
+void Cluster::set_compute_threads(std::size_t threads) {
+  const std::size_t old = resolve_compute_threads(compute_threads_);
+  compute_threads_ = threads;
+  if (resolve_compute_threads(threads) != old) {
+    pools_.clear();  // rebuilt lazily by the next run()
+  }
+}
+
+ThreadPool* Cluster::compute_pool(PartitionId id) {
+  if (id >= pools_.size()) return nullptr;
+  return pools_[id].get();
+}
+
+void Cluster::ensure_compute_pools() {
+  const std::size_t resolved = resolve_compute_threads(compute_threads_);
+  if (resolved <= 1) {
+    pools_.clear();
+    return;
+  }
+  if (!pools_.empty()) return;
+  pools_.resize(num_machines());
+  for (auto& p : pools_) {
+    // `resolved` counts the machine thread itself; workers are the rest.
+    p = std::make_unique<ThreadPool>(resolved - 1);
+  }
 }
 
 void Cluster::run(const std::function<void(MachineContext&)>& body) {
+  ensure_compute_pools();
   const PartitionId n = num_machines();
   if (n == 1) {
     set_thread_machine(0);

@@ -10,6 +10,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "net/fabric.hpp"
 #include "net/fault.hpp"
 #include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cgraph {
 
@@ -130,6 +132,11 @@ class MachineContext {
   /// Charge local compute work to the simulated clock.
   void charge_compute(std::uint64_t edges, std::uint64_t vertices = 0);
 
+  /// This machine's intra-machine compute pool, or nullptr when the
+  /// cluster runs engines serially (compute_threads <= 1). Engines hand it
+  /// to parallel_ranges(), which degrades to an inline call on nullptr.
+  [[nodiscard]] ThreadPool* pool();
+
   [[nodiscard]] SimClock& clock();
 
  private:
@@ -170,6 +177,19 @@ class Cluster {
   [[nodiscard]] const CostModel& cost_model() const { return cost_model_; }
   [[nodiscard]] SimClock& clock(PartitionId id) { return clocks_[id]; }
 
+  /// Intra-machine parallelism for engine hot loops: each machine gets a
+  /// private ThreadPool of (threads - 1) workers, so `threads` counts the
+  /// machine thread itself. 0 selects one thread per hardware core; 1
+  /// (the default, unless $CGRAPH_THREADS overrides it) keeps engines
+  /// serial. Must not be called while run() is executing.
+  void set_compute_threads(std::size_t threads);
+  /// The configured knob value (0 = hardware), not the resolved count.
+  [[nodiscard]] std::size_t compute_threads() const {
+    return compute_threads_;
+  }
+  /// Machine `id`'s pool, or nullptr when engines run serially.
+  [[nodiscard]] ThreadPool* compute_pool(PartitionId id);
+
   /// Execute `body(ctx)` on every machine concurrently; returns when all
   /// machines finish. Clocks and traffic counters persist across runs until
   /// reset_clocks() / fabric().reset_counters().
@@ -198,9 +218,17 @@ class Cluster {
  private:
   friend class MachineContext;
 
+  /// Build pools_ to match compute_threads_ (no-op when already built).
+  void ensure_compute_pools();
+
   Fabric fabric_;
   CostModel cost_model_;
   std::vector<SimClock> clocks_;
+  /// Configured intra-machine thread knob (0 = hardware) and the lazily
+  /// built per-machine pools realizing it. Pools are created on the first
+  /// run() after (re)configuration so idle Cluster objects stay cheap.
+  std::size_t compute_threads_ = 1;
+  std::vector<std::unique_ptr<ThreadPool>> pools_;
   // Written by the barrier completion callback (single-threaded) and by
   // each machine for its own wall/superstep fields; distinct fields, and
   // reads only happen after run() joins.

@@ -86,6 +86,15 @@ void RunTelemetry::publish(MetricsRegistry& reg) const {
                   "(summed over machines)",
                   lv)
           .inc(l.barrier_wait_sim_seconds);
+      reg.counter("cgraph_superstep_parallel_tasks_total",
+                  "Intra-machine pool chunks executed per traversal level",
+                  lv)
+          .inc(static_cast<double>(l.parallel_tasks));
+      reg.counter("cgraph_superstep_steal_wait_seconds_total",
+                  "Host seconds machine threads spent joining their "
+                  "compute pools per traversal level",
+                  lv)
+          .inc(l.steal_wait_seconds);
     }
 
     for (const MachineTrace& m : b.machines) {
@@ -165,12 +174,14 @@ std::string RunTelemetry::summary() const {
     for (const LevelTrace& l : b.levels) {
       std::snprintf(buf, sizeof buf,
                     "  level %u: frontier=%llu edges=%llu bitops=%llu "
-                    "barrier_wait=%.6fs\n",
+                    "barrier_wait=%.6fs tasks=%llu steal_wait=%.6fs\n",
                     l.level,
                     static_cast<unsigned long long>(l.frontier_vertices),
                     static_cast<unsigned long long>(l.edges_scanned),
                     static_cast<unsigned long long>(l.bit_ops),
-                    l.barrier_wait_sim_seconds);
+                    l.barrier_wait_sim_seconds,
+                    static_cast<unsigned long long>(l.parallel_tasks),
+                    l.steal_wait_seconds);
       out += buf;
     }
   }

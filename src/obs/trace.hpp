@@ -55,6 +55,13 @@ struct LevelTrace {
   std::uint64_t bit_ops = 0;
   /// Sum over machines of simulated idle time at this level's barriers.
   double barrier_wait_sim_seconds = 0;
+  /// Intra-machine pool chunks executed for this level (scan + commit
+  /// phases, summed over machines). One task per phase per machine means
+  /// the level ran serially.
+  std::uint64_t parallel_tasks = 0;
+  /// Host seconds machine threads spent blocked waiting for their pool
+  /// workers to drain this level's chunks (join-side steal wait).
+  double steal_wait_seconds = 0;
 };
 
 /// Per-machine counters for one batch, snapshotted from the cluster and

@@ -6,6 +6,7 @@
 #include "net/serialize.hpp"
 #include "util/assert.hpp"
 #include "util/bitops.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace cgraph {
@@ -54,10 +55,14 @@ MsBfsBatchResult run_distributed_khop(
   std::vector<std::atomic<std::uint64_t>> lvl_frontier(kMaxLevels);
   std::vector<std::atomic<std::uint64_t>> lvl_edges(kMaxLevels);
   std::vector<std::atomic<std::uint64_t>> lvl_bitops(kMaxLevels);
+  std::vector<std::atomic<std::uint64_t>> lvl_ptasks(kMaxLevels);
+  std::vector<std::atomic<std::uint64_t>> lvl_stealwait_ns(kMaxLevels);
   for (std::size_t i = 0; i < kMaxLevels; ++i) {
     lvl_frontier[i].store(0, std::memory_order_relaxed);
     lvl_edges[i].store(0, std::memory_order_relaxed);
     lvl_bitops[i].store(0, std::memory_order_relaxed);
+    lvl_ptasks[i].store(0, std::memory_order_relaxed);
+    lvl_stealwait_ns[i].store(0, std::memory_order_relaxed);
   }
 
   cluster.reset_clocks();
@@ -70,6 +75,9 @@ MsBfsBatchResult run_distributed_khop(
     const SubgraphShard& shard = shards[mc.id()];
     const VertexRange range = shard.local_range();
     const VertexId nlocal = range.size();
+    // Intra-machine compute pool (nullptr = serial), sized by
+    // Cluster::set_compute_threads / $CGRAPH_THREADS.
+    ThreadPool* pool = mc.pool();
 
     // Exactly-once application of exchanged task packets: the visited
     // bitmap makes task application idempotent anyway, but a duplicated
@@ -93,8 +101,11 @@ MsBfsBatchResult run_distributed_khop(
         Q * (words_for_bits(nlocal) * sizeof(Word)),
         std::memory_order_relaxed);
 
-    // Outgoing remote tasks, bucketed per owner machine.
-    std::vector<std::vector<VisitTask>> outbox(mc.num_machines());
+    // Outgoing remote tasks, bucketed per (query, owner machine) so pool
+    // threads never share a bucket; merged per owner in query order below.
+    const std::size_t M = mc.num_machines();
+    std::vector<std::vector<VisitTask>> outbox(Q * M);
+    std::vector<VisitTask> merged;
 
     std::vector<bool> done(Q, false);
     std::size_t done_count = 0;
@@ -102,38 +113,63 @@ MsBfsBatchResult run_distributed_khop(
 
     for (Depth level = 0; done_count < Q; ++level) {
       // --- Expand every active query's local frontier (Listing 2 body).
-      std::uint64_t level_edges = 0;
-      std::uint64_t level_tasks = 0;
-      std::uint64_t level_tnset = 0;
-      for (std::size_t q = 0; q < Q; ++q) {
-        if (batch[q].k <= level) continue;  // s.hops == k: stop expanding
-        level_tasks += frontier[q].size();
-        for (VertexId s : frontier[q]) {
-          shard.out_sets().for_each_neighbor(s, [&](VertexId t) {
-            ++level_edges;
-            if (range.contains(t)) {
-              ++level_tnset;
-              if (visited[q].atomic_test_and_set(t - range.begin)) {
-                next[q].push_back(t);  // Q.push(t)
+      // Pool threads claim ranges of queries: all of query q's state
+      // (visited[q], next[q], its outbox row) is touched by exactly one
+      // thread, and the merged per-destination packets below are assembled
+      // in query order, so queue contents and wire bytes are identical to
+      // the serial scatter for any thread count.
+      std::atomic<std::uint64_t> edges_acc{0};
+      std::atomic<std::uint64_t> tasks_acc{0};
+      std::atomic<std::uint64_t> tnset_acc{0};
+      const ParallelForStats scatter_stats = parallel_ranges(
+          pool, Q, [&](std::size_t qb, std::size_t qe) {
+            std::uint64_t chunk_edges = 0;
+            std::uint64_t chunk_tasks = 0;
+            std::uint64_t chunk_tnset = 0;
+            for (std::size_t q = qb; q < qe; ++q) {
+              if (batch[q].k <= level) continue;  // s.hops == k: stop
+              chunk_tasks += frontier[q].size();
+              for (VertexId s : frontier[q]) {
+                shard.out_sets().for_each_neighbor(s, [&](VertexId t) {
+                  ++chunk_edges;
+                  if (range.contains(t)) {
+                    ++chunk_tnset;
+                    if (visited[q].atomic_test_and_set(t - range.begin)) {
+                      next[q].push_back(t);  // Q.push(t)
+                    }
+                  } else {
+                    // sendTo(t, t.hops): dedup at the receiver's visited
+                    // set.
+                    outbox[q * M + partition.owner(t)].push_back(
+                        {t, static_cast<QueryId>(q),
+                         static_cast<Depth>(level + 1)});
+                  }
+                });
               }
-            } else {
-              // sendTo(t, t.hops): dedup at the receiver's visited set.
-              outbox[partition.owner(t)].push_back(
-                  {t, static_cast<QueryId>(q),
-                   static_cast<Depth>(level + 1)});
             }
+            edges_acc.fetch_add(chunk_edges, std::memory_order_relaxed);
+            tasks_acc.fetch_add(chunk_tasks, std::memory_order_relaxed);
+            tnset_acc.fetch_add(chunk_tnset, std::memory_order_relaxed);
           });
-        }
-      }
+      const std::uint64_t level_edges =
+          edges_acc.load(std::memory_order_relaxed);
+      const std::uint64_t level_tasks =
+          tasks_acc.load(std::memory_order_relaxed);
+      std::uint64_t level_tnset = tnset_acc.load(std::memory_order_relaxed);
       my_edges += level_edges;
       mc.charge_compute(level_edges);
 
-      for (PartitionId to = 0; to < outbox.size(); ++to) {
-        if (outbox[to].empty()) continue;
+      for (PartitionId to = 0; to < M; ++to) {
+        merged.clear();
+        for (std::size_t q = 0; q < Q; ++q) {
+          std::vector<VisitTask>& bucket = outbox[q * M + to];
+          merged.insert(merged.end(), bucket.begin(), bucket.end());
+          bucket.clear();
+        }
+        if (merged.empty()) continue;
         PacketWriter pw;
-        pw.write_span(std::span<const VisitTask>(outbox[to]));
+        pw.write_span(std::span<const VisitTask>(merged));
         mc.send(to, kVisitTag, pw.take());
-        outbox[to].clear();
       }
       mc.barrier();  // ---- exchange remote task buffers ----
 
@@ -159,6 +195,11 @@ MsBfsBatchResult run_distributed_khop(
           level_edges, std::memory_order_relaxed);
       lvl_bitops[static_cast<std::size_t>(level)].fetch_add(
           level_tnset, std::memory_order_relaxed);
+      lvl_ptasks[static_cast<std::size_t>(level)].fetch_add(
+          scatter_stats.tasks, std::memory_order_relaxed);
+      lvl_stealwait_ns[static_cast<std::size_t>(level)].fetch_add(
+          static_cast<std::uint64_t>(scatter_stats.join_wait_seconds * 1e9),
+          std::memory_order_relaxed);
 
       // --- Publish activity, advance queues.
       {
@@ -229,6 +270,11 @@ MsBfsBatchResult run_distributed_khop(
     lt.frontier_vertices = lvl_frontier[l].load(std::memory_order_relaxed);
     lt.edges_scanned = lvl_edges[l].load(std::memory_order_relaxed);
     lt.bit_ops = lvl_bitops[l].load(std::memory_order_relaxed);
+    lt.parallel_tasks = lvl_ptasks[l].load(std::memory_order_relaxed);
+    lt.steal_wait_seconds =
+        static_cast<double>(
+            lvl_stealwait_ns[l].load(std::memory_order_relaxed)) *
+        1e-9;
     for (std::size_t s = 2 * l; s < 2 * l + 2 && s < steps.size(); ++s) {
       lt.barrier_wait_sim_seconds += steps[s].barrier_wait_sim_seconds;
     }

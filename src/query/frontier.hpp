@@ -12,6 +12,7 @@
 // and current levels rather than a dense value per vertex per query.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -62,6 +63,44 @@ class BatchFrontier {
       const Word fresh = query_bits[w] & ~vis[w];
       nx[w] |= fresh;
       vis[w] |= fresh;
+    }
+  }
+
+  /// Deferred-commit discover for parallel edge-set scans: the next plane
+  /// takes `bits & ~visited` via a relaxed atomic OR, while the visited
+  /// plane is treated as read-only for the whole level and folded in once
+  /// by commit_rows(). OR is commutative and idempotent, so the result is
+  /// identical for any thread count and interleaving — this is what keeps
+  /// threads=1 and threads=N bit-exact.
+  void discover_atomic(std::size_t v, const Word* query_bits) {
+    Word* nx = next_.row(v);
+    const Word* vis = visited_.row(v);
+    for (std::size_t w = 0; w < frontier_.words_per_row(); ++w) {
+      const Word fresh = query_bits[w] & ~vis[w];
+      if (fresh == 0) continue;
+      // Same storage-aliasing trick as Bitmap::atomic_test_and_set: the
+      // word array is only ever touched atomically during the scan phase.
+      auto* a = reinterpret_cast<std::atomic<Word>*>(&nx[w]);
+      a->fetch_or(fresh, std::memory_order_relaxed);
+    }
+  }
+
+  /// Close a level for rows [begin, end): fold the next plane into
+  /// visited (the once-per-level visited update paired with
+  /// discover_atomic) and OR each next row into `nonempty_out`
+  /// (words_per_row() words, the per-query occupancy mask). Disjoint row
+  /// ranges may be committed concurrently; call only after every
+  /// discover_atomic of the level has completed (a pool join provides the
+  /// needed ordering).
+  void commit_rows(std::size_t begin, std::size_t end, Word* nonempty_out) {
+    const std::size_t W = frontier_.words_per_row();
+    for (std::size_t v = begin; v < end; ++v) {
+      const Word* nx = next_.row(v);
+      Word* vis = visited_.row(v);
+      for (std::size_t w = 0; w < W; ++w) {
+        vis[w] |= nx[w];
+        nonempty_out[w] |= nx[w];
+      }
     }
   }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <memory>
+#include <mutex>
 
 #include "net/serialize.hpp"
 #include "query/frontier.hpp"
@@ -76,13 +78,28 @@ bool row_masked_any(const Word* row, const WordRow& mask, std::size_t words,
   return any != 0;
 }
 
+// Relaxed OR into a plain shared word. Legal for the same reason as
+// Bitmap::atomic_test_and_set: during a parallel scan phase these words are
+// only ever touched through this atomic view, and OR commutes, so the final
+// value is independent of thread interleaving.
+inline void atomic_or_word(Word* word, Word bits) {
+  reinterpret_cast<std::atomic<Word>*>(word)->fetch_or(
+      bits, std::memory_order_relaxed);
+}
+
 MsBfsBatchResult msbfs_batch_core(const Graph& graph,
-                                  const SeededBatch& batch) {
+                                  const SeededBatch& batch,
+                                  std::size_t threads) {
   const std::size_t Q = batch.size();
   CGRAPH_CHECK(Q > 0);
   CGRAPH_CHECK_MSG(Q <= QueryBitRows::kMaxBatchWords * kWordBits,
                    "batch exceeds bit-parallel capacity");
   const VertexId n = graph.num_vertices();
+
+  const std::size_t nthreads = resolve_compute_threads(threads);
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (nthreads > 1) owned_pool = std::make_unique<ThreadPool>(nthreads - 1);
+  ThreadPool* pool = owned_pool.get();
 
   MsBfsBatchResult result;
   result.visited.assign(Q, 0);
@@ -116,34 +133,58 @@ MsBfsBatchResult msbfs_batch_core(const Graph& graph,
   for (Depth level = 0; done_count < Q; ++level) {
     const WordRow expand = expand_mask_for_level(batch.ks, level);
 
-    // Scan: advance every still-expanding query through v's out-edges.
     obs::LevelTrace lt;
     lt.level = level;
-    WordRow masked;
-    std::uint64_t discovers = 0;
-    for (VertexId v = 0; v < n; ++v) {
-      const Word* row = bf.frontier().row(v);
-      if (!row_masked_any(row, expand, W, masked)) continue;
-      ++lt.frontier_vertices;
-      const auto nbrs = graph.out_neighbors(v);
-      for (VertexId t : nbrs) {
-        bf.discover(t, masked.data());
-      }
-      discovers += nbrs.size();
-      lt.edges_scanned += nbrs.size();
-      result.edges_scanned += nbrs.size();
-    }
 
-    // Per-query non-empty mask of the next frontier.
+    // Scan: threads claim disjoint vertex ranges of the frontier; fresh
+    // discoveries land in the next plane via relaxed atomic OR while the
+    // visited plane stays frozen (committed once below), so any thread
+    // interleaving produces exactly the serial scan's bits.
+    std::atomic<std::uint64_t> frontier_acc{0};
+    std::atomic<std::uint64_t> edges_acc{0};
+    const ParallelForStats scan_stats = parallel_ranges(
+        pool, n, [&](std::size_t vb, std::size_t ve) {
+          WordRow masked;
+          std::uint64_t chunk_frontier = 0;
+          std::uint64_t chunk_edges = 0;
+          for (std::size_t v = vb; v < ve; ++v) {
+            const Word* row = bf.frontier().row(v);
+            if (!row_masked_any(row, expand, W, masked)) continue;
+            ++chunk_frontier;
+            const auto nbrs = graph.out_neighbors(static_cast<VertexId>(v));
+            for (VertexId t : nbrs) {
+              bf.discover_atomic(t, masked.data());
+            }
+            chunk_edges += nbrs.size();
+          }
+          frontier_acc.fetch_add(chunk_frontier, std::memory_order_relaxed);
+          edges_acc.fetch_add(chunk_edges, std::memory_order_relaxed);
+        });
+
+    // Commit: fold the next plane into visited once for the whole level
+    // and collect the per-query occupancy of the next frontier.
     WordRow nonempty{};
-    for (VertexId v = 0; v < n; ++v) {
-      const Word* row = bf.next().row(v);
-      for (std::size_t w = 0; w < W; ++w) nonempty[w] |= row[w];
-    }
+    std::mutex nonempty_mu;
+    const ParallelForStats commit_stats = parallel_ranges(
+        pool, n, [&](std::size_t vb, std::size_t ve) {
+          WordRow chunk_nonempty{};
+          bf.commit_rows(vb, ve, chunk_nonempty.data());
+          std::lock_guard<std::mutex> lock(nonempty_mu);
+          for (std::size_t w = 0; w < W; ++w) nonempty[w] |= chunk_nonempty[w];
+        });
+
+    lt.frontier_vertices = frontier_acc.load(std::memory_order_relaxed);
+    const std::uint64_t discovers =
+        edges_acc.load(std::memory_order_relaxed);
+    lt.edges_scanned = discovers;
+    result.edges_scanned += discovers;
 
     // Bitmap words touched: frontier scan + occupancy scan of every row,
     // plus the three word-ops per discovered neighbor row (Fig. 6 update).
     lt.bit_ops = 2 * static_cast<std::uint64_t>(n) * W + discovers * 3 * W;
+    lt.parallel_tasks = scan_stats.tasks + commit_stats.tasks;
+    lt.steal_wait_seconds =
+        scan_stats.join_wait_seconds + commit_stats.join_wait_seconds;
     result.level_trace.push_back(lt);
 
     bf.advance();
@@ -164,12 +205,20 @@ MsBfsBatchResult msbfs_batch_core(const Graph& graph,
   }
 
   // Visited counts per query (the seeds themselves excluded).
-  for (VertexId v = 0; v < n; ++v) {
-    const Word* row = bf.visited().row(v);
-    for (std::size_t w = 0; w < W; ++w) {
-      for_each_set_bit(row[w], w * kWordBits,
-                       [&](std::size_t q) { ++result.visited[q]; });
-    }
+  {
+    std::mutex visited_mu;
+    parallel_ranges(pool, n, [&](std::size_t vb, std::size_t ve) {
+      std::vector<std::uint64_t> counts(Q, 0);
+      for (std::size_t v = vb; v < ve; ++v) {
+        const Word* row = bf.visited().row(v);
+        for (std::size_t w = 0; w < W; ++w) {
+          for_each_set_bit(row[w], w * kWordBits,
+                           [&](std::size_t q) { ++counts[q]; });
+        }
+      }
+      std::lock_guard<std::mutex> lock(visited_mu);
+      for (std::size_t q = 0; q < Q; ++q) result.visited[q] += counts[q];
+    });
   }
   for (std::size_t q = 0; q < Q; ++q) {
     const std::uint64_t seeds = batch.seeds[q].size();
@@ -211,14 +260,20 @@ MsBfsBatchResult run_distributed_msbfs_core(
   std::atomic<std::uint64_t> edges_total{0};
   std::atomic<std::uint64_t> frontier_bytes_total{0};
 
-  // Per-level telemetry planes (same indexing as nonempty_planes).
+  // Per-level telemetry planes (same indexing as nonempty_planes). Pool
+  // join waits are stored as integer nanoseconds so machines can fetch_add
+  // without requiring atomic<double> RMW support.
   std::vector<std::atomic<std::uint64_t>> lvl_frontier(kMaxLevels);
   std::vector<std::atomic<std::uint64_t>> lvl_edges(kMaxLevels);
   std::vector<std::atomic<std::uint64_t>> lvl_bitops(kMaxLevels);
+  std::vector<std::atomic<std::uint64_t>> lvl_ptasks(kMaxLevels);
+  std::vector<std::atomic<std::uint64_t>> lvl_stealwait_ns(kMaxLevels);
   for (std::size_t i = 0; i < kMaxLevels; ++i) {
     lvl_frontier[i].store(0, std::memory_order_relaxed);
     lvl_edges[i].store(0, std::memory_order_relaxed);
     lvl_bitops[i].store(0, std::memory_order_relaxed);
+    lvl_ptasks[i].store(0, std::memory_order_relaxed);
+    lvl_stealwait_ns[i].store(0, std::memory_order_relaxed);
   }
 
   cluster.reset_clocks();
@@ -231,6 +286,9 @@ MsBfsBatchResult run_distributed_msbfs_core(
     const SubgraphShard& shard = shards[mc.id()];
     const VertexRange range = shard.local_range();
     const VertexId nlocal = range.size();
+    // Intra-machine compute pool (nullptr = serial), sized by
+    // Cluster::set_compute_threads / $CGRAPH_THREADS.
+    ThreadPool* pool = mc.pool();
 
     // Discover bits are OR-ed (idempotent), so duplicated packets cannot
     // corrupt state — the filter keeps delivery exactly-once so the
@@ -266,42 +324,77 @@ MsBfsBatchResult run_distributed_msbfs_core(
       const WordRow expand = expand_mask_for_level(batch.ks, level);
 
       // --- Telemetry: local frontier occupancy entering this level.
-      WordRow masked;
-      std::uint64_t level_frontier = 0;
-      for (VertexId v = 0; v < nlocal; ++v) {
-        if (row_masked_any(bf.frontier().row(v), expand, W, masked)) {
-          ++level_frontier;
-        }
-      }
-      lvl_frontier[level].fetch_add(level_frontier,
-                                    std::memory_order_relaxed);
-
-      // --- Local edge-set scan.
-      std::uint64_t level_edges = 0;
-      std::uint64_t level_rows = 0;
-      const EdgeSetGrid& grid = shard.out_sets();
-      for (std::size_t r = 0; r < grid.num_rows(); ++r) {
-        const VertexRange rr = grid.row_range(r);
-        for (const EdgeSet& es : grid.row_sets(r)) {
-          for (VertexId v = rr.begin; v < rr.end; ++v) {
-            const Word* row = bf.frontier().row(v - range.begin);
-            ++level_rows;
-            if (!row_masked_any(row, expand, W, masked)) continue;
-            const auto nbrs = es.neighbors(v);
-            level_edges += nbrs.size();
-            for (VertexId t : nbrs) {
-              if (range.contains(t)) {
-                bf.discover(t - range.begin, masked.data());
-              } else {
-                Word* acc = remote_acc.data() +
-                            static_cast<std::size_t>(t) * W;
-                for (std::size_t w = 0; w < W; ++w) acc[w] |= masked[w];
-                if (touched_bm.atomic_test_and_set(t)) touched.push_back(t);
+      std::atomic<std::uint64_t> frontier_acc{0};
+      const ParallelForStats occ_stats = parallel_ranges(
+          pool, nlocal, [&](std::size_t vb, std::size_t ve) {
+            WordRow masked;
+            std::uint64_t chunk_frontier = 0;
+            for (std::size_t v = vb; v < ve; ++v) {
+              if (row_masked_any(bf.frontier().row(v), expand, W, masked)) {
+                ++chunk_frontier;
               }
             }
-          }
-        }
-      }
+            frontier_acc.fetch_add(chunk_frontier,
+                                   std::memory_order_relaxed);
+          });
+      lvl_frontier[level].fetch_add(
+          frontier_acc.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+
+      // --- Local edge-set scan. Pool threads claim ranges of flat block
+      // indices (each block is an LLC-sized EdgeSet tile, the natural unit
+      // of intra-machine work). Local discoveries OR into the next plane
+      // atomically with visited frozen; remote discoveries OR into the
+      // dense accumulator words atomically, with first-touch claimed via
+      // the touched bitmap and chunk-local touch lists merged (then sorted
+      // below) so shipped packets stay byte-identical to the serial scan.
+      std::atomic<std::uint64_t> edges_acc{0};
+      std::atomic<std::uint64_t> rows_acc{0};
+      std::mutex touched_mu;
+      const EdgeSetGrid& grid = shard.out_sets();
+      const ParallelForStats scan_stats = parallel_ranges(
+          pool, grid.num_sets(), [&](std::size_t bb, std::size_t be) {
+            WordRow masked;
+            std::uint64_t chunk_edges = 0;
+            std::uint64_t chunk_rows = 0;
+            std::vector<VertexId> chunk_touched;
+            for (std::size_t b = bb; b < be; ++b) {
+              const EdgeSet& es = grid.set_at(b);
+              const VertexRange rr = grid.row_range(grid.row_of_set(b));
+              for (VertexId v = rr.begin; v < rr.end; ++v) {
+                const Word* row = bf.frontier().row(v - range.begin);
+                ++chunk_rows;
+                if (!row_masked_any(row, expand, W, masked)) continue;
+                const auto nbrs = es.neighbors(v);
+                chunk_edges += nbrs.size();
+                for (VertexId t : nbrs) {
+                  if (range.contains(t)) {
+                    bf.discover_atomic(t - range.begin, masked.data());
+                  } else {
+                    Word* acc = remote_acc.data() +
+                                static_cast<std::size_t>(t) * W;
+                    for (std::size_t w = 0; w < W; ++w) {
+                      if (masked[w] != 0) atomic_or_word(&acc[w], masked[w]);
+                    }
+                    if (touched_bm.atomic_test_and_set(t)) {
+                      chunk_touched.push_back(t);
+                    }
+                  }
+                }
+              }
+            }
+            edges_acc.fetch_add(chunk_edges, std::memory_order_relaxed);
+            rows_acc.fetch_add(chunk_rows, std::memory_order_relaxed);
+            if (!chunk_touched.empty()) {
+              std::lock_guard<std::mutex> lock(touched_mu);
+              touched.insert(touched.end(), chunk_touched.begin(),
+                             chunk_touched.end());
+            }
+          });
+      const std::uint64_t level_edges =
+          edges_acc.load(std::memory_order_relaxed);
+      const std::uint64_t level_rows =
+          rows_acc.load(std::memory_order_relaxed);
       my_edges += level_edges;
       lvl_edges[level].fetch_add(level_edges, std::memory_order_relaxed);
       // Bitmap words touched this level: occupancy pre-scan + per-row
@@ -359,22 +452,38 @@ MsBfsBatchResult run_distributed_msbfs_core(
           CGRAPH_DCHECK(range.contains(t));
           for (std::size_t w = 0; w < W; ++w)
             incoming_bits[w] = pr.read<Word>();
-          bf.discover(t - range.begin, incoming_bits.data());
+          bf.discover_atomic(t - range.begin, incoming_bits.data());
         }
       }
 
-      // --- Publish local next-frontier occupancy for this level.
+      // --- Commit the level (visited |= next, once) and publish local
+      // next-frontier occupancy for this level.
       WordRow nonempty{};
-      for (VertexId v = 0; v < nlocal; ++v) {
-        const Word* row = bf.next().row(v);
-        for (std::size_t w = 0; w < W; ++w) nonempty[w] |= row[w];
-      }
+      std::mutex nonempty_mu;
+      const ParallelForStats commit_stats = parallel_ranges(
+          pool, nlocal, [&](std::size_t vb, std::size_t ve) {
+            WordRow chunk_nonempty{};
+            bf.commit_rows(vb, ve, chunk_nonempty.data());
+            std::lock_guard<std::mutex> lock(nonempty_mu);
+            for (std::size_t w = 0; w < W; ++w) {
+              nonempty[w] |= chunk_nonempty[w];
+            }
+          });
       for (std::size_t w = 0; w < W; ++w) {
         if (nonempty[w] != 0) {
           nonempty_planes[static_cast<std::size_t>(level) * W + w]
               .fetch_or(nonempty[w], std::memory_order_acq_rel);
         }
       }
+      lvl_ptasks[level].fetch_add(
+          occ_stats.tasks + scan_stats.tasks + commit_stats.tasks,
+          std::memory_order_relaxed);
+      lvl_stealwait_ns[level].fetch_add(
+          static_cast<std::uint64_t>(
+              (occ_stats.join_wait_seconds + scan_stats.join_wait_seconds +
+               commit_stats.join_wait_seconds) *
+              1e9),
+          std::memory_order_relaxed);
       bf.advance();
       mc.barrier();  // ---- level close: occupancy now globally visible ----
 
@@ -409,14 +518,21 @@ MsBfsBatchResult run_distributed_msbfs_core(
     }
 
     // --- Per-query visited counts (seeds excluded at the end).
-    for (VertexId v = 0; v < nlocal; ++v) {
-      const Word* row = bf.visited().row(v);
-      for (std::size_t w = 0; w < W; ++w) {
-        for_each_set_bit(row[w], w * kWordBits, [&](std::size_t q) {
-          visited_accum[q].fetch_add(1, std::memory_order_relaxed);
-        });
+    parallel_ranges(pool, nlocal, [&](std::size_t vb, std::size_t ve) {
+      std::vector<std::uint64_t> counts(Q, 0);
+      for (std::size_t v = vb; v < ve; ++v) {
+        const Word* row = bf.visited().row(v);
+        for (std::size_t w = 0; w < W; ++w) {
+          for_each_set_bit(row[w], w * kWordBits,
+                           [&](std::size_t q) { ++counts[q]; });
+        }
       }
-    }
+      for (std::size_t q = 0; q < Q; ++q) {
+        if (counts[q] != 0) {
+          visited_accum[q].fetch_add(counts[q], std::memory_order_relaxed);
+        }
+      }
+    });
     edges_total.fetch_add(my_edges, std::memory_order_relaxed);
   });
 
@@ -442,6 +558,11 @@ MsBfsBatchResult run_distributed_msbfs_core(
     lt.frontier_vertices = lvl_frontier[l].load(std::memory_order_relaxed);
     lt.edges_scanned = lvl_edges[l].load(std::memory_order_relaxed);
     lt.bit_ops = lvl_bitops[l].load(std::memory_order_relaxed);
+    lt.parallel_tasks = lvl_ptasks[l].load(std::memory_order_relaxed);
+    lt.steal_wait_seconds =
+        static_cast<double>(
+            lvl_stealwait_ns[l].load(std::memory_order_relaxed)) *
+        1e-9;
     for (std::size_t s = 2 * l; s < 2 * l + 2 && s < steps.size(); ++s) {
       lt.barrier_wait_sim_seconds += steps[s].barrier_wait_sim_seconds;
     }
@@ -453,13 +574,15 @@ MsBfsBatchResult run_distributed_msbfs_core(
 }  // namespace
 
 MsBfsBatchResult msbfs_batch(const Graph& graph,
-                             std::span<const KHopQuery> batch) {
-  return msbfs_batch_core(graph, to_seeded(batch));
+                             std::span<const KHopQuery> batch,
+                             std::size_t threads) {
+  return msbfs_batch_core(graph, to_seeded(batch), threads);
 }
 
 MsBfsBatchResult msbfs_batch(const Graph& graph,
-                             std::span<const MultiKHopQuery> batch) {
-  return msbfs_batch_core(graph, to_seeded(batch));
+                             std::span<const MultiKHopQuery> batch,
+                             std::size_t threads) {
+  return msbfs_batch_core(graph, to_seeded(batch), threads);
 }
 
 MsBfsBatchResult run_distributed_msbfs(

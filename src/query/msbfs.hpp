@@ -11,6 +11,16 @@
 // Two engines:
 //   msbfs_batch             - single machine, over the global Graph
 //   run_distributed_msbfs   - sharded, level-synchronous BSP over a Cluster
+//
+// Both engines additionally parallelize each level's frontier expansion
+// *inside* a machine over a ThreadPool (the paper's LLC-sized edge-set
+// tiles are the natural unit of intra-node work sharing): scans OR fresh
+// discoveries into the next-frontier plane with relaxed atomics while the
+// visited plane stays frozen, and visited is committed once per level.
+// Because every cross-thread write is a bitwise OR, results are bit-exact
+// for any thread count. The distributed engine takes its thread count
+// from the Cluster (set_compute_threads / $CGRAPH_THREADS); the
+// single-machine overloads take it as a parameter.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +33,7 @@
 #include "net/cluster.hpp"
 #include "obs/trace.hpp"
 #include "query/query.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cgraph {
 
@@ -48,14 +59,21 @@ struct MsBfsBatchResult {
 
 /// Single-machine bit-parallel batch over the global CSR. Batch size must
 /// not exceed QueryBitRows::kMaxBatchWords * 64 queries.
+///
+/// \param threads Compute threads for the per-level scans: 0 selects one
+///                thread per hardware core, 1 runs serially. The default
+///                honours $CGRAPH_THREADS (unset -> serial). Results are
+///                bit-exact for every value.
 MsBfsBatchResult msbfs_batch(const Graph& graph,
-                             std::span<const KHopQuery> batch);
+                             std::span<const KHopQuery> batch,
+                             std::size_t threads = default_compute_threads());
 
 /// Multi-source variant: each query's bit column is seeded at every one of
 /// its sources, answering union reachability (visited counts exclude the
 /// distinct sources themselves).
 MsBfsBatchResult msbfs_batch(const Graph& graph,
-                             std::span<const MultiKHopQuery> batch);
+                             std::span<const MultiKHopQuery> batch,
+                             std::size_t threads = default_compute_threads());
 
 /// Distributed bit-parallel batch over sharded edge-sets. Remote frontier
 /// discoveries travel as (vertex, bit-row) records; per-destination rows

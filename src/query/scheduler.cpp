@@ -23,6 +23,10 @@ ConcurrentRunResult run_concurrent_queries(
       opts.metrics != nullptr ? *opts.metrics : obs::MetricsRegistry::global();
   obs::TraceSpan run_span("run_concurrent_queries", &registry);
 
+  if (opts.threads.has_value()) {
+    cluster.set_compute_threads(*opts.threads);
+  }
+
   ConcurrentRunResult run;
   run.queries.resize(queries.size());
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -54,6 +55,12 @@ struct SchedulerOptions {
   /// Root-degree lookup for kDegreeSorted (e.g. [&](VertexId v) { return
   /// graph.out_degree(v); }). Policy falls back to FIFO when unset.
   std::function<EdgeIndex(VertexId)> degree_of;
+  /// Intra-machine compute threads for the per-level scans: 0 selects one
+  /// thread per hardware core, 1 runs serially. Unset leaves the Cluster's
+  /// current setting (which itself defaults to $CGRAPH_THREADS, or serial).
+  /// Results are bit-exact for every value — see DESIGN.md "Threading
+  /// model".
+  std::optional<std::size_t> threads;
   /// Registry receiving this run's spans and counters; nullptr uses the
   /// process-global registry (tests pass a private one).
   obs::MetricsRegistry* metrics = nullptr;

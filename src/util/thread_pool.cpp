@@ -1,6 +1,26 @@
 #include "util/thread_pool.hpp"
 
+#include <cstdlib>
+
 namespace cgraph {
+
+std::size_t resolve_compute_threads(std::size_t threads) {
+  if (threads != 0) return threads;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+std::size_t default_compute_threads() {
+  static const std::size_t resolved = [] {
+    const char* env = std::getenv("CGRAPH_THREADS");
+    if (env == nullptr || *env == '\0') return std::size_t{1};
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env) return std::size_t{1};  // unparsable -> serial
+    return resolve_compute_threads(static_cast<std::size_t>(v));
+  }();
+  return resolved;
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {

@@ -1,9 +1,14 @@
-// Work-sharing thread pool used by the intra-partition compute engine
-// (parallel edge-set scans) and by the concurrent-query front end.
+// Work-sharing thread pool behind the intra-machine compute engine: every
+// simulated machine runs its per-level hot loops (edge-set scans, frontier
+// commits, GAS gather/apply) through one of these, and the concurrent-query
+// front end and Titan-like baseline use it for session parallelism.
 //
-// Two entry points:
-//   submit(fn)            -> queue one task, get a std::future
-//   parallel_for(n, fn)   -> block-cyclic loop parallelism over [0, n)
+// Three entry points:
+//   submit(fn)                  -> queue one task, get a std::future
+//   parallel_for(n, fn)         -> block loop parallelism over [0, n)
+//   parallel_ranges(pool, ...)  -> contiguous-range decomposition helper
+//                                  that degrades to a serial call when the
+//                                  pool is absent
 //
 // The pool is deliberately simple: a single mutex-protected deque. Edge-set
 // grained tasks are large enough (LLC-sized tiles) that queue contention is
@@ -13,26 +18,58 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/timer.hpp"
+
 namespace cgraph {
+
+/// What one parallel_for / parallel_ranges call actually did. Engines fold
+/// these into per-level telemetry (`parallel_tasks`, `steal_wait`).
+struct ParallelForStats {
+  /// Chunks executed, the calling thread's own chunk included. 0 for an
+  /// empty range, 1 means the loop ran serially.
+  std::size_t tasks = 0;
+  /// Host seconds the calling thread spent blocked waiting for pool
+  /// workers to finish their chunks after completing its own share — the
+  /// join-side analogue of steal wait in a work-stealing runtime.
+  double join_wait_seconds = 0;
+};
+
+/// Resolve a thread-count knob to an actual thread count: 0 selects
+/// std::thread::hardware_concurrency() (min 1), anything else is taken
+/// as-is.
+std::size_t resolve_compute_threads(std::size_t threads);
+
+/// Process-wide default for intra-machine compute threads, read once from
+/// $CGRAPH_THREADS: unset or unparsable means 1 (serial engines, the
+/// pre-threading behaviour); "0" means one thread per hardware core; any
+/// other integer is used directly. Cluster and msbfs_batch pick this up so
+/// test suites and CI can thread every engine without code changes.
+std::size_t default_compute_threads();
 
 class ThreadPool {
  public:
-  /// threads == 0 selects hardware_concurrency (min 1).
+  /// \param threads Worker-thread count; 0 selects hardware_concurrency
+  ///                (min 1). parallel_for additionally uses the calling
+  ///                thread, so a pool built with N workers gives (N+1)-way
+  ///                loop parallelism.
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Number of worker threads (the calling thread is not counted).
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
-  /// Queue a task; the returned future yields its result.
+  /// Queue a task; the returned future yields its result (or rethrows the
+  /// exception the task exited with).
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
@@ -48,17 +85,29 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [0, n), distributing contiguous chunks over the
-  /// pool. Blocks until all iterations complete. The calling thread also
-  /// works, so a pool of size 1 still gets 2-way progress.
+  /// pool. Blocks until all iterations complete; the calling thread works
+  /// on the first chunk, so a pool of size 1 still gets 2-way progress.
+  ///
+  /// Exception safety: every chunk is always joined before this returns,
+  /// even when a body throws — the first exception (the calling thread's
+  /// own chunk wins ties) is rethrown only after all workers have
+  /// finished, so no worker is left running a body whose captures have
+  /// gone out of scope.
+  ///
+  /// \param min_chunk Lower bound on iterations per chunk, for bodies too
+  ///                  cheap to amortize a queue hop.
+  /// \return Chunk count and join-side wait time for telemetry.
   template <typename Fn>
-  void parallel_for(std::size_t n, Fn&& fn, std::size_t min_chunk = 1) {
-    if (n == 0) return;
+  ParallelForStats parallel_for(std::size_t n, Fn&& fn,
+                                std::size_t min_chunk = 1) {
+    ParallelForStats stats;
+    if (n == 0) return stats;
     const std::size_t nthreads = workers_.size() + 1;
     std::size_t chunk = (n + nthreads - 1) / nthreads;
     if (chunk < min_chunk) chunk = min_chunk;
 
     std::vector<std::future<void>> futs;
-    std::size_t begin = chunk;  // the caller takes [0, chunk)
+    std::size_t begin = std::min(chunk, n);  // the caller takes [0, chunk)
     while (begin < n) {
       const std::size_t end = std::min(begin + chunk, n);
       futs.push_back(submit([&fn, begin, end] {
@@ -66,9 +115,26 @@ class ThreadPool {
       }));
       begin = end;
     }
-    const std::size_t my_end = std::min(chunk, n);
-    for (std::size_t i = 0; i < my_end; ++i) fn(i);
-    for (auto& f : futs) f.get();
+    stats.tasks = futs.size() + 1;
+
+    std::exception_ptr first_error;
+    try {
+      const std::size_t my_end = std::min(chunk, n);
+      for (std::size_t i = 0; i < my_end; ++i) fn(i);
+    } catch (...) {
+      first_error = std::current_exception();
+    }
+    WallTimer wait;
+    for (auto& f : futs) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    stats.join_wait_seconds = wait.seconds();
+    if (first_error) std::rethrow_exception(first_error);
+    return stats;
   }
 
  private:
@@ -80,5 +146,31 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stop_ = false;
 };
+
+/// Split [0, n) into contiguous ranges (about `ranges_per_thread` per
+/// participating thread, for load balance when per-index work is skewed)
+/// and run body(begin, end) for each over the pool. With a null pool —
+/// the serial configuration — body(0, n) runs inline on the caller, so
+/// engine code has exactly one code path for threads == 1 and threads > 1.
+template <typename Body>
+ParallelForStats parallel_ranges(ThreadPool* pool, std::size_t n,
+                                 Body&& body,
+                                 std::size_t ranges_per_thread = 4) {
+  ParallelForStats stats;
+  if (n == 0) return stats;
+  if (pool == nullptr || pool->size() == 0) {
+    body(std::size_t{0}, n);
+    stats.tasks = 1;
+    return stats;
+  }
+  const std::size_t parts_wanted =
+      (pool->size() + 1) * (ranges_per_thread > 0 ? ranges_per_thread : 1);
+  const std::size_t chunk = (n + parts_wanted - 1) / parts_wanted;
+  const std::size_t parts = (n + chunk - 1) / chunk;
+  return pool->parallel_for(parts, [&body, chunk, n](std::size_t p) {
+    const std::size_t begin = p * chunk;
+    body(begin, std::min(begin + chunk, n));
+  });
+}
 
 }  // namespace cgraph

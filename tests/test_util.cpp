@@ -2,7 +2,9 @@
 // options parsing, thread pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
 #include <thread>
 
 #include "util/histogram.hpp"
@@ -277,6 +279,84 @@ TEST(ThreadPool, ParallelForEmptyRange) {
   bool ran = false;
   pool.parallel_for(0, [&](std::size_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForReportsStats) {
+  ThreadPool pool(3);
+  const ParallelForStats stats =
+      pool.parallel_for(1000, [](std::size_t) {});
+  // Caller chunk + up to one chunk per worker.
+  EXPECT_GE(stats.tasks, 1u);
+  EXPECT_LE(stats.tasks, 4u);
+  EXPECT_GE(stats.join_wait_seconds, 0.0);
+  EXPECT_EQ(pool.parallel_for(0, [](std::size_t) {}).tasks, 0u);
+}
+
+TEST(ThreadPool, ParallelForPropagatesWorkerException) {
+  ThreadPool pool(3);
+  std::atomic<int> executed{0};
+  // Index 900 lands in a worker chunk (caller takes the first chunk).
+  EXPECT_THROW(pool.parallel_for(1000,
+                                 [&](std::size_t i) {
+                                   executed.fetch_add(1);
+                                   if (i == 900) {
+                                     throw std::runtime_error("worker boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  EXPECT_GT(executed.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForPropagatesCallerException) {
+  ThreadPool pool(3);
+  // Index 0 is always in the calling thread's chunk. All worker futures
+  // must still be joined before the rethrow (no dangling captures).
+  EXPECT_THROW(pool.parallel_for(1000,
+                                 [&](std::size_t i) {
+                                   if (i == 0) {
+                                     throw std::runtime_error("caller boom");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, PoolUsableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t) { throw std::logic_error("x"); }),
+      std::logic_error);
+  std::atomic<int> hits{0};
+  pool.parallel_for(100, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(ThreadPool, ParallelRangesCoversExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  const ParallelForStats stats = parallel_ranges(
+      &pool, 1000, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_GE(stats.tasks, 1u);
+}
+
+TEST(ThreadPool, ParallelRangesNullPoolRunsSerially) {
+  std::vector<int> hits(100, 0);
+  const ParallelForStats stats = parallel_ranges(
+      nullptr, 100, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) ++hits[i];
+      });
+  EXPECT_EQ(stats.tasks, 1u);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ResolveComputeThreads) {
+  EXPECT_EQ(resolve_compute_threads(3), 3u);
+  EXPECT_GE(resolve_compute_threads(0), 1u);  // 0 = hardware concurrency
 }
 
 TEST(Timer, StopwatchAccumulates) {
