@@ -21,7 +21,17 @@
 // process-global metrics registry (query spans, superstep counters, fabric
 // traffic) is written there — Prometheus text format, or JSON when PATH
 // ends in .json. Without the flag, $CGRAPH_METRICS names the same sink.
+//
+// Crash-fault flags (query/batch/pagerank): --crash m@s[,m@s...] kills
+// machine m at superstep s; --crash-prob P crashes each machine with
+// probability P per superstep (seeded by --fault-seed, default 1). Either
+// flag enables superstep checkpointing + deterministic recovery;
+// --checkpoint-interval N and --checkpoint-dir PATH tune where and how
+// often checkpoints land. A recovery summary is printed after the run.
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "cgraph/cgraph.hpp"
@@ -43,6 +53,73 @@ LoadResult load_any(const std::string& path) {
     return load_edge_list_binary(path);
   }
   return load_edge_list_text(path);
+}
+
+/// Parse one "machine@superstep" crash spec into the plan.
+bool parse_crash_spec(const std::string& spec, FaultPlan& plan) {
+  const std::size_t at = spec.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= spec.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long m = std::strtoul(spec.c_str(), &end, 10);
+  if (end != spec.c_str() + at) return false;
+  const unsigned long long s = std::strtoull(spec.c_str() + at + 1, &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  plan.add_crash(static_cast<PartitionId>(m), s);
+  return true;
+}
+
+/// Wire --crash / --crash-prob / --checkpoint-* into the cluster. Returns
+/// false (after printing why) on a malformed spec.
+bool configure_recovery(Cluster& cluster, const Options& opts) {
+  const std::string crash = opts.get("crash");
+  const double crash_prob = opts.get_double("crash-prob", 0.0);
+  const bool any = !crash.empty() || crash_prob > 0.0 ||
+                   opts.has("checkpoint-dir") ||
+                   opts.has("checkpoint-interval");
+  if (!any) return true;
+
+  FaultPlan plan(
+      static_cast<std::uint64_t>(opts.get_int("fault-seed", 1)));
+  if (crash_prob > 0.0) plan.set_crash_probability(crash_prob);
+  std::size_t pos = 0;
+  while (pos < crash.size()) {
+    std::size_t comma = crash.find(',', pos);
+    if (comma == std::string::npos) comma = crash.size();
+    const std::string spec = crash.substr(pos, comma - pos);
+    if (!parse_crash_spec(spec, plan)) {
+      std::fprintf(stderr,
+                   "bad --crash spec '%s' (want machine@superstep)\n",
+                   spec.c_str());
+      return false;
+    }
+    pos = comma + 1;
+  }
+  cluster.fabric().install_fault_plan(
+      std::make_shared<FaultPlan>(std::move(plan)));
+
+  RecoveryOptions ro;
+  ro.checkpoint_interval =
+      static_cast<std::uint64_t>(opts.get_int("checkpoint-interval", 1));
+  ro.checkpoint_dir = opts.get("checkpoint-dir");
+  cluster.set_recovery(ro);
+  return true;
+}
+
+void print_recovery_report(const Cluster& cluster) {
+  if (!cluster.recovery_enabled()) return;
+  const RecoveryStats& rs = cluster.recovery_stats();
+  std::printf(
+      "recovery: crashes=%llu supersteps_replayed=%llu "
+      "checkpoints=%llu (%s, %.4fs save / %.4fs restore) "
+      "queries_reexecuted=%llu\n",
+      static_cast<unsigned long long>(rs.crashes),
+      static_cast<unsigned long long>(rs.supersteps_replayed),
+      static_cast<unsigned long long>(rs.checkpoints_taken),
+      AsciiTable::humanize(rs.checkpoint_bytes).c_str(),
+      rs.checkpoint_seconds, rs.restore_seconds,
+      static_cast<unsigned long long>(rs.queries_reexecuted));
 }
 
 int cmd_gen(const Options& opts) {
@@ -156,6 +233,7 @@ int cmd_query(const Options& opts) {
     cluster.set_compute_threads(
         static_cast<std::size_t>(opts.get_int("threads", 1)));
   }
+  if (!configure_recovery(cluster, opts)) return 2;
   const KHopQuery q{0, source, k};
 
   if (opts.has("paths")) {
@@ -188,6 +266,7 @@ int cmd_query(const Options& opts) {
                 static_cast<unsigned long long>(r.visited[0]),
                 unsigned{r.levels[0]}, r.sim_seconds, r.wall_seconds);
   }
+  print_recovery_report(cluster);
   // Single-query commands bypass the scheduler, so surface the cluster's
   // own superstep/fabric counters for --metrics-out.
   cluster.publish_metrics(obs::MetricsRegistry::global());
@@ -207,6 +286,7 @@ int cmd_batch(const Options& opts) {
   const auto part = RangePartition::balanced_by_edges(g, machines);
   const auto shards = build_shards(g, part);
   Cluster cluster(machines);
+  if (!configure_recovery(cluster, opts)) return 2;
   const auto queries = make_random_queries(
       g, count, k, static_cast<std::uint64_t>(opts.get_int("seed", 1)));
   SchedulerOptions sched;
@@ -225,6 +305,10 @@ int cmd_batch(const Options& opts) {
               times.percentile(50), times.percentile(90), times.max(),
               run.batches,
               AsciiTable::humanize(run.peak_memory_bytes).c_str());
+  print_recovery_report(cluster);
+  // The scheduler publishes superstep/fabric counters itself, but the
+  // recovery counters live on the cluster.
+  cluster.publish_metrics(obs::MetricsRegistry::global());
   return 0;
 }
 
@@ -245,6 +329,7 @@ int cmd_pagerank(const Options& opts) {
     cluster.set_compute_threads(
         static_cast<std::size_t>(opts.get_int("threads", 1)));
   }
+  if (!configure_recovery(cluster, opts)) return 2;
   const GasResult r = run_pagerank(cluster, shards, part, iters);
 
   // Top 5 vertices by rank.
@@ -264,6 +349,8 @@ int cmd_pagerank(const Options& opts) {
     std::printf("  #%zu vertex %u rank %.3f\n", i + 1, order[i],
                 r.values[order[i]]);
   }
+  print_recovery_report(cluster);
+  cluster.publish_metrics(obs::MetricsRegistry::global());
   return 0;
 }
 
@@ -274,13 +361,21 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Options opts(argc - 1, argv + 1);
   int rc = 2;
-  if (cmd == "gen") rc = cmd_gen(opts);
-  else if (cmd == "convert") rc = cmd_convert(opts);
-  else if (cmd == "stats") rc = cmd_stats(opts);
-  else if (cmd == "query") rc = cmd_query(opts);
-  else if (cmd == "batch") rc = cmd_batch(opts);
-  else if (cmd == "pagerank") rc = cmd_pagerank(opts);
-  else return usage();
+  // Loader/ingestion errors (malformed edge lists, truncated files,
+  // out-of-range ids) surface as exceptions; fail with a message instead
+  // of crashing.
+  try {
+    if (cmd == "gen") rc = cmd_gen(opts);
+    else if (cmd == "convert") rc = cmd_convert(opts);
+    else if (cmd == "stats") rc = cmd_stats(opts);
+    else if (cmd == "query") rc = cmd_query(opts);
+    else if (cmd == "batch") rc = cmd_batch(opts);
+    else if (cmd == "pagerank") rc = cmd_pagerank(opts);
+    else return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cgraph_tool %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
 
   const std::string metrics_out = opts.get("metrics-out");
   if (!metrics_out.empty()) {

@@ -26,6 +26,16 @@ class PartitionProgram {
   virtual void compute(PartitionContext<M>&) = 0;
   /// Called once after global quiescence.
   virtual void finish(PartitionContext<M>&) {}
+
+  // ---- crash recovery (optional) --------------------------------------
+  // A program that opts in serializes its whole per-partition state; the
+  // engine then checkpoints it at superstep boundaries and, after a crash,
+  // calls restore() instead of init(). Programs that do not opt in fall
+  // back to a from-scratch restart when a machine crashes (still correct,
+  // just no replay savings).
+  [[nodiscard]] virtual bool supports_checkpoint() const { return false; }
+  virtual void checkpoint(PacketWriter&) const {}
+  virtual void restore(PacketReader&) {}
 };
 
 struct BspStats {
@@ -54,16 +64,51 @@ BspStats run_partition_programs(
   cluster.reset_telemetry();
   cluster.fabric().reset_counters();
   cluster.fabric().reset_delivery_state();
+  cluster.reset_protocol_state();
+
+  // Crash recovery: superstep_count is published post-loop (all-or-none),
+  // so a rollback just clears it. The ActivityBoard needs no checkpoint —
+  // every machine re-posts its flag each superstep before anyone reads it.
+  RunHooks hooks;
+  hooks.on_restore = [&] {
+    superstep_count.store(0, std::memory_order_relaxed);
+  };
 
   obs::TraceSpan span("bsp_run");
   WallTimer wall;
   cluster.run([&](MachineContext& mc) {
     PartitionContext<M> ctx(mc, shards[mc.id()], partition);
     std::unique_ptr<PartitionProgram<M>> program = factory(mc.id());
-    program->init(ctx);
 
     std::uint64_t steps = 0;
+    bool restored = false;
+    if (program->supports_checkpoint()) {
+      if (auto ckpt = mc.restore_checkpoint()) {
+        // Re-entering after a crash: restore the engine-level context
+        // (incoming buffer, halt vote, dedup windows) and the program's
+        // own state instead of re-running init().
+        PacketReader pr(*ckpt);
+        steps = pr.read<std::uint64_t>();
+        ctx.restore_state(pr);
+        program->restore(pr);
+        restored = true;
+      }
+    }
+    if (!restored) program->init(ctx);
+
     for (; steps < max_supersteps; ++steps) {
+      // Top of superstep = the consistent cut: outboxes and loopback are
+      // empty (flushed / swapped into incoming last superstep), staged
+      // mailboxes drained. `incoming` is the only in-flight data and
+      // travels inside the checkpoint.
+      if (program->supports_checkpoint()) {
+        mc.maybe_checkpoint([&](PacketWriter& pw) {
+          pw.write<std::uint64_t>(steps);
+          ctx.checkpoint_state(pw);
+          program->checkpoint(pw);
+        });
+      }
+
       program->compute(ctx);
 
       // Active if the program did not halt, or it queued messages whose
@@ -91,7 +136,7 @@ BspStats run_partition_programs(
     if (mc.id() == 0) {
       superstep_count.store(steps, std::memory_order_relaxed);
     }
-  });
+  }, hooks);
 
   BspStats stats;
   stats.wall_seconds = wall.seconds();

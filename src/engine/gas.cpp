@@ -38,6 +38,18 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
   cluster.reset_clocks();
   cluster.fabric().reset_counters();
   cluster.fabric().reset_delivery_state();
+  cluster.reset_protocol_state();
+
+  // Crash recovery: the per-iteration scatter/gather planes are re-derived
+  // from `value` every iteration, so the checkpoint only carries the vertex
+  // values (plus dedup + telemetry partials). The shared accumulators are
+  // published post-loop (all-or-none — crashes fire only at barriers), so
+  // on a rollback they just restart from zero.
+  RunHooks hooks;
+  hooks.on_restore = [&] {
+    ptasks_total.store(0, std::memory_order_relaxed);
+    stealwait_ns_total.store(0, std::memory_order_relaxed);
+  };
 
   WallTimer wall;
   cluster.run([&](MachineContext& mc) {
@@ -88,13 +100,38 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
     std::vector<double> scatter_local(nlocal);
     std::vector<double> scatter_remote(num_vertices, 0.0);
 
-    for (VertexId i = 0; i < nlocal; ++i) {
-      value[i] = program.init_value(range.begin + i, shard.out_degrees()[i],
-                                    num_vertices);
+    std::uint64_t start_iter = 0;
+    if (auto ckpt = mc.restore_checkpoint()) {
+      // Re-entering after a crash: resume from the checkpointed iteration.
+      // Clocks and link state were rolled back by the cluster, so the
+      // replayed iterations are bit-exact.
+      PacketReader pr(*ckpt);
+      start_iter = pr.read<std::uint64_t>();
+      my_ptasks = pr.read<std::uint64_t>();
+      my_steal = pr.read<double>();
+      dedup.deserialize(pr);
+      const auto vals = pr.read_vector<double>();
+      CGRAPH_CHECK(vals.size() == value.size());
+      std::copy(vals.begin(), vals.end(), value.begin());
+    } else {
+      for (VertexId i = 0; i < nlocal; ++i) {
+        value[i] = program.init_value(range.begin + i,
+                                      shard.out_degrees()[i], num_vertices);
+      }
     }
 
     double last_sim = mc.clock().seconds();
-    for (std::uint64_t iter = 0; iter < iterations; ++iter) {
+    for (std::uint64_t iter = start_iter; iter < iterations; ++iter) {
+      // Top of iteration = the consistent cut: staged mailboxes are empty
+      // and `value` is the machine's whole recoverable state.
+      mc.maybe_checkpoint([&](PacketWriter& pw) {
+        pw.write<std::uint64_t>(iter);
+        pw.write<std::uint64_t>(my_ptasks);
+        pw.write<double>(my_steal);
+        dedup.serialize(pw);
+        pw.write_span<double>({value.data(), value.size()});
+      });
+
       // --- Scatter phase: compute outgoing contribution per local vertex.
       // Each slot is written by exactly one pool thread.
       const ParallelForStats scatter_stats = parallel_ranges(
@@ -200,7 +237,7 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
     stealwait_ns_total.fetch_add(
         static_cast<std::uint64_t>(my_steal * 1e9),
         std::memory_order_relaxed);
-  });
+  }, hooks);
 
   result.stats.iterations = iterations;
   result.stats.wall_seconds = wall.seconds();

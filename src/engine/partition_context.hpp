@@ -165,6 +165,22 @@ class PartitionContext {
     }
   }
 
+  /// Checkpoint support (crash recovery): at the top-of-superstep cut the
+  /// outboxes and loopback queue are empty, so the engine-level state is
+  /// exactly (incoming, halted, dedup windows).
+  void checkpoint_state(PacketWriter& w) const {
+    w.write_span(std::span<const VertexMessage<M>>(incoming_));
+    w.write<std::uint8_t>(halted_ ? 1 : 0);
+    dedup_.serialize(w);
+  }
+  void restore_state(PacketReader& r) {
+    incoming_ = r.template read_vector<VertexMessage<M>>();
+    halted_ = r.read<std::uint8_t>() != 0;
+    dedup_.deserialize(r);
+    local_loopback_.clear();
+    for (auto& box : outboxes_) box.clear();
+  }
+
   /// True when this partition has deferred work: queued sends or loopback
   /// messages (used for halt detection before the flush).
   [[nodiscard]] bool has_pending_sends() const {

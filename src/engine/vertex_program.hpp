@@ -202,6 +202,27 @@ VertexRunResult<V> run_vertex_program(
         global_values[v] = values[v - range.begin];
       }
     }
+
+    // Crash recovery: at the top-of-superstep cut every per-vertex inbox
+    // is empty (messages are delivered and consumed inside compute()), so
+    // the host state is exactly (values, halted). Only offered when V is
+    // trivially copyable — a V with pointers can't be blitted to a blob.
+    [[nodiscard]] bool supports_checkpoint() const override {
+      return std::is_trivially_copyable_v<V>;
+    }
+    void checkpoint(PacketWriter& w) const override {
+      if constexpr (std::is_trivially_copyable_v<V>) {
+        w.write_span(std::span<const V>(values));
+        w.write_span(std::span<const std::uint8_t>(halted));
+      }
+    }
+    void restore(PacketReader& r) override {
+      if constexpr (std::is_trivially_copyable_v<V>) {
+        values = r.template read_vector<V>();
+        halted = r.template read_vector<std::uint8_t>();
+        inbox.assign(values.size(), std::vector<M>{});
+      }
+    }
   };
 
   const BspStats bsp = run_partition_programs<M>(

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -16,8 +17,16 @@ constexpr char kBinaryMagic[8] = {'C', 'G', 'R', 'A', 'P', 'H', '0', '1'};
 
 LoadResult parse_stream(std::istream& in, bool reindex) {
   LoadResult result;
+  std::size_t lineno = 0;
   auto intern = [&](std::uint64_t raw) -> VertexId {
     if (!reindex) {
+      // Without re-indexing the raw id IS the VertexId; a raw id that
+      // doesn't fit would silently truncate and alias another vertex.
+      if (raw >= std::numeric_limits<VertexId>::max()) {
+        throw std::runtime_error("vertex id " + std::to_string(raw) +
+                                 " does not fit VertexId (line " +
+                                 std::to_string(lineno) + ")");
+      }
       result.num_vertices =
           std::max<VertexId>(result.num_vertices, static_cast<VertexId>(raw) + 1);
       return static_cast<VertexId>(raw);
@@ -30,12 +39,24 @@ LoadResult parse_stream(std::istream& in, bool reindex) {
 
   std::string line;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     std::uint64_t s = 0, t = 0;
     double w = 1.0;
     std::istringstream ls(line);
-    if (!(ls >> s >> t)) continue;  // tolerate malformed lines
-    ls >> w;                        // optional weight
+    std::string ts, tt;
+    if (!(ls >> ts >> tt)) continue;  // tolerate malformed lines
+    // A negative id would wrap through the unsigned parse into a bogus
+    // (usually enormous) vertex — reject it loudly instead.
+    if (ts[0] == '-' || tt[0] == '-') {
+      throw std::runtime_error("negative vertex id (line " +
+                               std::to_string(lineno) + ")");
+    }
+    {
+      std::istringstream is(ts), it(tt);
+      if (!(is >> s) || !(it >> t)) continue;  // non-numeric: tolerated
+    }
+    ls >> w;  // optional weight
     // Intern in source-then-destination order (function argument
     // evaluation order is unspecified).
     const VertexId src = intern(s);
@@ -103,12 +124,40 @@ LoadResult load_edge_list_binary(const std::string& path) {
   in.read(reinterpret_cast<char*>(&e), sizeof e);
   if (!in) throw std::runtime_error("truncated header in: " + path);
 
+  if (v > std::numeric_limits<VertexId>::max()) {
+    throw std::runtime_error("vertex count " + std::to_string(v) +
+                             " does not fit VertexId in: " + path);
+  }
+  // Validate the edge count against the actual file size before resizing:
+  // a corrupt header would otherwise drive a huge allocation (or overflow
+  // e * sizeof(Edge) entirely).
+  const std::istream::pos_type body_pos = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end_pos = in.tellg();
+  if (body_pos == std::istream::pos_type(-1) ||
+      end_pos == std::istream::pos_type(-1)) {
+    throw std::runtime_error("cannot determine size of: " + path);
+  }
+  const auto body_bytes = static_cast<std::uint64_t>(end_pos - body_pos);
+  if (e > std::numeric_limits<std::uint64_t>::max() / sizeof(Edge) ||
+      e * sizeof(Edge) > body_bytes) {
+    throw std::runtime_error("edge count " + std::to_string(e) +
+                             " exceeds file size in: " + path);
+  }
+  in.seekg(body_pos);
+
   LoadResult result;
   result.num_vertices = static_cast<VertexId>(v);
   result.edges.edges().resize(e);
   in.read(reinterpret_cast<char*>(result.edges.edges().data()),
           static_cast<std::streamsize>(e * sizeof(Edge)));
   if (!in) throw std::runtime_error("truncated edge data in: " + path);
+  for (const Edge& edge : result.edges) {
+    if (edge.src >= v || edge.dst >= v) {
+      throw std::runtime_error("edge endpoint out of range (V=" +
+                               std::to_string(v) + ") in: " + path);
+    }
+  }
   return result;
 }
 

@@ -1,0 +1,144 @@
+#include "net/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "util/assert.hpp"
+
+namespace cgraph {
+namespace {
+
+// On-disk mirror format: magic, header fields, then the raw blob bytes.
+constexpr char kCkptMagic[8] = {'C', 'G', 'C', 'K', 'P', 'T', '0', '1'};
+
+}  // namespace
+
+void CheckpointStore::reset(PartitionId n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  machines_.assign(n, std::nullopt);
+  snapshots_.clear();
+  baseline_ = ClusterSnapshot{};
+}
+
+void CheckpointStore::set_baseline(ClusterSnapshot snap) {
+  std::lock_guard<std::mutex> lk(mu_);
+  baseline_ = std::move(snap);
+}
+
+ClusterSnapshot CheckpointStore::baseline() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return baseline_;
+}
+
+void CheckpointStore::save_cluster_snapshot(std::uint64_t step,
+                                            ClusterSnapshot snap) {
+  std::lock_guard<std::mutex> lk(mu_);
+  snapshots_[step] = std::move(snap);
+  prune_snapshots_locked();
+}
+
+std::optional<ClusterSnapshot> CheckpointStore::cluster_snapshot(
+    std::uint64_t step) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = snapshots_.find(step);
+  if (it == snapshots_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t CheckpointStore::save_machine(PartitionId id,
+                                          MachineCheckpoint ckpt) {
+  std::lock_guard<std::mutex> lk(mu_);
+  CGRAPH_DCHECK(id < machines_.size());
+  const std::size_t bytes = ckpt.state.size();
+  machines_[id] = std::move(ckpt);
+  if (!dir_.empty()) write_file_locked(id, *machines_[id]);
+  return bytes;
+}
+
+std::optional<MachineCheckpoint> CheckpointStore::machine(
+    PartitionId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  CGRAPH_DCHECK(id < machines_.size());
+  return machines_[id];
+}
+
+std::optional<std::uint64_t> CheckpointStore::last_saved(PartitionId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  CGRAPH_DCHECK(id < machines_.size());
+  if (!machines_[id]) return std::nullopt;
+  return machines_[id]->step;
+}
+
+std::uint64_t CheckpointStore::latest_common_step() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t common = ~std::uint64_t{0};
+  for (const auto& m : machines_) {
+    if (!m) return 0;
+    common = std::min(common, m->step);
+  }
+  return machines_.empty() ? 0 : common;
+}
+
+std::optional<MachineCheckpoint> CheckpointStore::read_file(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kCkptMagic, sizeof(magic)) != 0) {
+    return std::nullopt;
+  }
+  MachineCheckpoint c;
+  std::uint64_t nbytes = 0;
+  in.read(reinterpret_cast<char*>(&c.step), sizeof(c.step));
+  in.read(reinterpret_cast<char*>(&c.tick), sizeof(c.tick));
+  in.read(reinterpret_cast<char*>(&c.clock_ns), sizeof(c.clock_ns));
+  in.read(reinterpret_cast<char*>(&nbytes), sizeof(nbytes));
+  if (!in) return std::nullopt;
+  c.state.resize(nbytes);
+  if (nbytes > 0) {
+    in.read(reinterpret_cast<char*>(c.state.data()),
+            static_cast<std::streamsize>(nbytes));
+    if (!in) return std::nullopt;
+  }
+  return c;
+}
+
+std::size_t CheckpointStore::write_file_locked(PartitionId id,
+                                               const MachineCheckpoint& c) {
+  const std::string path =
+      dir_ + "/machine_" + std::to_string(id) + ".ckpt";
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);  // best-effort; open checks
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  CGRAPH_CHECK_MSG(static_cast<bool>(out),
+                   "cannot open checkpoint file for writing");
+  const std::uint64_t nbytes = c.state.size();
+  out.write(kCkptMagic, sizeof(kCkptMagic));
+  out.write(reinterpret_cast<const char*>(&c.step), sizeof(c.step));
+  out.write(reinterpret_cast<const char*>(&c.tick), sizeof(c.tick));
+  out.write(reinterpret_cast<const char*>(&c.clock_ns), sizeof(c.clock_ns));
+  out.write(reinterpret_cast<const char*>(&nbytes), sizeof(nbytes));
+  if (nbytes > 0) {
+    out.write(reinterpret_cast<const char*>(c.state.data()),
+              static_cast<std::streamsize>(nbytes));
+  }
+  CGRAPH_CHECK_MSG(static_cast<bool>(out), "checkpoint file write failed");
+  return sizeof(kCkptMagic) + 3 * sizeof(std::uint64_t) + 8 + c.state.size();
+}
+
+void CheckpointStore::prune_snapshots_locked() {
+  // Snapshots older than the latest common machine blob can never be a
+  // restore target again (restores go to latest_common_step or baseline 0).
+  std::uint64_t common = ~std::uint64_t{0};
+  for (const auto& m : machines_) {
+    if (!m) return;  // baseline restarts still possible; keep everything
+    common = std::min(common, m->step);
+  }
+  if (machines_.empty()) return;
+  snapshots_.erase(snapshots_.begin(), snapshots_.lower_bound(common));
+}
+
+}  // namespace cgraph

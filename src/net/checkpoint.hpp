@@ -1,0 +1,96 @@
+// Superstep checkpoint storage for crash-stop recovery.
+//
+// Superstep barriers are natural consistent cut points (Pregel-style): when
+// the barrier completion callback runs, every machine thread is parked
+// inside arrive_and_wait, no staged packet is in flight between engine loop
+// iterations, and the per-link sequence/attempt counters are quiescent. The
+// Cluster captures a ClusterSnapshot (link state + simulated clocks) there,
+// and each machine serializes its partition state into a MachineCheckpoint
+// blob at the top of its engine loop (MachineContext::maybe_checkpoint).
+//
+// On a crash the cluster rolls every machine back to the latest common
+// checkpointed step and re-runs the engine body; the seeded FaultPlan plus
+// the restored link attempt counters make the replay bit-exact (see
+// DESIGN.md "Recovery model"). Blobs live in memory; an optional directory
+// mirrors them to disk (machine_<id>.ckpt) so a real deployment's
+// stable-storage story can be exercised and round-tripped in tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "net/fabric.hpp"
+#include "net/serialize.hpp"
+
+namespace cgraph {
+
+/// Cluster-wide state captured at one superstep barrier: everything outside
+/// the machines' own partition state that the replay must re-seed.
+struct ClusterSnapshot {
+  Fabric::LinkSnapshot links;
+  std::vector<double> clock_ns;  // per-machine simulated clocks
+  double step_start_ns = 0;      // shared post-barrier clock value
+};
+
+/// One machine's checkpoint: the engine-defined partition state blob plus
+/// the header the runtime needs to resume (superstep / async tick / clock).
+struct MachineCheckpoint {
+  std::uint64_t step = 0;   // superstep_ at capture (barriers passed)
+  std::uint64_t tick = 0;   // async poll tick at capture (async engines)
+  double clock_ns = 0;      // simulated clock at capture
+  Packet state;             // engine payload (frontiers, values, dedup, ...)
+};
+
+class CheckpointStore {
+ public:
+  /// Forget everything and size for `n` machines. Called at run start; the
+  /// step-0 baseline snapshot is installed separately via set_baseline.
+  void reset(PartitionId n);
+
+  /// Enable the on-disk mirror: every save_machine also writes
+  /// `<dir>/machine_<id>.ckpt`. Empty string disables.
+  void set_dir(std::string dir) { dir_ = std::move(dir); }
+
+  /// Snapshot of cluster state at run entry (before any barrier). Restoring
+  /// to it with no machine blobs is a from-scratch restart of the body.
+  void set_baseline(ClusterSnapshot snap);
+  [[nodiscard]] ClusterSnapshot baseline() const;
+
+  void save_cluster_snapshot(std::uint64_t step, ClusterSnapshot snap);
+  [[nodiscard]] std::optional<ClusterSnapshot> cluster_snapshot(
+      std::uint64_t step) const;
+
+  /// Store machine `id`'s checkpoint (replacing any older one) and mirror
+  /// it to disk when a directory is configured. Returns blob bytes written.
+  std::size_t save_machine(PartitionId id, MachineCheckpoint ckpt);
+  [[nodiscard]] std::optional<MachineCheckpoint> machine(PartitionId id) const;
+
+  /// Step of machine `id`'s latest blob, or nullopt if it never saved one.
+  [[nodiscard]] std::optional<std::uint64_t> last_saved(PartitionId id) const;
+
+  /// Latest step S such that every machine has a blob at exactly S (the
+  /// deterministic checkpoint gate means machines always agree), or 0 —
+  /// the baseline — when any machine has no blob yet.
+  [[nodiscard]] std::uint64_t latest_common_step() const;
+
+  /// Read a mirrored checkpoint file back (test/diagnostic helper).
+  [[nodiscard]] static std::optional<MachineCheckpoint> read_file(
+      const std::string& path);
+
+ private:
+  std::size_t write_file_locked(PartitionId id, const MachineCheckpoint& c);
+  void prune_snapshots_locked();
+
+  mutable std::mutex mu_;
+  std::string dir_;
+  std::vector<std::optional<MachineCheckpoint>> machines_;
+  std::map<std::uint64_t, ClusterSnapshot> snapshots_;
+  ClusterSnapshot baseline_;
+};
+
+}  // namespace cgraph

@@ -30,7 +30,7 @@ double ClusterTelemetry::straggler_ratio() const {
 }
 
 MachineContext::MachineContext(Cluster& cluster, PartitionId id)
-    : cluster_(cluster), id_(id) {}
+    : cluster_(cluster), id_(id), proto_(*cluster.proto_[id]) {}
 
 PartitionId MachineContext::num_machines() const {
   return cluster_.num_machines();
@@ -52,7 +52,7 @@ void MachineContext::send_async(PartitionId to, std::uint32_t tag,
   Packet copy = payload;
   const Fabric::AsyncSendResult res =
       cluster_.fabric_.send_now(id_, to, tag, std::move(payload));
-  pending_.push_back({to, tag, std::move(copy), res.seq, res.deposited});
+  proto_.pending.push_back({to, tag, std::move(copy), res.seq, res.deposited});
 }
 
 std::vector<Envelope> MachineContext::recv_staged() {
@@ -63,14 +63,15 @@ std::vector<Envelope> MachineContext::recv_staged() {
 
 std::vector<Envelope> MachineContext::recv_async() {
   Fabric& fabric = cluster_.fabric_;
+  std::vector<PendingSend>& pending = proto_.pending;
   std::vector<Envelope> out;
   for (Envelope& env : fabric.mailbox(id_).drain_now()) {
     if (env.kind == EnvelopeKind::kAck) {
       // Ack for one of our sends: release the retransmission copy.
-      for (std::size_t i = 0; i < pending_.size(); ++i) {
-        if (pending_[i].to == env.from && pending_[i].seq == env.seq) {
-          pending_[i] = std::move(pending_.back());
-          pending_.pop_back();
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (pending[i].to == env.from && pending[i].seq == env.seq) {
+          pending[i] = std::move(pending.back());
+          pending.pop_back();
           break;
         }
       }
@@ -81,7 +82,7 @@ std::vector<Envelope> MachineContext::recv_async() {
     // exactly once.
     fabric.send_ack(id_, env.from, env.seq);
     cluster_.clocks_[id_].charge_comm(cluster_.cost_model_, 1, 0);
-    if (!dedup_.accept(env.from, env.seq)) {
+    if (!proto_.dedup.accept(env.from, env.seq)) {
       fabric.record_dedup_suppressed(id_);
       continue;
     }
@@ -90,8 +91,8 @@ std::vector<Envelope> MachineContext::recv_async() {
 
   // Retry pump: retransmit unacked sends whose poll-count timeout expired;
   // surface the ones that exhausted their budget.
-  for (std::size_t i = 0; i < pending_.size();) {
-    PendingSend& p = pending_[i];
+  for (std::size_t i = 0; i < pending.size();) {
+    PendingSend& p = pending[i];
     if (++p.polls_since_send < kRetryAfterPolls) {
       ++i;
       continue;
@@ -102,12 +103,12 @@ std::vector<Envelope> MachineContext::recv_async() {
         // packet, so surfacing it as failed is safe (no double-apply and
         // no double credit release).
         fabric.record_delivery_failed(id_);
-        failed_.push_back({p.to, p.tag, std::move(p.payload)});
+        proto_.failed.push_back({p.to, p.tag, std::move(p.payload)});
       }
       // else: the data reached the receiver at least once and only the
       // acks keep getting lost — abandon the bookkeeping entry silently.
-      pending_[i] = std::move(pending_.back());
-      pending_.pop_back();
+      pending[i] = std::move(pending.back());
+      pending.pop_back();
       continue;
     }
     p.polls_since_send = 0;
@@ -123,7 +124,7 @@ std::vector<Envelope> MachineContext::recv_async() {
 }
 
 std::vector<FailedSend> MachineContext::take_failed_async() {
-  return std::exchange(failed_, {});
+  return std::exchange(proto_.failed, {});
 }
 
 void MachineContext::barrier() {
@@ -142,6 +143,75 @@ void MachineContext::barrier() {
   mt.barrier_wait_wall_seconds += wait_timer.seconds();
   mt.supersteps += 1;
   ++superstep_;
+  // Crash-stop failure: the completion callback flagged a crash at this
+  // barrier, and every machine is parked at it, so every machine unwinds
+  // here — no thread is left waiting at a later barrier (no deadlock).
+  if (cluster_.crash_pending_.load(std::memory_order_acquire)) {
+    throw MachineCrash{cluster_.crashed_machine_, cluster_.crash_superstep_};
+  }
+}
+
+void MachineContext::tick_crash_point() {
+  ++tick_;
+  if (cluster_.recovery_enabled_) cluster_.consume_crash(id_, tick_);
+  if (cluster_.crash_pending_.load(std::memory_order_acquire)) {
+    throw MachineCrash{cluster_.crashed_machine_, cluster_.crash_superstep_};
+  }
+}
+
+bool MachineContext::maybe_checkpoint(
+    const std::function<void(PacketWriter&)>& save) {
+  Cluster& cl = cluster_;
+  if (!cl.recovery_enabled_) return false;
+  // Staged engines advance superstep_, the async engine advances tick_;
+  // either way "progress" is monotone and deterministic per machine, so
+  // the interval gate fires at the same points on every replay.
+  const std::uint64_t progress = superstep_ + tick_;
+  const std::uint64_t interval = cl.recovery_opts_.checkpoint_interval;
+  if (has_last_ckpt_) {
+    if (progress - (last_ckpt_step_ + last_ckpt_tick_) < interval) {
+      return false;
+    }
+  } else {
+    // progress 0 is the body entry point — the baseline snapshot already
+    // covers it, so the first checkpoint waits for the interval.
+    if (progress == 0 || progress < interval) return false;
+  }
+  WallTimer timer;
+  PacketWriter w;
+  save(w);
+  MachineCheckpoint ckpt;
+  ckpt.step = superstep_;
+  ckpt.tick = tick_;
+  ckpt.clock_ns = cluster_.clocks_[id_].nanos();
+  ckpt.state = w.take();
+  const std::size_t bytes = ckpt.state.size();
+  cl.store_.save_machine(id_, std::move(ckpt));
+  has_last_ckpt_ = true;
+  last_ckpt_step_ = superstep_;
+  last_ckpt_tick_ = tick_;
+  {
+    std::lock_guard<std::mutex> lk(cl.crash_mu_);
+    cl.recovery_stats_.checkpoints_taken += 1;
+    cl.recovery_stats_.checkpoint_bytes += bytes;
+    cl.recovery_stats_.checkpoint_seconds += timer.seconds();
+  }
+  return true;
+}
+
+std::optional<Packet> MachineContext::restore_checkpoint() {
+  Cluster& cl = cluster_;
+  if (!cl.recovery_enabled_) return std::nullopt;
+  // The store is wiped at run entry, so a blob present at body entry means
+  // this body is being re-entered after a crash this run.
+  auto blob = cl.store_.machine(id_);
+  if (!blob) return std::nullopt;
+  superstep_ = blob->step;
+  tick_ = blob->tick;
+  has_last_ckpt_ = true;
+  last_ckpt_step_ = blob->step;
+  last_ckpt_tick_ = blob->tick;
+  return std::move(blob->state);
 }
 
 void MachineContext::charge_compute(std::uint64_t edges,
@@ -184,10 +254,53 @@ Cluster::Cluster(PartitionId num_machines, CostModel cost_model)
         max_ns += cost_model_.ns_per_barrier;
         for (SimClock& c : clocks_) c.advance_to(max_ns);
         step_start_ns_ = max_ns;
+
+        // Recovery hook: snapshot cluster state for this superstep and
+        // evaluate the crash schedule. Still on the single completion
+        // thread, with every machine parked — a perfect consistent cut.
+        on_barrier_complete();
       }) {
   CGRAPH_CHECK(num_machines > 0);
   telemetry_.machines.resize(num_machines);
   compute_threads_ = default_compute_threads();
+  proto_.resize(num_machines);
+  for (auto& p : proto_) p = std::make_unique<AsyncProtocolState>();
+}
+
+void Cluster::set_recovery(RecoveryOptions opts) {
+  recovery_enabled_ = true;
+  if (opts.checkpoint_interval == 0) opts.checkpoint_interval = 1;
+  recovery_opts_ = std::move(opts);
+}
+
+void Cluster::on_barrier_complete() {
+  ++barrier_count_;
+  if (!recovery_enabled_) return;
+  ClusterSnapshot snap;
+  snap.links = fabric_.snapshot_links();
+  snap.clock_ns.reserve(clocks_.size());
+  for (const SimClock& c : clocks_) snap.clock_ns.push_back(c.nanos());
+  snap.step_start_ns = step_start_ns_;
+  store_.save_cluster_snapshot(barrier_count_, std::move(snap));
+  if (crash_pending_.load(std::memory_order_relaxed)) return;
+  for (PartitionId m = 0; m < num_machines(); ++m) {
+    if (consume_crash(m, barrier_count_)) break;
+  }
+}
+
+bool Cluster::consume_crash(PartitionId machine, std::uint64_t step) {
+  const FaultPlan* plan = fabric_.fault_plan();
+  if (plan == nullptr || !plan->has_crash_faults()) return false;
+  if (!plan->crash_decision(machine, step)) return false;
+  std::lock_guard<std::mutex> lk(crash_mu_);
+  const std::uint64_t key = (static_cast<std::uint64_t>(machine) << 32) | step;
+  // Each crash event fires exactly once per run, so the replay after the
+  // rollback makes it past the crash point instead of dying there forever.
+  if (!consumed_crashes_.insert(key).second) return false;
+  crashed_machine_ = machine;
+  crash_superstep_ = step;
+  crash_pending_.store(true, std::memory_order_release);
+  return true;
 }
 
 void Cluster::set_compute_threads(std::size_t threads) {
@@ -218,14 +331,53 @@ void Cluster::ensure_compute_pools() {
 }
 
 void Cluster::run(const std::function<void(MachineContext&)>& body) {
+  run(body, RunHooks{});
+}
+
+void Cluster::run(const std::function<void(MachineContext&)>& body,
+                  const RunHooks& hooks) {
   ensure_compute_pools();
+  begin_run();
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    CGRAPH_CHECK_MSG(attempt < kMaxRecoveryAttempts,
+                     "crash recovery did not converge (kMaxRecoveryAttempts)");
+    if (!run_once(body)) return;
+    restore_from_checkpoint(hooks);
+  }
+}
+
+void Cluster::begin_run() {
+  barrier_count_ = 0;
+  crash_pending_.store(false, std::memory_order_relaxed);
+  crashed_machine_ = kInvalidPartition;
+  crash_superstep_ = 0;
+  {
+    std::lock_guard<std::mutex> lk(crash_mu_);
+    consumed_crashes_.clear();
+  }
+  telemetry_supersteps_at_run_start_ = telemetry_.supersteps.size();
+  if (!recovery_enabled_) return;
+  store_.reset(num_machines());
+  store_.set_dir(recovery_opts_.checkpoint_dir);
+  ClusterSnapshot base;
+  base.links = fabric_.snapshot_links();
+  base.clock_ns.reserve(clocks_.size());
+  for (const SimClock& c : clocks_) base.clock_ns.push_back(c.nanos());
+  base.step_start_ns = step_start_ns_;
+  store_.set_baseline(std::move(base));
+}
+
+bool Cluster::run_once(const std::function<void(MachineContext&)>& body) {
   const PartitionId n = num_machines();
   if (n == 1) {
     set_thread_machine(0);
     MachineContext ctx(*this, 0);
-    body(ctx);
+    try {
+      body(ctx);
+    } catch (const MachineCrash&) {
+    }
     set_thread_machine(-1);
-    return;
+    return crash_pending_.load(std::memory_order_acquire);
   }
   std::vector<std::thread> threads;
   threads.reserve(n);
@@ -233,10 +385,70 @@ void Cluster::run(const std::function<void(MachineContext&)>& body) {
     threads.emplace_back([this, &body, i] {
       set_thread_machine(static_cast<int>(i));
       MachineContext ctx(*this, i);
-      body(ctx);
+      try {
+        body(ctx);
+      } catch (const MachineCrash&) {
+        // The crash flag is already set; sibling machines unwind at their
+        // own barrier / tick crash point and run() restores below.
+      }
     });
   }
   for (auto& t : threads) t.join();
+  return crash_pending_.load(std::memory_order_acquire);
+}
+
+void Cluster::restore_from_checkpoint(const RunHooks& hooks) {
+  WallTimer timer;
+  recovery_stats_.crashes += 1;
+  if (hooks.link_replay) {
+    // Staged (BSP) engines: symmetric rollback to the latest common
+    // checkpointed superstep S. Restoring the link sequence/attempt
+    // counters alongside the machines' blobs means the replay re-issues
+    // identical sequence numbers and identical fault decisions — the
+    // replay is bit-exact, so restoring every machine is observationally
+    // equivalent to restoring only the dead one (see DESIGN.md).
+    const std::uint64_t step = store_.latest_common_step();
+    ClusterSnapshot snap;
+    if (step == 0) {
+      snap = store_.baseline();
+    } else {
+      auto stored = store_.cluster_snapshot(step);
+      CGRAPH_CHECK_MSG(stored.has_value(),
+                       "missing cluster snapshot for restore step");
+      snap = std::move(*stored);
+    }
+    fabric_.restore_links(snap.links);
+    for (std::size_t i = 0; i < clocks_.size(); ++i) {
+      clocks_[i].set_nanos(snap.clock_ns[i]);
+    }
+    step_start_ns_ = snap.step_start_ns;
+    barrier_count_ = step;
+    // Keep per-superstep telemetry aligned with the re-executed steps
+    // (replayed barriers re-push their entries).
+    telemetry_.supersteps.resize(telemetry_supersteps_at_run_start_ + step);
+    recovery_stats_.supersteps_replayed +=
+        crash_superstep_ > step ? crash_superstep_ - step : 1;
+  } else {
+    // Async engine: poll ticks are wall-schedule dependent, so there is no
+    // bit-exact replay. Start delivery state fresh (new sequence numbers
+    // against empty dedup windows are trivially safe) and let each machine
+    // restore its own blob independently; correctness comes from monotone
+    // re-relaxation, not replay.
+    fabric_.reset_delivery_state();
+    const ClusterSnapshot base = store_.baseline();
+    for (PartitionId i = 0; i < num_machines(); ++i) {
+      const auto blob = store_.machine(i);
+      clocks_[i].set_nanos(blob ? blob->clock_ns : base.clock_ns[i]);
+    }
+    step_start_ns_ = base.step_start_ns;
+    barrier_count_ = 0;
+    telemetry_.supersteps.resize(telemetry_supersteps_at_run_start_);
+    recovery_stats_.supersteps_replayed += 1;
+  }
+  reset_protocol_state();
+  crash_pending_.store(false, std::memory_order_release);
+  if (hooks.on_restore) hooks.on_restore();
+  recovery_stats_.restore_seconds += timer.seconds();
 }
 
 double Cluster::sim_seconds() const {
@@ -323,6 +535,30 @@ void Cluster::publish_metrics(obs::MetricsRegistry& reg) const {
     reg.gauge("cgraph_straggler_ratio",
               "Mean max/mean machine step time of the latest run")
         .set(telemetry_.straggler_ratio());
+  }
+  if (recovery_enabled_) {
+    const RecoveryStats& r = recovery_stats_;
+    reg.counter("cgraph_recovery_crashes_total",
+                "Crash-stop machine failures injected by the fault plan")
+        .inc(static_cast<double>(r.crashes));
+    reg.counter("cgraph_recovery_supersteps_replayed_total",
+                "Supersteps re-executed while recovering from crashes")
+        .inc(static_cast<double>(r.supersteps_replayed));
+    reg.counter("cgraph_recovery_checkpoints_total",
+                "Machine checkpoints taken at superstep barriers")
+        .inc(static_cast<double>(r.checkpoints_taken));
+    reg.counter("cgraph_recovery_checkpoint_bytes_total",
+                "Serialized machine state bytes checkpointed")
+        .inc(static_cast<double>(r.checkpoint_bytes));
+    reg.counter("cgraph_recovery_checkpoint_seconds_total",
+                "Host wall-clock spent serializing checkpoints")
+        .inc(r.checkpoint_seconds);
+    reg.counter("cgraph_recovery_restore_seconds_total",
+                "Host wall-clock spent restoring from checkpoints")
+        .inc(r.restore_seconds);
+    reg.counter("cgraph_recovery_queries_reexecuted_total",
+                "Queries re-executed because a crash touched their batch")
+        .inc(static_cast<double>(r.queries_reexecuted));
   }
 }
 

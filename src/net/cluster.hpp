@@ -7,14 +7,19 @@
 // Swapping this layer for real MPI only changes the transport.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
+#include "net/checkpoint.hpp"
 #include "net/cost_model.hpp"
 #include "net/fabric.hpp"
 #include "net/fault.hpp"
@@ -81,6 +86,86 @@ struct FailedSend {
   Packet payload;
 };
 
+/// Internal control-flow signal for crash-stop machine failure: thrown out
+/// of MachineContext::barrier() / tick_crash_point() on every machine when
+/// the FaultPlan schedules a crash, caught by Cluster::run, which restores
+/// from the latest checkpoint and re-executes the body. Engines never see
+/// it (it unwinds straight through their loops by design).
+struct MachineCrash {
+  PartitionId machine = kInvalidPartition;
+  std::uint64_t superstep = 0;
+};
+
+/// Knobs for crash recovery (Cluster::set_recovery).
+struct RecoveryOptions {
+  /// Checkpoint every `checkpoint_interval` supersteps (engine loop
+  /// iterations offer a checkpoint; this gate decides whether to take it).
+  std::uint64_t checkpoint_interval = 1;
+  /// When non-empty, mirror every machine checkpoint to
+  /// `<dir>/machine_<id>.ckpt` (stable-storage story; see CheckpointStore).
+  std::string checkpoint_dir;
+};
+
+/// Counters surfaced as cgraph_recovery_* through publish_metrics.
+struct RecoveryStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t supersteps_replayed = 0;
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  double checkpoint_seconds = 0;
+  double restore_seconds = 0;
+  /// Maintained by the scheduler: queries whose batch was touched by a
+  /// crash and therefore re-executed (the failover unit is the batch).
+  std::uint64_t queries_reexecuted = 0;
+};
+
+/// Per-run hooks for Cluster::run. `on_restore` fires once per recovery,
+/// after cluster state is rolled back and before the body is re-entered —
+/// engines reset their shared cross-machine accumulators there.
+/// `link_replay` selects the restore mode: true (staged/BSP engines)
+/// restores link sequence/attempt counters from the barrier snapshot so the
+/// replay re-issues identical sequence numbers and fault decisions; false
+/// (the async engine, whose poll schedule is not replayable) resets
+/// delivery state entirely and relies on monotone re-relaxation.
+struct RunHooks {
+  std::function<void()> on_restore;
+  bool link_replay = true;
+};
+
+/// One unacked async send awaiting its ack (or a retry timeout).
+struct PendingSend {
+  PartitionId to;
+  std::uint32_t tag;
+  Packet payload;  // retained for retransmission
+  std::uint64_t seq;
+  /// True once any transmission attempt reached the receiver's mailbox
+  /// (the fabric's failure-detector signal). A deposited packet WILL be
+  /// applied — only its acks can still be lost — so it must never be
+  /// reported as failed, or credit-tracking engines would double-release.
+  bool ever_deposited = false;
+  std::uint32_t polls_since_send = 0;
+  std::uint32_t attempts = 1;
+};
+
+/// Reliable-async protocol state for one machine. Owned by the Cluster and
+/// persistent across runs (a MachineContext is a per-run view into it), so
+/// engines MUST clear it at run start via Cluster::reset_protocol_state():
+/// a stale unacked send would retransmit under the new run's sequence
+/// numbering and poison the receiver's dedup window, and a stale failure
+/// would release termination credits that belong to a previous batch.
+/// Only touched from the owning machine's thread during a run.
+struct AsyncProtocolState {
+  std::vector<PendingSend> pending;
+  std::vector<FailedSend> failed;
+  DedupFilter dedup;
+
+  void clear() {
+    pending.clear();
+    failed.clear();
+    dedup = DedupFilter{};
+  }
+};
+
 /// Per-machine execution handle passed to the machine body.
 class MachineContext {
  public:
@@ -115,7 +200,9 @@ class MachineContext {
   /// True while any async send is awaiting an ack. A quiescing engine that
   /// stops polling with pending sends simply abandons them (the data may
   /// well have arrived — only the acks are outstanding).
-  [[nodiscard]] bool has_pending_async() const { return !pending_.empty(); }
+  [[nodiscard]] bool has_pending_async() const {
+    return !proto_.pending.empty();
+  }
 
   /// Async sends that permanently failed since the last call: every
   /// transmission attempt in the retry budget was dropped, so the receiver
@@ -127,7 +214,33 @@ class MachineContext {
 
   /// Synchronize all machines; charges this machine's accumulated comm cost
   /// and advances every clock to the slowest machine. Increments superstep.
+  /// Throws MachineCrash (on every machine — they all park at the same
+  /// barrier) when the FaultPlan schedules a crash at this superstep.
   void barrier();
+
+  /// Crash point for barrier-free (async) engines: call once per poll-loop
+  /// iteration. Consumes a scheduled crash for (machine, tick) and throws
+  /// MachineCrash when any machine's crash has been flagged. Ticks depend
+  /// on the wall schedule, so async recovery is monotone, not replay-based
+  /// (see RunHooks::link_replay).
+  void tick_crash_point();
+
+  /// Offer a checkpoint of this machine's engine state. Engines call this
+  /// at the top of their superstep loop — a consistent cut: no staged
+  /// packet is in flight there. The checkpoint is actually taken only when
+  /// recovery is enabled and the configured interval has elapsed since the
+  /// machine's last checkpoint (the gate is deterministic in the superstep
+  /// count, so all machines checkpoint at the same steps). `save` receives
+  /// a PacketWriter and serializes the engine's partition state into it.
+  /// Returns true when a checkpoint was taken.
+  bool maybe_checkpoint(const std::function<void(PacketWriter&)>& save);
+
+  /// At body entry: the engine's partition state from this machine's
+  /// latest checkpoint, when the body is being re-entered after a crash.
+  /// Also restores superstep() and the async tick to their checkpointed
+  /// values. Returns nullopt on a fresh (or baseline-restarted) run — the
+  /// body initializes from scratch then.
+  std::optional<Packet> restore_checkpoint();
 
   /// Charge local compute work to the simulated clock.
   void charge_compute(std::uint64_t edges, std::uint64_t vertices = 0);
@@ -140,30 +253,19 @@ class MachineContext {
   [[nodiscard]] SimClock& clock();
 
  private:
-  /// One unacked async send awaiting its ack (or a retry timeout).
-  struct PendingSend {
-    PartitionId to;
-    std::uint32_t tag;
-    Packet payload;  // retained for retransmission
-    std::uint64_t seq;
-    /// True once any transmission attempt reached the receiver's mailbox
-    /// (the fabric's failure-detector signal). A deposited packet WILL be
-    /// applied — only its acks can still be lost — so it must never be
-    /// reported as failed, or credit-tracking engines would double-release.
-    bool ever_deposited = false;
-    std::uint32_t polls_since_send = 0;
-    std::uint32_t attempts = 1;
-  };
-
   Cluster& cluster_;
   PartitionId id_;
   std::uint64_t superstep_ = 0;
+  std::uint64_t tick_ = 0;  // async poll-loop iterations (crash schedule)
   std::uint64_t step_packets_ = 0;
   std::uint64_t step_bytes_ = 0;
-  // Reliable-async protocol state. Only touched from this machine's thread.
-  std::vector<PendingSend> pending_;
-  std::vector<FailedSend> failed_;
-  DedupFilter dedup_;
+  // Interval gate for maybe_checkpoint: progress point of the last
+  // checkpoint this machine took (or restored from).
+  bool has_last_ckpt_ = false;
+  std::uint64_t last_ckpt_step_ = 0;
+  std::uint64_t last_ckpt_tick_ = 0;
+  /// Cluster-owned, persistent across runs; see AsyncProtocolState.
+  AsyncProtocolState& proto_;
 };
 
 class Cluster {
@@ -192,8 +294,49 @@ class Cluster {
 
   /// Execute `body(ctx)` on every machine concurrently; returns when all
   /// machines finish. Clocks and traffic counters persist across runs until
-  /// reset_clocks() / fabric().reset_counters().
+  /// reset_clocks() / fabric().reset_counters(). When recovery is enabled
+  /// and the FaultPlan crashes a machine, the whole cluster rolls back to
+  /// the latest checkpoint and the body is re-entered (bounded attempts).
   void run(const std::function<void(MachineContext&)>& body);
+  void run(const std::function<void(MachineContext&)>& body,
+           const RunHooks& hooks);
+
+  // -- Crash recovery ----------------------------------------------------
+
+  /// Restarts of one run() before recovery is declared non-convergent.
+  static constexpr std::uint32_t kMaxRecoveryAttempts = 256;
+
+  /// Enable superstep checkpointing + crash recovery for subsequent runs.
+  void set_recovery(RecoveryOptions opts);
+  [[nodiscard]] bool recovery_enabled() const { return recovery_enabled_; }
+  [[nodiscard]] const RecoveryOptions& recovery_options() const {
+    return recovery_opts_;
+  }
+  [[nodiscard]] const RecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
+  void reset_recovery_stats() { recovery_stats_ = RecoveryStats{}; }
+  /// Scheduler bookkeeping: queries re-executed because their batch was
+  /// touched by a crash.
+  void add_queries_reexecuted(std::uint64_t n) {
+    recovery_stats_.queries_reexecuted += n;
+  }
+  /// Read access for tests (e.g. checkpoint-file roundtrips).
+  [[nodiscard]] const CheckpointStore& checkpoint_store() const {
+    return store_;
+  }
+
+  /// Clear every machine's persistent reliable-async protocol state
+  /// (pending retransmissions, surfaced failures, dedup windows). Engines
+  /// call this alongside fabric().reset_delivery_state() at run start; a
+  /// previous run's leftovers would corrupt the new run (stale seqs poison
+  /// dedup, stale failures double-release credits).
+  void reset_protocol_state() {
+    for (auto& p : proto_) p->clear();
+  }
+  [[nodiscard]] AsyncProtocolState& protocol_state(PartitionId id) {
+    return *proto_[id];
+  }
 
   /// Max simulated time across machines (the BSP makespan).
   [[nodiscard]] double sim_seconds() const;
@@ -221,6 +364,21 @@ class Cluster {
   /// Build pools_ to match compute_threads_ (no-op when already built).
   void ensure_compute_pools();
 
+  /// Per-run() setup: reset the crash/checkpoint runtime and capture the
+  /// step-0 baseline snapshot when recovery is enabled.
+  void begin_run();
+  /// Launch the body on all machines once; true iff a crash unwound it.
+  bool run_once(const std::function<void(MachineContext&)>& body);
+  /// Roll cluster state back to the latest common checkpoint (or the
+  /// baseline) after a crash, per the run's RunHooks mode.
+  void restore_from_checkpoint(const RunHooks& hooks);
+  /// Barrier-completion hook: snapshot cluster state for this superstep
+  /// and evaluate the crash schedule for every machine.
+  void on_barrier_complete();
+  /// Consume-at-most-once crash schedule evaluation for one (machine,
+  /// step-or-tick) point. True when this call flagged a crash.
+  bool consume_crash(PartitionId machine, std::uint64_t step);
+
   Fabric fabric_;
   CostModel cost_model_;
   std::vector<SimClock> clocks_;
@@ -235,6 +393,34 @@ class Cluster {
   ClusterTelemetry telemetry_;
   double step_start_ns_ = 0;  // clock value all machines shared last barrier
   SyncBarrier barrier_;
+
+  /// Persistent per-machine reliable-async protocol state (address-stable;
+  /// sized once in the constructor). See AsyncProtocolState.
+  std::vector<std::unique_ptr<AsyncProtocolState>> proto_;
+
+  // -- Crash/checkpoint runtime -----------------------------------------
+  bool recovery_enabled_ = false;
+  RecoveryOptions recovery_opts_;
+  RecoveryStats recovery_stats_;
+  CheckpointStore store_;
+  /// Barriers completed in the current run (the snapshot/crash-schedule
+  /// superstep index); rewound to the restore step on recovery.
+  std::uint64_t barrier_count_ = 0;
+  /// telemetry_.supersteps length at run entry, so a staged replay can
+  /// truncate back to (start + restore step) and keep per-level telemetry
+  /// indices aligned with the re-executed levels.
+  std::size_t telemetry_supersteps_at_run_start_ = 0;
+  /// Crash flag: set (once) under crash_mu_ by the barrier completion
+  /// callback or a tick crash point; observed by every machine, which
+  /// throws MachineCrash. Cleared by the restore path.
+  std::atomic<bool> crash_pending_{false};
+  PartitionId crashed_machine_ = kInvalidPartition;
+  std::uint64_t crash_superstep_ = 0;
+  /// Crash events already fired this run — each fires exactly once, so the
+  /// replay makes it past the crash point. Runtime state, deliberately NOT
+  /// in the (const, shared) FaultPlan.
+  std::mutex crash_mu_;
+  std::unordered_set<std::uint64_t> consumed_crashes_;
 };
 
 }  // namespace cgraph

@@ -59,6 +59,10 @@ class SimClock {
     if (ns > ns_) ns_ = ns;
   }
 
+  /// Rewind/overwrite the clock (used by crash recovery to restore a
+  /// machine to the simulated time recorded in its checkpoint).
+  void set_nanos(double ns) { ns_ = ns; }
+
   [[nodiscard]] double nanos() const { return ns_; }
   [[nodiscard]] double seconds() const { return ns_ * 1e-9; }
   void reset() { ns_ = 0; }

@@ -278,6 +278,40 @@ class Fabric {
     return fault_log_;
   }
 
+  /// Per-link (seq, attempts) pairs in row-major (from * N + to) order.
+  /// Captured at superstep barriers as part of a cluster-wide checkpoint so
+  /// a replay after a crash re-issues the same sequence numbers and fault
+  /// decisions as the original execution.
+  struct LinkSnapshot {
+    std::vector<std::uint64_t> seqs;
+    std::vector<std::uint64_t> attempts;
+  };
+
+  [[nodiscard]] LinkSnapshot snapshot_links() const {
+    LinkSnapshot snap;
+    snap.seqs.reserve(links_.size());
+    snap.attempts.reserve(links_.size());
+    for (const auto& l : links_) {
+      snap.seqs.push_back(l->seq.load(std::memory_order_relaxed));
+      snap.attempts.push_back(l->attempts.load(std::memory_order_relaxed));
+    }
+    return snap;
+  }
+
+  /// Restore link sequence/attempt counters to a snapshot and purge all
+  /// mailboxes (in-flight packets die with the crash). The fault log is
+  /// deliberately kept: replayed attempts re-log their decisions, so after
+  /// a recovery the log contains the pre-crash prefix plus the replay —
+  /// a faithful record of every decision actually taken.
+  void restore_links(const LinkSnapshot& snap) {
+    CGRAPH_CHECK(snap.seqs.size() == links_.size());
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      links_[i]->seq.store(snap.seqs[i], std::memory_order_relaxed);
+      links_[i]->attempts.store(snap.attempts[i], std::memory_order_relaxed);
+    }
+    for (auto& m : mailboxes_) m->clear_all();
+  }
+
  private:
   struct LinkState {
     std::atomic<std::uint64_t> seq{0};

@@ -46,13 +46,29 @@ FaultAction FaultPlan::decide(PartitionId from, PartitionId to,
   return FaultAction::kDeliver;
 }
 
+bool FaultPlan::crash_decision(PartitionId machine,
+                               std::uint64_t superstep) const {
+  if (crashes_.count(crash_key(machine, superstep)) != 0) return true;
+  if (crash_probability_ <= 0) return false;
+
+  // Same pure-hash scheme as link decisions but with distinct mixing
+  // constants, so a crash draw never aliases a drop/duplicate draw made
+  // from the same seed.
+  SplitMix64 mix(seed_ ^
+                 (0xd6e8feb86659fd93ULL * (crash_key(machine, superstep) + 1)) ^
+                 (superstep * 0xa3b195354a39b70dULL));
+  const double u = static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+  return u < crash_probability_;
+}
+
 std::string FaultPlan::describe() const {
   std::ostringstream os;
   os << "FaultPlan{seed=" << seed_ << ", default={drop=" << default_.drop
      << " dup=" << default_.duplicate << " reorder=" << default_.reorder
      << " delay=" << default_.delay << " delay_polls=" << default_.delay_polls
      << "}, link_overrides=" << links_.size()
-     << ", triggers=" << triggers_.size() << "}";
+     << ", triggers=" << triggers_.size() << ", crashes=" << crashes_.size()
+     << ", crash_p=" << crash_probability_ << "}";
   return os.str();
 }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "net/serialize.hpp"
 #include "util/rng.hpp"
 
 namespace cgraph {
@@ -107,11 +108,45 @@ class FaultPlan {
   [[nodiscard]] FaultAction decide(PartitionId from, PartitionId to,
                                    std::uint64_t attempt) const;
 
+  // -- Crash-stop machine failure schedule -------------------------------
+  //
+  // Crashes are evaluated by the Cluster at superstep barriers (staged
+  // engines) or poll ticks (the async engine), not by the fabric: a crash
+  // kills a whole machine, not a packet. Like link decisions, the schedule
+  // is pure in (seed, machine, superstep) so a crashing run replays
+  // bit-exactly. The Cluster tracks which crash events have already fired
+  // (each fires once) — that consumed-set is runtime state and lives there,
+  // keeping the plan const-shareable across threads.
+
+  /// Kill `machine` when it reaches superstep `at_superstep` (1-based count
+  /// of completed barriers, matching MachineContext::superstep()).
+  void add_crash(PartitionId machine, std::uint64_t at_superstep) {
+    crashes_.insert(crash_key(machine, at_superstep));
+  }
+  /// Additionally crash any (machine, superstep) with probability `p`,
+  /// decided by a seeded hash independent of the link-fault draws.
+  void set_crash_probability(double p) { crash_probability_ = p; }
+
+  [[nodiscard]] bool has_crash_faults() const {
+    return !crashes_.empty() || crash_probability_ > 0;
+  }
+
+  /// Pure crash decision for (machine, superstep): explicit schedule first,
+  /// then the probabilistic draw. Mixing constants are distinct from the
+  /// link-fault hash so crash and link decisions never correlate.
+  [[nodiscard]] bool crash_decision(PartitionId machine,
+                                    std::uint64_t superstep) const;
+
   /// Human-readable one-liner (seed + mix) printed by chaos tests so a
   /// failing run can be replayed from the log alone.
   [[nodiscard]] std::string describe() const;
 
  private:
+  static std::uint64_t crash_key(PartitionId machine, std::uint64_t superstep) {
+    // Superstep counts in any sane run stay far below 2^32.
+    return (static_cast<std::uint64_t>(machine) << 32) | superstep;
+  }
+
   static std::uint64_t link_key(PartitionId from, PartitionId to) {
     return (static_cast<std::uint64_t>(from) << 32) | to;
   }
@@ -126,6 +161,8 @@ class FaultPlan {
   LinkFaultSpec default_;
   std::unordered_map<std::uint64_t, LinkFaultSpec> links_;
   std::unordered_map<std::uint64_t, FaultAction> triggers_;
+  std::unordered_set<std::uint64_t> crashes_;
+  double crash_probability_ = 0.0;
 };
 
 /// Receiver-side exactly-once filter: tracks per-sender sequence numbers
@@ -156,6 +193,36 @@ class DedupFilter {
 
   [[nodiscard]] std::uint64_t suppressed() const { return suppressed_; }
   void count_suppressed() { ++suppressed_; }
+
+  /// Checkpoint support: the filter's watermarks + pending sets are part of
+  /// a machine's recoverable state — restoring them alongside the link
+  /// sequence counters keeps exactly-once intact across a replay.
+  void serialize(PacketWriter& w) const {
+    w.write<std::uint64_t>(suppressed_);
+    w.write<std::uint64_t>(windows_.size());
+    for (const auto& [from, win] : windows_) {
+      w.write<PartitionId>(from);
+      w.write<std::uint8_t>(win.has_watermark ? 1 : 0);
+      w.write<std::uint64_t>(win.watermark);
+      w.write<std::uint64_t>(win.pending.size());
+      for (const std::uint64_t seq : win.pending) w.write<std::uint64_t>(seq);
+    }
+  }
+  void deserialize(PacketReader& r) {
+    windows_.clear();
+    suppressed_ = r.read<std::uint64_t>();
+    const auto nwin = r.read<std::uint64_t>();
+    for (std::uint64_t i = 0; i < nwin; ++i) {
+      const auto from = r.read<PartitionId>();
+      Window& w = windows_[from];
+      w.has_watermark = r.read<std::uint8_t>() != 0;
+      w.watermark = r.read<std::uint64_t>();
+      const auto npending = r.read<std::uint64_t>();
+      for (std::uint64_t j = 0; j < npending; ++j) {
+        w.pending.insert(r.read<std::uint64_t>());
+      }
+    }
+  }
 
  private:
   struct Window {

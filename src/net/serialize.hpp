@@ -36,6 +36,7 @@ class PacketWriter {
   void write_span(std::span<const T> values) {
     static_assert(std::is_trivially_copyable_v<T>);
     write<std::uint64_t>(values.size());
+    if (values.empty()) return;  // memcpy from a null span is UB even at n=0
     const std::size_t pos = buf_.size();
     buf_.resize(pos + values.size_bytes());
     std::memcpy(buf_.data() + pos, values.data(), values.size_bytes());
@@ -75,9 +76,12 @@ class PacketReader {
   std::vector<T> read_vector() {
     static_assert(std::is_trivially_copyable_v<T>);
     const auto n = read<std::uint64_t>();
-    CGRAPH_CHECK_MSG(pos_ + n * sizeof(T) <= data_.size(),
+    // Divide instead of multiplying so a hostile length can't overflow the
+    // bounds check.
+    CGRAPH_CHECK_MSG(n <= (data_.size() - pos_) / sizeof(T),
                      "packet underflow while decoding vector");
     std::vector<T> out(n);
+    if (n == 0) return out;
     std::memcpy(out.data(), data_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
     return out;

@@ -41,9 +41,13 @@ MsBfsBatchResult run_async_khop(Cluster& cluster,
   result.completion_sim_seconds.assign(Q, 0.0);
 
   // Termination state shared across machines (stands in for the credit
-  // messages a wire deployment would circulate).
-  std::atomic<std::int64_t> in_flight{0};
-  std::atomic<std::uint32_t> idle_count{0};
+  // messages a wire deployment would circulate). Busy-machine count and
+  // in-flight message credits share ONE atomic so the quiescence test is a
+  // single load — with two counters there is no consistent snapshot, and a
+  // checker can interleave its two reads around a peer's send+idle (or
+  // recv+wake) transition and declare termination with work still live.
+  // Every machine is born busy, so the counter starts at P.
+  std::atomic<std::int64_t> outstanding{static_cast<std::int64_t>(P)};
   std::atomic<bool> done{false};
 
   std::vector<std::atomic<std::uint64_t>> visited_accum(Q);
@@ -57,8 +61,29 @@ MsBfsBatchResult run_async_khop(Cluster& cluster,
   cluster.reset_telemetry();
   cluster.fabric().reset_counters();
   cluster.fabric().reset_delivery_state();
+  cluster.reset_protocol_state();
   obs::TraceSpan span("run_async_khop");
   WallTimer wall;
+
+  // Crash recovery, async flavor: there is no superstep replay. Each
+  // machine checkpoints its best-known depth arrays independently; on a
+  // crash every machine rolls back to its own last checkpoint, re-queues
+  // everything it knows and re-relaxes. Depths only ever improve and
+  // re-expansion is idempotent, so the fixpoint (the exact BFS closure) is
+  // unchanged — only wall/sim timing and edge counts may differ from the
+  // fault-free schedule. The shared termination and result accumulators
+  // restart from scratch.
+  RunHooks hooks;
+  hooks.link_replay = false;
+  hooks.on_restore = [&] {
+    outstanding.store(static_cast<std::int64_t>(P),
+                      std::memory_order_relaxed);
+    done.store(false, std::memory_order_relaxed);
+    for (auto& a : visited_accum) a.store(0, std::memory_order_relaxed);
+    for (auto& a : max_level) a.store(0, std::memory_order_relaxed);
+    edges_total.store(0, std::memory_order_relaxed);
+    state_bytes_total.store(0, std::memory_order_relaxed);
+  };
 
   cluster.run([&](MachineContext& mc) {
     const SubgraphShard& shard = shards[mc.id()];
@@ -79,30 +104,60 @@ MsBfsBatchResult run_async_khop(Cluster& cluster,
       if (outbox[to].empty()) return;
       PacketWriter pw;
       pw.write_span(std::span<const AsyncTask>(outbox[to]));
-      in_flight.fetch_add(static_cast<std::int64_t>(outbox[to].size()),
-                          std::memory_order_acq_rel);
+      outstanding.fetch_add(static_cast<std::int64_t>(outbox[to].size()),
+                            std::memory_order_acq_rel);
       mc.send_async(to, kAsyncVisitTag, pw.take());
       outbox[to].clear();
     };
 
-    // Seed local sources at depth 0.
-    for (std::size_t q = 0; q < Q; ++q) {
-      if (range.contains(batch[q].source)) {
-        depth[q][batch[q].source - range.begin] = 0;
-        queue.push_back({batch[q].source, static_cast<QueryId>(q), 0});
+    std::uint64_t my_edges = 0;
+    if (auto ckpt = mc.restore_checkpoint()) {
+      // Re-entering after a crash: restore the depth arrays and re-queue
+      // every vertex this machine has ever reached, so all of its outgoing
+      // relaxations (including messages lost in the crash) are re-derived.
+      PacketReader pr(*ckpt);
+      my_edges = pr.read<std::uint64_t>();
+      for (std::size_t q = 0; q < Q; ++q) {
+        const auto depths = pr.read_vector<Depth>();
+        CGRAPH_CHECK(depths.size() == nlocal);
+        std::copy(depths.begin(), depths.end(), depth[q].begin());
+        for (std::size_t v = 0; v < nlocal; ++v) {
+          if (depth[q][v] != kUnvisitedDepth) {
+            queue.push_back({range.begin + static_cast<VertexId>(v),
+                             static_cast<QueryId>(q), depth[q][v]});
+          }
+        }
+      }
+    } else {
+      // Seed local sources at depth 0.
+      for (std::size_t q = 0; q < Q; ++q) {
+        if (range.contains(batch[q].source)) {
+          depth[q][batch[q].source - range.begin] = 0;
+          queue.push_back({batch[q].source, static_cast<QueryId>(q), 0});
+        }
       }
     }
 
     bool idle = false;
-    std::uint64_t my_edges = 0;
     while (!done.load(std::memory_order_acquire)) {
+      // One logical "tick" per poll-loop pass: the async analogue of a
+      // superstep for the crash schedule. (Checkpoints are taken below,
+      // only on passes that process work — an idle machine spinning on the
+      // quiescence check has nothing new to save.)
+      mc.tick_crash_point();
       // Poll incoming tasks.
       for (Envelope& env : mc.recv_async()) {
         CGRAPH_CHECK(env.tag == kAsyncVisitTag);
         PacketReader pr(env.payload);
         const auto tasks = pr.read_vector<AsyncTask>();
-        in_flight.fetch_sub(static_cast<std::int64_t>(tasks.size()),
-                            std::memory_order_acq_rel);
+        // Go busy BEFORE releasing the message credits: the counter must
+        // never pass through zero while this machine has tasks in hand.
+        if (idle) {
+          idle = false;
+          outstanding.fetch_add(1, std::memory_order_acq_rel);
+        }
+        outstanding.fetch_sub(static_cast<std::int64_t>(tasks.size()),
+                              std::memory_order_acq_rel);
         for (const AsyncTask& t : tasks) {
           CGRAPH_DCHECK(range.contains(t.target));
           Depth& best = depth[t.query][t.target - range.begin];
@@ -123,26 +178,38 @@ MsBfsBatchResult run_async_khop(Cluster& cluster,
         CGRAPH_DCHECK(f.tag == kAsyncVisitTag);
         PacketReader pr(f.payload);
         const auto lost = pr.read_vector<AsyncTask>();
-        in_flight.fetch_sub(static_cast<std::int64_t>(lost.size()),
-                            std::memory_order_acq_rel);
+        const auto n = static_cast<std::int64_t>(lost.size());
+        // This release can be the transition to global quiescence (every
+        // machine idle, these were the last credits).
+        if (outstanding.fetch_sub(n, std::memory_order_acq_rel) == n) {
+          done.store(true, std::memory_order_release);
+        }
       }
 
       if (queue.empty()) {
         if (!idle) {
           idle = true;
-          idle_count.fetch_add(1, std::memory_order_acq_rel);
-        }
-        // Quiescent iff every machine is idle and nothing is in flight.
-        if (idle_count.load(std::memory_order_acquire) == P &&
-            in_flight.load(std::memory_order_acquire) <= 0) {
+          // Quiescent iff this was the last busy machine and no credits
+          // remain; fetch_sub's return value makes that one atomic test.
+          if (outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            done.store(true, std::memory_order_release);
+          }
+        } else if (outstanding.load(std::memory_order_acquire) <= 0) {
           done.store(true, std::memory_order_release);
         }
         continue;
       }
       if (idle) {
         idle = false;
-        idle_count.fetch_sub(1, std::memory_order_acq_rel);
+        outstanding.fetch_add(1, std::memory_order_acq_rel);
       }
+
+      mc.maybe_checkpoint([&](PacketWriter& pw) {
+        pw.write<std::uint64_t>(my_edges);
+        for (std::size_t q = 0; q < Q; ++q) {
+          pw.write_span<Depth>({depth[q].data(), depth[q].size()});
+        }
+      });
 
       // Process a chunk, then loop back to the poll.
       std::uint64_t chunk_edges = 0;
@@ -192,7 +259,7 @@ MsBfsBatchResult run_async_khop(Cluster& cluster,
       visited_accum[q].fetch_add(count, std::memory_order_relaxed);
     }
     edges_total.fetch_add(my_edges, std::memory_order_relaxed);
-  });
+  }, hooks);
 
   result.wall_seconds = wall.seconds();
   result.sim_seconds = cluster.sim_seconds();

@@ -69,7 +69,31 @@ MsBfsBatchResult run_distributed_khop(
   cluster.reset_telemetry();
   cluster.fabric().reset_counters();
   cluster.fabric().reset_delivery_state();
+  cluster.reset_protocol_state();
   WallTimer wall;
+
+  // Crash recovery: after a rollback to checkpointed level L, clear every
+  // shared accumulator the replayed levels will re-contribute to, so the
+  // recovered run's results and telemetry stay bit-exact (replayed work is
+  // counted exactly once).
+  RunHooks hooks;
+  hooks.on_restore = [&] {
+    const std::size_t from_level = static_cast<std::size_t>(
+        cluster.checkpoint_store().latest_common_step() / 2);
+    for (std::size_t l = from_level; l < kMaxLevels; ++l) {
+      for (std::size_t w = 0; w < W; ++w) {
+        nonempty_planes[l * W + w].store(0, std::memory_order_relaxed);
+      }
+      lvl_frontier[l].store(0, std::memory_order_relaxed);
+      lvl_edges[l].store(0, std::memory_order_relaxed);
+      lvl_bitops[l].store(0, std::memory_order_relaxed);
+      lvl_ptasks[l].store(0, std::memory_order_relaxed);
+      lvl_stealwait_ns[l].store(0, std::memory_order_relaxed);
+    }
+    for (auto& a : visited_accum) a.store(0, std::memory_order_relaxed);
+    edges_total.store(0, std::memory_order_relaxed);
+    state_bytes_total.store(0, std::memory_order_relaxed);
+  };
 
   cluster.run([&](MachineContext& mc) {
     const SubgraphShard& shard = shards[mc.id()];
@@ -90,11 +114,37 @@ MsBfsBatchResult run_distributed_khop(
     std::vector<Bitmap> visited(Q);
     std::vector<std::vector<VertexId>> frontier(Q);
     std::vector<std::vector<VertexId>> next(Q);
-    for (std::size_t q = 0; q < Q; ++q) {
-      visited[q].resize(nlocal);
-      if (range.contains(batch[q].source)) {
-        visited[q].set(batch[q].source - range.begin);
-        frontier[q].push_back(batch[q].source);
+    for (std::size_t q = 0; q < Q; ++q) visited[q].resize(nlocal);
+
+    std::vector<bool> done(Q, false);
+    std::size_t done_count = 0;
+    std::uint64_t my_edges = 0;
+    Depth start_level = 0;
+
+    if (auto ckpt = mc.restore_checkpoint()) {
+      // Re-entering after a crash: resume from the checkpointed level. The
+      // link/clock state was already rolled back by the cluster, so the
+      // replay is bit-exact.
+      PacketReader pr(*ckpt);
+      start_level = static_cast<Depth>(pr.read<std::uint32_t>());
+      done_count = static_cast<std::size_t>(pr.read<std::uint64_t>());
+      for (std::size_t q = 0; q < Q; ++q) {
+        done[q] = pr.read<std::uint8_t>() != 0;
+      }
+      my_edges = pr.read<std::uint64_t>();
+      dedup.deserialize(pr);
+      for (std::size_t q = 0; q < Q; ++q) {
+        const auto words = pr.read_vector<Word>();
+        CGRAPH_CHECK(words.size() == visited[q].size_words());
+        std::copy(words.begin(), words.end(), visited[q].data());
+        frontier[q] = pr.read_vector<VertexId>();
+      }
+    } else {
+      for (std::size_t q = 0; q < Q; ++q) {
+        if (range.contains(batch[q].source)) {
+          visited[q].set(batch[q].source - range.begin);
+          frontier[q].push_back(batch[q].source);
+        }
       }
     }
     state_bytes_total.fetch_add(
@@ -107,11 +157,25 @@ MsBfsBatchResult run_distributed_khop(
     std::vector<std::vector<VisitTask>> outbox(Q * M);
     std::vector<VisitTask> merged;
 
-    std::vector<bool> done(Q, false);
-    std::size_t done_count = 0;
-    std::uint64_t my_edges = 0;
-
-    for (Depth level = 0; done_count < Q; ++level) {
+    for (Depth level = start_level; done_count < Q; ++level) {
+      // Top of level = the consistent cut: staged mailboxes are empty,
+      // outboxes drained and `next` queues just swapped away, so (level,
+      // done, dedup, visited, frontier) is the machine's whole recoverable
+      // state.
+      mc.maybe_checkpoint([&](PacketWriter& pw) {
+        pw.write<std::uint32_t>(level);
+        pw.write<std::uint64_t>(done_count);
+        for (std::size_t q = 0; q < Q; ++q) {
+          pw.write<std::uint8_t>(done[q] ? 1 : 0);
+        }
+        pw.write<std::uint64_t>(my_edges);
+        dedup.serialize(pw);
+        for (std::size_t q = 0; q < Q; ++q) {
+          pw.write_span<Word>({visited[q].data(), visited[q].size_words()});
+          pw.write_span<VertexId>(
+              {frontier[q].data(), frontier[q].size()});
+        }
+      });
       // --- Expand every active query's local frontier (Listing 2 body).
       // Pool threads claim ranges of queries: all of query q's state
       // (visited[q], next[q], its outbox row) is touched by exactly one
@@ -250,7 +314,7 @@ MsBfsBatchResult run_distributed_khop(
                                  std::memory_order_relaxed);
     }
     edges_total.fetch_add(my_edges, std::memory_order_relaxed);
-  });
+  }, hooks);
 
   for (std::size_t q = 0; q < Q; ++q) {
     const std::uint64_t v = visited_accum[q].load(std::memory_order_relaxed);

@@ -12,12 +12,14 @@
 // and current levels rather than a dense value per vertex per query.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "graph/types.hpp"
+#include "net/serialize.hpp"
 #include "util/bitops.hpp"
 
 namespace cgraph {
@@ -118,6 +120,23 @@ class BatchFrontier {
   /// Approximate memory footprint (the Fig. 12/13 memory discussion).
   [[nodiscard]] std::size_t memory_bytes() const {
     return 3 * frontier_.rows() * frontier_.words_per_row() * sizeof(Word);
+  }
+
+  /// Checkpoint support: only the frontier and visited planes travel — at
+  /// the top-of-level consistent cut where checkpoints are taken, the next
+  /// plane is always empty (advance() just cleared it).
+  void serialize(PacketWriter& w) const {
+    w.write_span<Word>({frontier_.data(), frontier_.size_words()});
+    w.write_span<Word>({visited_.data(), visited_.size_words()});
+  }
+  void deserialize(PacketReader& r) {
+    const auto fr = r.read_vector<Word>();
+    const auto vis = r.read_vector<Word>();
+    CGRAPH_CHECK(fr.size() == frontier_.size_words());
+    CGRAPH_CHECK(vis.size() == visited_.size_words());
+    std::copy(fr.begin(), fr.end(), frontier_.data());
+    std::copy(vis.begin(), vis.end(), visited_.data());
+    next_.clear_all();
   }
 
  private:

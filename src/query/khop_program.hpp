@@ -78,6 +78,29 @@ class KhopProgram final : public PartitionProgram<KhopVisit> {
     }
   }
 
+  // The whole per-partition state is the visited bitmaps; each blob
+  // carries its own bit-length so restore() needs no context. (The shared
+  // visited_out_ counters are only touched in finish(), which is
+  // all-or-none across a crash — crashes fire at barriers, finish() runs
+  // after the last one.)
+  [[nodiscard]] bool supports_checkpoint() const override { return true; }
+  void checkpoint(PacketWriter& w) const override {
+    w.write<std::uint64_t>(visited_.size());
+    for (const Bitmap& bm : visited_) {
+      w.write<std::uint64_t>(bm.size_bits());
+      w.write_span<Word>({bm.data(), bm.size_words()});
+    }
+  }
+  void restore(PacketReader& r) override {
+    visited_.resize(r.read<std::uint64_t>());
+    for (Bitmap& bm : visited_) {
+      bm.resize(static_cast<std::size_t>(r.read<std::uint64_t>()));
+      const auto words = r.read_vector<Word>();
+      CGRAPH_CHECK(words.size() == bm.size_words());
+      std::copy(words.begin(), words.end(), bm.data());
+    }
+  }
+
  private:
   std::span<const KHopQuery> batch_;
   std::vector<Bitmap> visited_;  // per query, over local vertices

@@ -280,7 +280,31 @@ MsBfsBatchResult run_distributed_msbfs_core(
   cluster.reset_telemetry();
   cluster.fabric().reset_counters();
   cluster.fabric().reset_delivery_state();
+  cluster.reset_protocol_state();
   WallTimer wall;
+
+  // Crash recovery: after a rollback to checkpointed level L, clear every
+  // shared accumulator the replayed levels will re-contribute to, so the
+  // recovered run's results and telemetry stay bit-exact (replayed work is
+  // counted exactly once).
+  RunHooks hooks;
+  hooks.on_restore = [&] {
+    const std::size_t from_level = static_cast<std::size_t>(
+        cluster.checkpoint_store().latest_common_step() / 2);
+    for (std::size_t l = from_level; l < kMaxLevels; ++l) {
+      for (std::size_t w = 0; w < W; ++w) {
+        nonempty_planes[l * W + w].store(0, std::memory_order_relaxed);
+      }
+      lvl_frontier[l].store(0, std::memory_order_relaxed);
+      lvl_edges[l].store(0, std::memory_order_relaxed);
+      lvl_bitops[l].store(0, std::memory_order_relaxed);
+      lvl_ptasks[l].store(0, std::memory_order_relaxed);
+      lvl_stealwait_ns[l].store(0, std::memory_order_relaxed);
+    }
+    for (auto& a : visited_accum) a.store(0, std::memory_order_relaxed);
+    edges_total.store(0, std::memory_order_relaxed);
+    frontier_bytes_total.store(0, std::memory_order_relaxed);
+  };
 
   cluster.run([&](MachineContext& mc) {
     const SubgraphShard& shard = shards[mc.id()];
@@ -299,11 +323,31 @@ MsBfsBatchResult run_distributed_msbfs_core(
     frontier_bytes_total.fetch_add(bf.memory_bytes(),
                                    std::memory_order_relaxed);
 
-    for (std::size_t q = 0; q < Q; ++q) {
-      for (VertexId source : batch.seeds[q]) {
-        CGRAPH_CHECK(source < num_vertices);
-        if (range.contains(source)) {
-          bf.seed(source - range.begin, q);
+    std::vector<bool> done(Q, false);
+    std::size_t done_count = 0;
+    std::uint64_t my_edges = 0;
+    Depth start_level = 0;
+
+    if (auto ckpt = mc.restore_checkpoint()) {
+      // Re-entering after a crash: resume from the checkpointed level
+      // instead of re-seeding. The link/clock state was already rolled
+      // back by the cluster, so the replay is bit-exact.
+      PacketReader pr(*ckpt);
+      start_level = static_cast<Depth>(pr.read<std::uint32_t>());
+      done_count = static_cast<std::size_t>(pr.read<std::uint64_t>());
+      for (std::size_t q = 0; q < Q; ++q) {
+        done[q] = pr.read<std::uint8_t>() != 0;
+      }
+      my_edges = pr.read<std::uint64_t>();
+      dedup.deserialize(pr);
+      bf.deserialize(pr);
+    } else {
+      for (std::size_t q = 0; q < Q; ++q) {
+        for (VertexId source : batch.seeds[q]) {
+          CGRAPH_CHECK(source < num_vertices);
+          if (range.contains(source)) {
+            bf.seed(source - range.begin, q);
+          }
         }
       }
     }
@@ -316,11 +360,21 @@ MsBfsBatchResult run_distributed_msbfs_core(
     std::vector<VertexId> touched;
     Bitmap touched_bm(num_vertices);
 
-    std::vector<bool> done(Q, false);
-    std::size_t done_count = 0;
+    for (Depth level = start_level; done_count < Q; ++level) {
+      // Top of level = the consistent cut: staged mailboxes are empty and
+      // the next plane was just cleared, so (level, done, dedup, planes)
+      // is the machine's whole recoverable state.
+      mc.maybe_checkpoint([&](PacketWriter& pw) {
+        pw.write<std::uint32_t>(level);
+        pw.write<std::uint64_t>(done_count);
+        for (std::size_t q = 0; q < Q; ++q) {
+          pw.write<std::uint8_t>(done[q] ? 1 : 0);
+        }
+        pw.write<std::uint64_t>(my_edges);
+        dedup.serialize(pw);
+        bf.serialize(pw);
+      });
 
-    std::uint64_t my_edges = 0;
-    for (Depth level = 0; done_count < Q; ++level) {
       const WordRow expand = expand_mask_for_level(batch.ks, level);
 
       // --- Telemetry: local frontier occupancy entering this level.
@@ -534,7 +588,7 @@ MsBfsBatchResult run_distributed_msbfs_core(
       }
     });
     edges_total.fetch_add(my_edges, std::memory_order_relaxed);
-  });
+  }, hooks);
 
   for (std::size_t q = 0; q < Q; ++q) {
     const std::uint64_t v = visited_accum[q].load(std::memory_order_relaxed);

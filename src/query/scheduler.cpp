@@ -65,10 +65,17 @@ ConcurrentRunResult run_concurrent_queries(
     bt.wait_sim_seconds = wait_sim;
 
     obs::TraceSpan batch_span("batch_execute", &registry);
+    // Query failover accounting: a crash inside the batch forces the
+    // engine to re-execute (part of) the run, which re-derives every query
+    // in the batch — untouched batches never pay for a crash.
+    const std::uint64_t crashes_before = cluster.recovery_stats().crashes;
     MsBfsBatchResult br =
         opts.use_bit_parallel
             ? run_distributed_msbfs(cluster, shards, partition, batch)
             : run_distributed_khop(cluster, shards, partition, batch);
+    if (cluster.recovery_stats().crashes > crashes_before) {
+      cluster.add_queries_reexecuted(batch.size());
+    }
     batch_span.finish();
     ++run.batches;
     run.total_edges_scanned += br.edges_scanned;

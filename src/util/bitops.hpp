@@ -196,6 +196,12 @@ class QueryBitRows {
     std::swap(words_per_row_, other.words_per_row_);
   }
 
+  /// Raw word-array access for checkpoint serialization: the whole plane
+  /// as one contiguous span of rows * words_per_row words.
+  [[nodiscard]] const Word* data() const { return bits_.data(); }
+  Word* data() { return bits_.data(); }
+  [[nodiscard]] std::size_t size_words() const { return bits_.size(); }
+
  private:
   std::size_t nrows_ = 0;
   std::size_t nqueries_ = 0;

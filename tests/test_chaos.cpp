@@ -350,6 +350,51 @@ TEST(Chaos, DeadAsyncLinkDegradesInsteadOfWedging) {
       << "the dead link must surface as delivery_failed, not hang";
 }
 
+// Regression: the reliable-async protocol state (pending retransmissions,
+// surfaced failures, dedup windows) is owned by the Cluster and persists
+// across runs; a run on a degraded fabric used to leave stale entries that
+// poisoned the NEXT run on the same cluster (retransmits under the new
+// run's sequence numbering, failure reports releasing the new run's
+// termination credits). After the dead-link run, a clean run on the same
+// cluster must be exact and report zero failures.
+TEST(Chaos, AsyncProtocolStateResetsBetweenRuns) {
+  Xoshiro256 rng(9);
+  const Graph g = Graph::build(generate_uniform(120, 700, rng.next()));
+  const PartitionId machines = 2;
+  const auto part = RangePartition::balanced_by_edges(g, machines);
+  const auto shards = build_shards(g, part);
+  Cluster cluster(machines);
+
+  auto plan = std::make_shared<FaultPlan>(9);
+  LinkFaultSpec dead;
+  dead.drop = 1.0;
+  plan->set_link(0, 1, dead);
+  cluster.fabric().install_fault_plan(plan);
+
+  std::vector<KHopQuery> queries;
+  for (QueryId i = 0; i < 4; ++i) {
+    queries.push_back(
+        {i, static_cast<VertexId>(rng.next_bounded(g.num_vertices())), 6});
+  }
+  std::vector<std::uint64_t> expected;
+  for (const auto& q : queries) {
+    expected.push_back(khop_reach_count(g, q.source, q.k));
+  }
+
+  // Degraded run: completes with partial results and leftover protocol
+  // state (unacked pending sends, undrained failure reports).
+  (void)run_async_khop(cluster, shards, part, queries);
+  EXPECT_GT(cluster.fabric().total_delivery_failed(), 0u);
+
+  // Same cluster, healed fabric: the new run must start from a clean
+  // protocol slate and produce the exact reference answers.
+  cluster.fabric().install_fault_plan(nullptr);
+  const auto healed = run_async_khop(cluster, shards, part, queries);
+  EXPECT_EQ(healed.visited, expected);
+  EXPECT_EQ(cluster.fabric().total_delivery_failed(), 0u)
+      << "stale failures from the degraded run must not leak into this one";
+}
+
 // Same dead link under the staged protocol: send_superstep burns its
 // bounded attempts, reports failure to the caller, and the BSP barrier
 // still lifts.

@@ -98,6 +98,93 @@ TEST(Io, BinaryRoundTripExact) {
   std::filesystem::remove(path);
 }
 
+// Hostile-input hardening: malformed edge lists must fail with a clear
+// error (vertex aliasing, unsigned wraparound, and huge bogus allocations
+// were all silent before).
+
+TEST(Io, ParseRejectsNegativeIds) {
+  EXPECT_THROW(parse_edge_list("0 1\n-3 2\n"), std::runtime_error);
+  EXPECT_THROW(parse_edge_list("0 -1\n", /*reindex=*/false),
+               std::runtime_error);
+  try {
+    parse_edge_list("0 1\n\n# ok\n-3 2\n");
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Io, ParseWithoutReindexRejectsOverflowingId) {
+  // 2^40 survives the uint64 parse but cannot fit a 32-bit VertexId; keeping
+  // it would silently truncate and alias a low vertex id.
+  EXPECT_THROW(parse_edge_list("0 1099511627776\n", /*reindex=*/false),
+               std::runtime_error);
+  // With re-indexing the raw id is interned, so the same line is fine.
+  const auto r = parse_edge_list("0 1099511627776\n", /*reindex=*/true);
+  EXPECT_EQ(r.num_vertices, 2u);
+}
+
+TEST(Io, ParseStillToleratesNonNumericTokens) {
+  const auto r = parse_edge_list("src dst\n0 1\nfoo bar 1.5\n");
+  EXPECT_EQ(r.edges.size(), 1u);
+}
+
+TEST(Io, BinaryRejectsEdgeCountBeyondFileSize) {
+  EdgeList edges;
+  edges.add(0, 1);
+  const auto path = std::filesystem::temp_directory_path() / "cg_io_ec.bin";
+  save_edge_list_binary(path.string(), edges, 2);
+  {
+    // Corrupt the header's edge count (offset 16: after magic + vertex
+    // count) to claim ~10^18 edges; the loader must reject it against the
+    // file size instead of attempting the allocation.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(16);
+    const std::uint64_t absurd = std::uint64_t{1} << 60;
+    f.write(reinterpret_cast<const char*>(&absurd), sizeof absurd);
+  }
+  try {
+    load_edge_list_binary(path.string());
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds file size"),
+              std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Io, BinaryRejectsVertexCountOverflowingVertexId) {
+  EdgeList edges;
+  edges.add(0, 1);
+  const auto path = std::filesystem::temp_directory_path() / "cg_io_vc.bin";
+  save_edge_list_binary(path.string(), edges, 2);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(8);  // vertex count field follows the 8-byte magic
+    const std::uint64_t absurd = std::uint64_t{1} << 40;
+    f.write(reinterpret_cast<const char*>(&absurd), sizeof absurd);
+  }
+  EXPECT_THROW(load_edge_list_binary(path.string()), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, BinaryRejectsOutOfRangeEndpoints) {
+  EdgeList edges;
+  edges.add(0, 5);  // endpoint 5 >= declared vertex count 2
+  const auto path = std::filesystem::temp_directory_path() / "cg_io_oor.bin";
+  save_edge_list_binary(path.string(), edges, 2);
+  try {
+    load_edge_list_binary(path.string());
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
 TEST(Io, BinaryRejectsBadMagic) {
   const auto path = std::filesystem::temp_directory_path() / "cg_io_bad.bin";
   {
