@@ -8,10 +8,75 @@
 // query count ("every query returns with found paths"). The degradation
 // is reproduced through the scheduler's memory-pressure model with a
 // budget calibrated to the 100-query footprint.
+//
+// --open-loop replays the experiment as a served workload (DESIGN.md §10):
+// Poisson arrivals at a sweep of offered rates through run_query_service,
+// reporting p50/p95/p99 end-to-end latency plus shed/expired counts —
+// the query-count knee shows up as a latency knee versus arrival rate.
+// Tunables: --queries N, --rates a,b,c (qps), --queue-cap N,
+// --deadline S, --linger S.
 #include "bench/common.hpp"
 
 using namespace cgraph;
 using namespace cgraph::bench;
+
+namespace {
+
+/// Parse a comma-separated rate list ("200,400,800").
+std::vector<double> parse_rates(const std::string& csv) {
+  std::vector<double> rates;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    rates.push_back(std::atof(csv.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return rates;
+}
+
+int run_open_loop(const Options& opts, const ShardedGraph& sg,
+                  Cluster& cluster, std::uint64_t budget) {
+  const auto count = static_cast<std::size_t>(opts.get_int("queries", 350));
+  std::vector<double> rates = parse_rates(opts.get("rates"));
+  if (rates.empty()) rates = {100, 200, 400, 800, 1600};
+
+  std::printf("\nopen loop: %zu Poisson arrivals per rate, "
+              "queue-cap %lld, deadline %.3fs, linger %.3fs\n",
+              count, opts.get_int("queue-cap", 1024),
+              opts.get_double("deadline", 0.0),
+              opts.get_double("linger", 0.010));
+  std::printf("  %10s %8s %8s %9s %9s %9s %9s\n", "rate(qps)", "shed",
+              "expired", "p50(s)", "p95(s)", "p99(s)", "batches");
+  for (const double rate : rates) {
+    PoissonArrivalParams ap;
+    ap.rate_qps = rate;
+    ap.count = count;
+    ap.k = 3;
+    ap.seed = 909;
+    const auto arrivals = make_poisson_arrivals(sg.graph, ap);
+
+    ServiceOptions service;
+    service.scheduler.memory_budget_bytes = budget;
+    service.queue_cap =
+        static_cast<std::size_t>(opts.get_int("queue-cap", 1024));
+    service.deadline_seconds = opts.get_double("deadline", 0.0);
+    service.linger_seconds = opts.get_double("linger", 0.010);
+    const auto run = run_query_service(cluster, sg.shards, sg.partition,
+                                       arrivals, service);
+    std::printf("  %10.0f %8llu %8llu %9.4f %9.4f %9.4f %9llu\n", rate,
+                static_cast<unsigned long long>(run.stats.shed),
+                static_cast<unsigned long long>(run.stats.expired),
+                run.response_percentile(50), run.response_percentile(95),
+                run.response_percentile(99),
+                static_cast<unsigned long long>(run.stats.batches));
+  }
+  std::printf("  (end-to-end = queue wait + batch execution, sim seconds; "
+              "higher rates deepen the queue)\n");
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
@@ -40,6 +105,10 @@ int main(int argc, char** argv) {
         static_cast<double>(run.peak_memory_bytes) * 1.5);
     std::printf("memory budget: %s (1.5x the 100-query footprint)\n",
                 AsciiTable::humanize(budget).c_str());
+  }
+
+  if (opts.has("open-loop")) {
+    return run_open_loop(opts, sg, cluster, budget);
   }
 
   std::vector<ResponseTimeSeries> series;

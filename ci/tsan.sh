@@ -1,13 +1,15 @@
 #!/usr/bin/env sh
 # ThreadSanitizer variant of the test suite: builds everything with
-# -fsanitize=thread and runs the unit, chaos, and recovery suites with
-# intra-machine compute pools forced on (CGRAPH_THREADS=4). Machines are
-# threads, and with pools each machine fans its per-level scans out to
-# four more — the relaxed-atomic OR discovery, deferred visited commits,
-# per-query scatter ownership, fault-injected delivery paths, and the
-# crash/rollback/replay machinery (checkpoint saves at barriers, the
-# cluster-wide crash flag, restore while every machine unwinds) all run
-# under TSan here.
+# -fsanitize=thread and runs the unit, chaos, recovery, and service
+# suites with intra-machine compute pools forced on (CGRAPH_THREADS=4).
+# Machines are threads, and with pools each machine fans its per-level
+# scans out to four more — the relaxed-atomic OR discovery, deferred
+# visited commits, per-query scatter ownership, fault-injected delivery
+# paths, the crash/rollback/replay machinery (checkpoint saves at
+# barriers, the cluster-wide crash flag, restore while every machine
+# unwinds), and the service layer's pipelined admission/executor handoff
+# (test_service runs its batches on a worker thread overlapped with
+# admission) all run under TSan here.
 #
 # Usage: ci/tsan.sh [build-dir]   (default: build-tsan)
 set -eu
@@ -18,4 +20,4 @@ SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DCGRAPH_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 CGRAPH_THREADS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -L 'unit|chaos|recovery'
+  -L 'unit|chaos|recovery|service'

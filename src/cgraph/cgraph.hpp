@@ -22,6 +22,7 @@
 #include "engine/pagerank.hpp"
 #include "engine/partition_context.hpp"
 #include "engine/vertex_program.hpp"
+#include "gen/arrivals.hpp"
 #include "gen/datasets.hpp"
 #include "gen/random_graphs.hpp"
 #include "gen/rmat.hpp"
@@ -52,6 +53,7 @@
 #include "query/paths.hpp"
 #include "query/query.hpp"
 #include "query/scheduler.hpp"
+#include "query/service.hpp"
 #include "util/options.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"

@@ -1,0 +1,71 @@
+#include "gen/arrivals.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace cgraph {
+namespace {
+
+/// Same root-sampling rule as make_random_queries (query/scheduler.hpp):
+/// uniform vertices, low-degree roots resampled while attempts remain.
+/// Re-implemented here so cgraph_gen stays independent of cgraph_query.
+std::vector<VertexId> sample_roots(const Graph& graph, std::size_t count,
+                                   Xoshiro256& rng, EdgeIndex min_degree) {
+  CGRAPH_CHECK(graph.num_vertices() > 0);
+  std::vector<VertexId> roots;
+  roots.reserve(count);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = count * 1000 + 1000;
+  while (roots.size() < count) {
+    const auto v =
+        static_cast<VertexId>(rng.next_bounded(graph.num_vertices()));
+    ++attempts;
+    if (graph.out_degree(v) < min_degree && attempts < max_attempts) {
+      continue;
+    }
+    roots.push_back(v);
+  }
+  return roots;
+}
+
+}  // namespace
+
+std::vector<TimedQuery> make_poisson_arrivals(const Graph& graph,
+                                              const PoissonArrivalParams& p) {
+  CGRAPH_CHECK_MSG(p.rate_qps > 0, "arrival rate must be positive");
+  Xoshiro256 rng(p.seed);
+  const auto roots = sample_roots(graph, p.count, rng, p.min_degree);
+
+  std::vector<TimedQuery> arrivals;
+  arrivals.reserve(p.count);
+  double t = p.start_sim_seconds;
+  for (std::size_t i = 0; i < p.count; ++i) {
+    // Exponential(rate) gap; 1 - u in (0, 1] keeps log() finite.
+    const double u = rng.next_double();
+    t += -std::log1p(-u) / p.rate_qps;
+    arrivals.push_back(
+        {{static_cast<QueryId>(i), roots[i], p.k}, t});
+  }
+  return arrivals;
+}
+
+std::vector<TimedQuery> make_trace_arrivals(
+    const Graph& graph, std::span<const double> arrival_seconds, Depth k,
+    std::uint64_t seed, EdgeIndex min_degree) {
+  Xoshiro256 rng(seed);
+  const auto roots =
+      sample_roots(graph, arrival_seconds.size(), rng, min_degree);
+  std::vector<TimedQuery> arrivals;
+  arrivals.reserve(arrival_seconds.size());
+  for (std::size_t i = 0; i < arrival_seconds.size(); ++i) {
+    CGRAPH_CHECK_MSG(i == 0 || arrival_seconds[i] >= arrival_seconds[i - 1],
+                     "arrival trace must be nondecreasing");
+    arrivals.push_back(
+        {{static_cast<QueryId>(i), roots[i], k}, arrival_seconds[i]});
+  }
+  return arrivals;
+}
+
+}  // namespace cgraph

@@ -41,6 +41,12 @@ void RunTelemetry::publish(MetricsRegistry& reg) const {
   reg.counter("cgraph_query_edges_scanned_total",
               "Edges scanned by concurrent-query traversals")
       .inc(static_cast<double>(total_edges_scanned()));
+  if (!effective_policy.empty()) {
+    reg.counter("cgraph_scheduler_runs_total",
+                "Scheduler runs by effective batching policy",
+                {{"policy", effective_policy}})
+        .inc();
+  }
 
   std::uint64_t bitops = 0;
   for (const BatchTrace& b : batches) bitops += b.bit_ops();

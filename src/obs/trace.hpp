@@ -99,6 +99,9 @@ struct BatchTrace {
   /// Mean over supersteps of (max machine step time / mean step time);
   /// 1.0 = perfectly balanced, higher = stragglers.
   double straggler_ratio = 0;
+  /// Batching policy that actually ran ("fifo" / "degree-sorted") — the
+  /// effective policy after option validation, not the requested one.
+  std::string policy;
   std::vector<LevelTrace> levels;
   std::vector<MachineTrace> machines;
 
@@ -121,6 +124,9 @@ struct QueryTrace {
 struct RunTelemetry {
   std::vector<BatchTrace> batches;
   std::vector<QueryTrace> queries;
+  /// Effective batching policy for the run (kDegreeSorted silently ran as
+  /// FIFO before this was recorded — see effective_batch_policy()).
+  std::string effective_policy;
 
   /// Sum of per-level edge counts across every batch; reconciles with
   /// ConcurrentRunResult::total_edges_scanned.

@@ -107,7 +107,9 @@ class BatchFrontier {
   }
 
   /// Advance one level: frontier <- next, next <- 0. Returns true if the
-  /// new frontier is non-empty (any query still active here).
+  /// new frontier is non-empty (any query still active here). This variant
+  /// rescans every row — O(V·W); prefer the mask overload when commit_rows
+  /// already produced the occupancy.
   bool advance() {
     frontier_.swap(next_);
     next_.clear_all();
@@ -117,9 +119,37 @@ class BatchFrontier {
     return false;
   }
 
+  /// Advance one level using the per-query occupancy mask commit_rows
+  /// accumulated for the closing level (words_per_row() words): the
+  /// activity answer is OR(mask) — O(words), no row rescan. The mask is
+  /// exactly the OR of every next row, so this returns precisely what the
+  /// scanning advance() would.
+  bool advance(const Word* nonempty) {
+    frontier_.swap(next_);
+    next_.clear_all();
+    Word any = 0;
+    for (std::size_t w = 0; w < frontier_.words_per_row(); ++w) {
+      any |= nonempty[w];
+    }
+    return any != 0;
+  }
+
   /// Approximate memory footprint (the Fig. 12/13 memory discussion).
+  /// Capacity-aware: counts the bytes the planes actually reserve, not
+  /// just the bits in use, so a long-running service sees its true
+  /// footprint.
   [[nodiscard]] std::size_t memory_bytes() const {
-    return 3 * frontier_.rows() * frontier_.words_per_row() * sizeof(Word);
+    return frontier_.capacity_bytes() + next_.capacity_bytes() +
+           visited_.capacity_bytes();
+  }
+
+  /// Release the planes' storage entirely (burst-then-idle shrink for
+  /// long-running services). The frontier becomes 0-vertex; assign a fresh
+  /// BatchFrontier to reuse it.
+  void release() {
+    frontier_.release();
+    next_.release();
+    visited_.release();
   }
 
   /// Checkpoint support: only the frontier and visited planes travel — at
@@ -159,10 +189,19 @@ class LevelValueStore {
   }
 
   /// Move to the next level: previous is dropped, current becomes previous.
+  /// Shrink policy: the recycled buffer keeps its capacity only while that
+  /// capacity is justified by recent occupancy (<= kShrinkSlack x the
+  /// level just closed, with a small floor) — a burst no longer pins its
+  /// peak allocation for the rest of a long-running service's life.
   void advance_level() {
     previous_.swap(current_);
     current_.clear();
     ++level_;
+    const std::size_t justified = std::max<std::size_t>(
+        kMinRetainedEntries, kShrinkSlack * previous_.size());
+    if (current_.capacity() > justified) {
+      current_.shrink_to_fit();
+    }
   }
 
   [[nodiscard]] const std::vector<Entry>& current() const { return current_; }
@@ -176,17 +215,32 @@ class LevelValueStore {
   [[nodiscard]] std::size_t live_entries() const {
     return previous_.size() + current_.size();
   }
+  /// Capacity-aware footprint: what the vectors reserve, not just what
+  /// they hold — size-based accounting under-reports after a burst.
   [[nodiscard]] std::size_t memory_bytes() const {
-    return live_entries() * sizeof(Entry);
+    return (previous_.capacity() + current_.capacity()) * sizeof(Entry);
   }
 
-  void reset() {
+  /// Reset for reuse. Capacity is kept for the hot steady state; pass
+  /// release_capacity=true (or call shrink()) when going idle so a burst
+  /// returns its memory.
+  void reset(bool release_capacity = false) {
     previous_.clear();
     current_.clear();
     level_ = 0;
+    if (release_capacity) shrink();
+  }
+
+  /// Drop all spare capacity now (idle hook for long-running services).
+  void shrink() {
+    previous_.shrink_to_fit();
+    current_.shrink_to_fit();
   }
 
  private:
+  static constexpr std::size_t kShrinkSlack = 4;
+  static constexpr std::size_t kMinRetainedEntries = 64;
+
   std::vector<Entry> previous_;
   std::vector<Entry> current_;
   std::uint32_t level_ = 0;

@@ -187,7 +187,7 @@ MsBfsBatchResult msbfs_batch_core(const Graph& graph,
         scan_stats.join_wait_seconds + commit_stats.join_wait_seconds;
     result.level_trace.push_back(lt);
 
-    bf.advance();
+    bf.advance(nonempty.data());  // O(words): reuse the commit-phase mask
     result.total_levels = static_cast<Depth>(level + 1);
 
     for (std::size_t q = 0; q < Q; ++q) {
@@ -538,7 +538,7 @@ MsBfsBatchResult run_distributed_msbfs_core(
                commit_stats.join_wait_seconds) *
               1e9),
           std::memory_order_relaxed);
-      bf.advance();
+      bf.advance(nonempty.data());  // O(words): reuse the commit-phase mask
       mc.barrier();  // ---- level close: occupancy now globally visible ----
 
       // --- Globally consistent completion decisions.

@@ -26,6 +26,14 @@ struct MultiKHopQuery {
   Depth k = 3;
 };
 
+/// A query stamped with its (simulated) arrival time at the service front
+/// end — the open-loop workload unit. gen/arrivals.hpp produces streams of
+/// these; run_query_service() consumes them in nondecreasing time order.
+struct TimedQuery {
+  KHopQuery query;
+  double arrival_sim_seconds = 0;
+};
+
 /// Outcome of one query under a concurrent workload.
 struct QueryResult {
   QueryId id = 0;

@@ -7,28 +7,146 @@
 #include "query/msbfs.hpp"
 #include "util/assert.hpp"
 #include "util/bitops.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 
 namespace cgraph {
+
+const char* to_string(BatchPolicy policy) {
+  switch (policy) {
+    case BatchPolicy::kFifo:
+      return "fifo";
+    case BatchPolicy::kDegreeSorted:
+      return "degree-sorted";
+  }
+  return "unknown";
+}
+
+BatchPolicy effective_batch_policy(const SchedulerOptions& opts) {
+  if (opts.policy == BatchPolicy::kDegreeSorted && !opts.degree_of) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      CGRAPH_LOG_WARN(
+          "BatchPolicy::kDegreeSorted requested without a degree_of lookup; "
+          "batching falls back to FIFO (set SchedulerOptions::degree_of)");
+    }
+    return BatchPolicy::kFifo;
+  }
+  return opts.policy;
+}
+
+BatchExecutor::BatchExecutor(Cluster& cluster,
+                             const std::vector<SubgraphShard>& shards,
+                             const RangePartition& partition,
+                             SchedulerOptions opts)
+    : cluster_(cluster),
+      shards_(shards),
+      partition_(partition),
+      opts_(std::move(opts)),
+      policy_(effective_batch_policy(opts_)) {
+  CGRAPH_CHECK(opts_.batch_width > 0 &&
+               opts_.batch_width <= QueryBitRows::kMaxBatchWords * kWordBits);
+  if (opts_.threads.has_value()) {
+    cluster_.set_compute_threads(*opts_.threads);
+  }
+}
+
+BatchExecutor::Outcome BatchExecutor::execute(
+    std::span<const KHopQuery> batch) {
+  CGRAPH_CHECK(!batch.empty());
+  CGRAPH_CHECK(batch.size() <= opts_.batch_width);
+
+  Outcome out;
+  out.trace.index = batches_executed_;
+  out.trace.width = batch.size();
+  out.trace.policy = to_string(policy_);
+
+  // Query failover accounting: a crash inside the batch forces the engine
+  // to re-execute (part of) the run, which re-derives every query in the
+  // batch — untouched batches never pay for a crash.
+  const std::uint64_t crashes_before = cluster_.recovery_stats().crashes;
+  out.result = opts_.use_bit_parallel
+                   ? run_distributed_msbfs(cluster_, shards_, partition_,
+                                           batch)
+                   : run_distributed_khop(cluster_, shards_, partition_,
+                                          batch);
+  if (cluster_.recovery_stats().crashes > crashes_before) {
+    cluster_.add_queries_reexecuted(batch.size());
+    out.reexecuted = true;
+  }
+  ++batches_executed_;
+
+  // Memory-pressure model: in-flight traversal state plus all retained
+  // results; overshooting the budget stretches simulated time linearly.
+  std::uint64_t batch_result_bytes = 0;
+  for (std::uint64_t v : out.result.visited)
+    batch_result_bytes += v * opts_.result_bytes_per_visited;
+  out.footprint_bytes = retained_result_bytes_ + batch_result_bytes +
+                        out.result.frontier_bytes;
+  peak_memory_bytes_ = std::max(peak_memory_bytes_, out.footprint_bytes);
+  retained_result_bytes_ += batch_result_bytes;
+
+  if (opts_.memory_budget_bytes > 0 &&
+      out.footprint_bytes > opts_.memory_budget_bytes) {
+    const double overshoot =
+        static_cast<double>(out.footprint_bytes - opts_.memory_budget_bytes) /
+        static_cast<double>(opts_.memory_budget_bytes);
+    out.slowdown += opts_.memory_penalty * overshoot;
+  }
+
+  // Snapshot cluster + fabric state for this batch (every engine resets
+  // both at run start, so the counters are batch-scoped).
+  out.trace.execute_sim_seconds = out.result.sim_seconds * out.slowdown;
+  out.trace.execute_wall_seconds = out.result.wall_seconds;
+  out.trace.straggler_ratio = cluster_.telemetry().straggler_ratio();
+  out.trace.levels = out.result.level_trace;
+  const ClusterTelemetry& ct = cluster_.telemetry();
+  for (PartitionId m = 0; m < cluster_.num_machines(); ++m) {
+    obs::MachineTrace mt;
+    mt.machine = m;
+    if (m < ct.machines.size()) {
+      mt.supersteps = ct.machines[m].supersteps;
+      mt.barrier_wait_sim_seconds = ct.machines[m].barrier_wait_sim_seconds;
+      mt.barrier_wait_wall_seconds =
+          ct.machines[m].barrier_wait_wall_seconds;
+    }
+    const TrafficCounters& tc = cluster_.fabric().sent_counters(m);
+    mt.staged_packets = tc.staged_packets.load(std::memory_order_relaxed);
+    mt.staged_bytes = tc.staged_bytes.load(std::memory_order_relaxed);
+    mt.async_packets = tc.async_packets.load(std::memory_order_relaxed);
+    mt.async_bytes = tc.async_bytes.load(std::memory_order_relaxed);
+    mt.delivered_packets =
+        tc.delivered_packets.load(std::memory_order_relaxed);
+    mt.dropped_packets = tc.dropped_packets.load(std::memory_order_relaxed);
+    mt.duplicated_packets =
+        tc.duplicated_packets.load(std::memory_order_relaxed);
+    mt.retried_packets = tc.retried_packets.load(std::memory_order_relaxed);
+    mt.ack_packets = tc.ack_packets.load(std::memory_order_relaxed);
+    mt.delivery_failed_packets =
+        tc.delivery_failed_packets.load(std::memory_order_relaxed);
+    mt.dedup_suppressed_packets =
+        tc.dedup_suppressed_packets.load(std::memory_order_relaxed);
+    out.trace.machines.push_back(mt);
+  }
+  return out;
+}
 
 ConcurrentRunResult run_concurrent_queries(
     Cluster& cluster, const std::vector<SubgraphShard>& shards,
     const RangePartition& partition, std::span<const KHopQuery> queries,
     const SchedulerOptions& opts) {
   CGRAPH_CHECK(!queries.empty());
-  CGRAPH_CHECK(opts.batch_width > 0 &&
-               opts.batch_width <= QueryBitRows::kMaxBatchWords * kWordBits);
 
   obs::MetricsRegistry& registry =
       opts.metrics != nullptr ? *opts.metrics : obs::MetricsRegistry::global();
   obs::TraceSpan run_span("run_concurrent_queries", &registry);
 
-  if (opts.threads.has_value()) {
-    cluster.set_compute_threads(*opts.threads);
-  }
+  BatchExecutor executor(cluster, shards, partition, opts);
+  const BatchPolicy policy = executor.policy();
 
   ConcurrentRunResult run;
   run.queries.resize(queries.size());
+  run.telemetry.effective_policy = to_string(policy);
 
   // Batch composition: FIFO keeps submission order; degree-sorted groups
   // queries with similar expected work. `order[i]` maps execution slot i
@@ -37,7 +155,7 @@ ConcurrentRunResult run_concurrent_queries(
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::vector<KHopQuery> reordered;
   std::span<const KHopQuery> exec_queries = queries;
-  if (opts.policy == BatchPolicy::kDegreeSorted && opts.degree_of) {
+  if (policy == BatchPolicy::kDegreeSorted) {
     std::stable_sort(order.begin(), order.end(),
                      [&](std::size_t a, std::size_t b) {
                        return opts.degree_of(queries[a].source) >
@@ -50,7 +168,6 @@ ConcurrentRunResult run_concurrent_queries(
 
   double wait_wall = 0;
   double wait_sim = 0;
-  std::uint64_t retained_result_bytes = 0;
 
   for (std::size_t begin = 0; begin < exec_queries.size();
        begin += opts.batch_width) {
@@ -59,54 +176,26 @@ ConcurrentRunResult run_concurrent_queries(
     const std::span<const KHopQuery> batch =
         exec_queries.subspan(begin, end - begin);
 
-    obs::BatchTrace bt;
-    bt.index = run.batches;
-    bt.width = batch.size();
-    bt.wait_sim_seconds = wait_sim;
-
     obs::TraceSpan batch_span("batch_execute", &registry);
-    // Query failover accounting: a crash inside the batch forces the
-    // engine to re-execute (part of) the run, which re-derives every query
-    // in the batch — untouched batches never pay for a crash.
-    const std::uint64_t crashes_before = cluster.recovery_stats().crashes;
-    MsBfsBatchResult br =
-        opts.use_bit_parallel
-            ? run_distributed_msbfs(cluster, shards, partition, batch)
-            : run_distributed_khop(cluster, shards, partition, batch);
-    if (cluster.recovery_stats().crashes > crashes_before) {
-      cluster.add_queries_reexecuted(batch.size());
-    }
+    BatchExecutor::Outcome out = executor.execute(batch);
     batch_span.finish();
+
+    obs::BatchTrace bt = std::move(out.trace);
+    bt.index = run.batches;
+    bt.wait_sim_seconds = wait_sim;
     ++run.batches;
-    run.total_edges_scanned += br.edges_scanned;
+    run.total_edges_scanned += out.result.edges_scanned;
 
-    // Memory-pressure model: in-flight traversal state plus all retained
-    // results; overshooting the budget stretches simulated time linearly.
-    std::uint64_t batch_result_bytes = 0;
-    for (std::uint64_t v : br.visited)
-      batch_result_bytes += v * opts.result_bytes_per_visited;
-    const std::uint64_t footprint =
-        retained_result_bytes + batch_result_bytes + br.frontier_bytes;
-    run.peak_memory_bytes = std::max(run.peak_memory_bytes, footprint);
-    retained_result_bytes += batch_result_bytes;
-
-    double slowdown = 1.0;
-    if (opts.memory_budget_bytes > 0 &&
-        footprint > opts.memory_budget_bytes) {
-      const double overshoot =
-          static_cast<double>(footprint - opts.memory_budget_bytes) /
-          static_cast<double>(opts.memory_budget_bytes);
-      slowdown += opts.memory_penalty * overshoot;
-    }
-
+    const MsBfsBatchResult& br = out.result;
     for (std::size_t i = 0; i < batch.size(); ++i) {
       QueryResult& qr = run.queries[order[begin + i]];
       qr.id = batch[i].id;
       qr.visited = br.visited[i];
       qr.levels = br.levels[i];
       qr.wall_seconds =
-          wait_wall + br.completion_wall_seconds[i] * slowdown;
-      qr.sim_seconds = wait_sim + br.completion_sim_seconds[i] * slowdown;
+          wait_wall + br.completion_wall_seconds[i] * out.slowdown;
+      qr.sim_seconds =
+          wait_sim + br.completion_sim_seconds[i] * out.slowdown;
 
       obs::QueryTrace qt;
       qt.id = batch[i].id;
@@ -114,49 +203,15 @@ ConcurrentRunResult run_concurrent_queries(
       qt.levels = br.levels[i];
       qt.visited = br.visited[i];
       qt.wait_sim_seconds = wait_sim;
-      qt.execute_sim_seconds = br.completion_sim_seconds[i] * slowdown;
+      qt.execute_sim_seconds = br.completion_sim_seconds[i] * out.slowdown;
       run.telemetry.queries.push_back(qt);
     }
-    wait_wall += br.wall_seconds * slowdown;
-    wait_sim += br.sim_seconds * slowdown;
-
-    // Snapshot cluster + fabric state for this batch (every engine resets
-    // both at run start, so the counters are batch-scoped).
-    bt.execute_sim_seconds = br.sim_seconds * slowdown;
-    bt.execute_wall_seconds = br.wall_seconds;
-    bt.straggler_ratio = cluster.telemetry().straggler_ratio();
-    bt.levels = br.level_trace;
-    const ClusterTelemetry& ct = cluster.telemetry();
-    for (PartitionId m = 0; m < cluster.num_machines(); ++m) {
-      obs::MachineTrace mt;
-      mt.machine = m;
-      if (m < ct.machines.size()) {
-        mt.supersteps = ct.machines[m].supersteps;
-        mt.barrier_wait_sim_seconds = ct.machines[m].barrier_wait_sim_seconds;
-        mt.barrier_wait_wall_seconds =
-            ct.machines[m].barrier_wait_wall_seconds;
-      }
-      const TrafficCounters& tc = cluster.fabric().sent_counters(m);
-      mt.staged_packets = tc.staged_packets.load(std::memory_order_relaxed);
-      mt.staged_bytes = tc.staged_bytes.load(std::memory_order_relaxed);
-      mt.async_packets = tc.async_packets.load(std::memory_order_relaxed);
-      mt.async_bytes = tc.async_bytes.load(std::memory_order_relaxed);
-      mt.delivered_packets =
-          tc.delivered_packets.load(std::memory_order_relaxed);
-      mt.dropped_packets = tc.dropped_packets.load(std::memory_order_relaxed);
-      mt.duplicated_packets =
-          tc.duplicated_packets.load(std::memory_order_relaxed);
-      mt.retried_packets = tc.retried_packets.load(std::memory_order_relaxed);
-      mt.ack_packets = tc.ack_packets.load(std::memory_order_relaxed);
-      mt.delivery_failed_packets =
-          tc.delivery_failed_packets.load(std::memory_order_relaxed);
-      mt.dedup_suppressed_packets =
-          tc.dedup_suppressed_packets.load(std::memory_order_relaxed);
-      bt.machines.push_back(mt);
-    }
+    wait_wall += br.wall_seconds * out.slowdown;
+    wait_sim += br.sim_seconds * out.slowdown;
     run.telemetry.batches.push_back(std::move(bt));
   }
 
+  run.peak_memory_bytes = executor.peak_memory_bytes();
   run.total_wall_seconds = wait_wall;
   run.total_sim_seconds = wait_sim;
   run_span.finish();

@@ -24,6 +24,7 @@
 #include "graph/shard.hpp"
 #include "net/cluster.hpp"
 #include "obs/trace.hpp"
+#include "query/msbfs.hpp"
 #include "query/query.hpp"
 
 namespace cgraph {
@@ -64,6 +65,66 @@ struct SchedulerOptions {
   /// Registry receiving this run's spans and counters; nullptr uses the
   /// process-global registry (tests pass a private one).
   obs::MetricsRegistry* metrics = nullptr;
+};
+
+[[nodiscard]] const char* to_string(BatchPolicy policy);
+
+/// Resolve the policy that will actually run: kDegreeSorted without a
+/// degree_of lookup cannot sort and degrades to kFifo. The degradation is
+/// logged once per process and recorded in RunTelemetry::effective_policy
+/// and every BatchTrace, so a misconfigured service is visible instead of
+/// silent.
+[[nodiscard]] BatchPolicy effective_batch_policy(const SchedulerOptions& opts);
+
+/// Reusable batch-execute core shared by the offline scheduler
+/// (run_concurrent_queries) and the online service layer
+/// (run_query_service). Executes one admitted batch on the cluster via the
+/// configured engine and carries the cross-batch memory-retention model
+/// ("every query returns with found paths"), so the same admitted batch
+/// produces bit-identical visited/levels whichever front end formed it.
+class BatchExecutor {
+ public:
+  BatchExecutor(Cluster& cluster, const std::vector<SubgraphShard>& shards,
+                const RangePartition& partition, SchedulerOptions opts);
+
+  struct Outcome {
+    MsBfsBatchResult result;
+    /// Memory-pressure stretch applied to this batch's times (>= 1).
+    double slowdown = 1.0;
+    /// Modeled bytes live while this batch executed.
+    std::uint64_t footprint_bytes = 0;
+    /// A crash inside the batch forced the engine to re-derive it.
+    bool reexecuted = false;
+    /// Cluster + fabric snapshot for the batch (levels, machines,
+    /// straggler ratio, execute timings, policy). The caller fills the
+    /// queue-side fields: index, width, wait_sim_seconds.
+    obs::BatchTrace trace;
+  };
+
+  /// Execute one admitted batch (non-empty, <= batch_width queries).
+  Outcome execute(std::span<const KHopQuery> batch);
+
+  [[nodiscard]] const SchedulerOptions& options() const { return opts_; }
+  [[nodiscard]] BatchPolicy policy() const { return policy_; }
+  [[nodiscard]] std::uint64_t peak_memory_bytes() const {
+    return peak_memory_bytes_;
+  }
+  [[nodiscard]] std::uint64_t retained_result_bytes() const {
+    return retained_result_bytes_;
+  }
+  [[nodiscard]] std::size_t batches_executed() const {
+    return batches_executed_;
+  }
+
+ private:
+  Cluster& cluster_;
+  const std::vector<SubgraphShard>& shards_;
+  const RangePartition& partition_;
+  SchedulerOptions opts_;
+  BatchPolicy policy_;
+  std::uint64_t retained_result_bytes_ = 0;
+  std::uint64_t peak_memory_bytes_ = 0;
+  std::size_t batches_executed_ = 0;
 };
 
 struct ConcurrentRunResult {

@@ -1,0 +1,409 @@
+#include "query/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace cgraph {
+
+const char* to_string(ServiceOutcome outcome) {
+  switch (outcome) {
+    case ServiceOutcome::kShed:
+      return "shed";
+    case ServiceOutcome::kExpired:
+      return "expired";
+    case ServiceOutcome::kCompleted:
+      return "completed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct PendingQuery {
+  std::size_t submission = 0;  // index into the arrival stream
+  double arrival = 0;
+};
+
+struct SealedBatch {
+  std::size_t index = 0;
+  double seal_time = 0;
+  std::vector<PendingQuery> members;  // execution (policy) order
+};
+
+/// The admission/execution pipeline. All timing decisions are made in
+/// simulated time from deterministic inputs; the mutex only orders the
+/// handoff of sealed batches and the publication of batch start/finish
+/// facts, so the pipelined and serial modes produce identical outcomes.
+class ServicePipeline {
+ public:
+  ServicePipeline(Cluster& cluster, const std::vector<SubgraphShard>& shards,
+                  const RangePartition& partition,
+                  std::span<const TimedQuery> arrivals,
+                  const ServiceOptions& opts, ServiceRunResult& result)
+      : arrivals_(arrivals),
+        opts_(opts),
+        executor_(cluster, shards, partition, opts.scheduler),
+        result_(result) {
+    result_.queries.resize(arrivals.size());
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      ServiceQueryRecord& r = result_.queries[i];
+      r.id = arrivals[i].query.id;
+      r.arrival_sim_seconds = arrivals[i].arrival_sim_seconds;
+      r.outcome = ServiceOutcome::kShed;  // overwritten once admitted
+    }
+    result_.telemetry.effective_policy = to_string(executor_.policy());
+  }
+
+  void run() {
+    std::thread worker;
+    if (opts_.pipeline) {
+      worker = std::thread([this] {
+        while (process_one_batch()) {
+        }
+      });
+    }
+    admit_all();
+    if (opts_.pipeline) {
+      worker.join();
+    } else {
+      while (process_one_batch()) {
+      }
+    }
+    finalize();
+  }
+
+ private:
+  // ---- admission side (caller thread) ----
+
+  void admit_all() {
+    double last_arrival = 0;
+    for (std::size_t i = 0; i < arrivals_.size(); ++i) {
+      const double t = arrivals_[i].arrival_sim_seconds;
+      CGRAPH_CHECK_MSG(t >= last_arrival,
+                       "arrival stream must be nondecreasing");
+      last_arrival = t;
+
+      // Max-linger seal: the pending batch closed before this arrival.
+      if (!pending_.empty() && opts_.linger_seconds > 0 &&
+          pending_.front().arrival + opts_.linger_seconds <= t) {
+        seal(pending_.front().arrival + opts_.linger_seconds);
+      }
+
+      // Backpressure: shed when the admitted-but-unstarted population at
+      // time t has reached the cap.
+      const std::size_t occupancy = pending_.size() + waiting_admitted_at(t);
+      if (opts_.queue_cap > 0 && occupancy >= opts_.queue_cap) {
+        continue;  // record already says kShed
+      }
+      pending_.push_back({i, t});
+      result_.stats.peak_queue_depth =
+          std::max(result_.stats.peak_queue_depth, occupancy + 1);
+
+      if (pending_.size() >= opts_.scheduler.batch_width ||
+          opts_.linger_seconds <= 0) {
+        seal(t);
+      }
+    }
+    if (!pending_.empty()) {
+      seal(opts_.linger_seconds > 0
+               ? pending_.front().arrival + opts_.linger_seconds
+               : last_arrival);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    work_cv_.notify_all();
+  }
+
+  void seal(double seal_time) {
+    SealedBatch sb;
+    sb.index = sealed_total_;
+    sb.seal_time = seal_time;
+    sb.members = std::move(pending_);
+    pending_.clear();
+    if (executor_.policy() == BatchPolicy::kDegreeSorted) {
+      // Degree-sorted within the admitted window; stable so equal-degree
+      // queries keep submission order (the tie rule the offline scheduler
+      // pins too).
+      const auto& degree_of = opts_.scheduler.degree_of;
+      std::stable_sort(sb.members.begin(), sb.members.end(),
+                       [&](const PendingQuery& a, const PendingQuery& b) {
+                         return degree_of(arrivals_[a.submission].query.source) >
+                                degree_of(arrivals_[b.submission].query.source);
+                       });
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      sealed_sizes_.push_back(sb.members.size());
+      start_times_.push_back(0);
+      finish_times_.push_back(0);
+      backlog_.push_back(std::move(sb));
+    }
+    ++sealed_total_;
+    work_cv_.notify_one();
+    if (!opts_.pipeline) {
+      process_one_batch();  // serial mode: execute in place
+    }
+  }
+
+  /// Queries sealed into batches that have not started executing by sim
+  /// time t. Waits (wall-clock) until the executor has published enough
+  /// start/finish facts to answer — the answer itself is a pure function
+  /// of sim time, so waiting never changes it.
+  [[nodiscard]] std::size_t waiting_admitted_at(double t) {
+    std::unique_lock<std::mutex> lk(mu_);
+    timed_cv_.wait(lk, [&] {
+      // Every sealed batch is either timed, or provably starts after t
+      // because an earlier batch finishes after t (starts are monotone:
+      // start_b >= finish_{b-1}).
+      return timed_ == sealed_total_ ||
+             (timed_ > 0 && finish_times_[timed_ - 1] > t);
+    });
+    std::size_t waiting = 0;
+    for (std::size_t b = 0; b < sealed_sizes_.size(); ++b) {
+      const bool started = b < timed_ && start_times_[b] <= t;
+      if (!started) waiting += sealed_sizes_[b];
+    }
+    return waiting;
+  }
+
+  // ---- execution side (worker thread; caller thread in serial mode) ----
+
+  bool process_one_batch() {
+    SealedBatch sb;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return !backlog_.empty() || closed_; });
+      if (backlog_.empty()) return false;
+      sb = std::move(backlog_.front());
+      backlog_.pop_front();
+    }
+
+    const double start = std::max(sb.seal_time, server_free_);
+
+    ServiceBatchRecord rec;
+    rec.index = sb.index;
+    rec.seal_sim_seconds = sb.seal_time;
+    rec.start_sim_seconds = start;
+    rec.admitted = sb.members.size();
+
+    // Deadline shedding at the head of the line: queries whose deadline
+    // has already passed are dropped before the engine runs.
+    std::vector<PendingQuery> live;
+    live.reserve(sb.members.size());
+    for (const PendingQuery& pq : sb.members) {
+      const double wait = start - pq.arrival;
+      if (opts_.deadline_seconds > 0 && wait > opts_.deadline_seconds) {
+        ServiceQueryRecord& r = result_.queries[pq.submission];
+        r.outcome = ServiceOutcome::kExpired;
+        r.batch_index = sb.index;
+        r.queue_wait_sim_seconds = wait;
+      } else {
+        live.push_back(pq);
+      }
+    }
+    rec.expired = sb.members.size() - live.size();
+
+    double finish = start;
+    if (!live.empty()) {
+      std::vector<KHopQuery> batch;
+      batch.reserve(live.size());
+      for (const PendingQuery& pq : live) {
+        batch.push_back(arrivals_[pq.submission].query);
+      }
+      BatchExecutor::Outcome out = executor_.execute(batch);
+      const double makespan = out.result.sim_seconds * out.slowdown;
+      finish = start + makespan;
+      rec.makespan_sim_seconds = makespan;
+
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        rec.executed.push_back(batch[i].id);
+        ServiceQueryRecord& r = result_.queries[live[i].submission];
+        r.outcome = ServiceOutcome::kCompleted;
+        r.batch_index = sb.index;
+        r.queue_wait_sim_seconds = start - live[i].arrival;
+        r.execute_sim_seconds =
+            out.result.completion_sim_seconds[i] * out.slowdown;
+        r.response_sim_seconds =
+            r.queue_wait_sim_seconds + r.execute_sim_seconds;
+        r.visited = out.result.visited[i];
+        r.levels = out.result.levels[i];
+
+        obs::QueryTrace qt;
+        qt.id = batch[i].id;
+        qt.batch_index = sb.index;
+        qt.levels = r.levels;
+        qt.visited = r.visited;
+        qt.wait_sim_seconds = r.queue_wait_sim_seconds;
+        qt.execute_sim_seconds = r.execute_sim_seconds;
+        result_.telemetry.queries.push_back(qt);
+      }
+
+      obs::BatchTrace bt = std::move(out.trace);
+      bt.index = sb.index;
+      bt.width = live.size();
+      bt.wait_sim_seconds = start;
+      result_.telemetry.batches.push_back(std::move(bt));
+    }
+
+    server_free_ = finish;
+    last_finish_ = std::max(last_finish_, finish);
+    result_.batches.push_back(std::move(rec));
+
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      start_times_[sb.index] = start;
+      finish_times_[sb.index] = finish;
+      timed_ = sb.index + 1;
+    }
+    timed_cv_.notify_all();
+    return true;
+  }
+
+  // ---- assembly (caller thread, after the worker joined) ----
+
+  void finalize() {
+    ServiceStats& s = result_.stats;
+    s.submitted = arrivals_.size();
+    for (const ServiceQueryRecord& r : result_.queries) {
+      switch (r.outcome) {
+        case ServiceOutcome::kShed:
+          ++s.shed;
+          break;
+        case ServiceOutcome::kExpired:
+          ++s.expired;
+          break;
+        case ServiceOutcome::kCompleted:
+          ++s.completed;
+          break;
+      }
+    }
+    s.admitted = s.completed + s.expired;
+    s.batches = result_.batches.size();
+
+    double last_arrival = arrivals_.empty()
+                              ? 0
+                              : arrivals_.back().arrival_sim_seconds;
+    result_.makespan_sim_seconds = std::max(last_finish_, last_arrival);
+    result_.peak_memory_bytes = executor_.peak_memory_bytes();
+  }
+
+  std::span<const TimedQuery> arrivals_;
+  const ServiceOptions& opts_;
+  BatchExecutor executor_;
+  ServiceRunResult& result_;
+
+  // Admission-thread state.
+  std::vector<PendingQuery> pending_;
+  std::size_t sealed_total_ = 0;
+
+  // Execution-thread state.
+  double server_free_ = 0;
+  double last_finish_ = 0;
+
+  // Shared handoff state (guarded by mu_).
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // executor waits for sealed batches
+  std::condition_variable timed_cv_;  // admission waits for timing facts
+  std::deque<SealedBatch> backlog_;
+  bool closed_ = false;
+  std::vector<std::size_t> sealed_sizes_;
+  std::vector<double> start_times_;
+  std::vector<double> finish_times_;
+  std::size_t timed_ = 0;  // batches with published start/finish
+};
+
+void publish_service_metrics(obs::MetricsRegistry& reg,
+                             const ServiceRunResult& result) {
+  const ServiceStats& s = result.stats;
+  reg.counter("cgraph_service_submitted_total",
+              "Queries that arrived at the service front end")
+      .inc(static_cast<double>(s.submitted));
+  reg.counter("cgraph_service_admitted_total",
+              "Queries admitted past the bounded queue")
+      .inc(static_cast<double>(s.admitted));
+  reg.counter("cgraph_service_shed_total",
+              "Arrivals rejected because the admission queue was full")
+      .inc(static_cast<double>(s.shed));
+  reg.counter("cgraph_service_expired_total",
+              "Admitted queries dropped for missed deadlines")
+      .inc(static_cast<double>(s.expired));
+  reg.counter("cgraph_service_completed_total",
+              "Queries executed and answered")
+      .inc(static_cast<double>(s.completed));
+  reg.counter("cgraph_service_batches_total",
+              "Batches sealed by the adaptive batcher")
+      .inc(static_cast<double>(s.batches));
+  reg.gauge("cgraph_service_peak_queue_depth",
+            "Peak admitted-but-unstarted queries of the latest run")
+      .set(static_cast<double>(s.peak_queue_depth));
+
+  obs::LogHistogram& response = reg.histogram(
+      "cgraph_service_response_seconds",
+      "End-to-end simulated latency (arrival -> answered), completed "
+      "queries");
+  obs::LogHistogram& wait = reg.histogram(
+      "cgraph_service_queue_wait_seconds",
+      "Simulated wait from arrival to batch execution start, admitted "
+      "queries");
+  obs::LogHistogram& execute = reg.histogram(
+      "cgraph_service_execute_seconds",
+      "Simulated execution time (batch start -> answered), completed "
+      "queries");
+  for (const ServiceQueryRecord& r : result.queries) {
+    if (r.outcome == ServiceOutcome::kShed) continue;
+    wait.observe(r.queue_wait_sim_seconds);
+    if (r.outcome == ServiceOutcome::kCompleted) {
+      response.observe(r.response_sim_seconds);
+      execute.observe(r.execute_sim_seconds);
+    }
+  }
+}
+
+}  // namespace
+
+double ServiceRunResult::response_percentile(double p) const {
+  CGRAPH_CHECK(p > 0 && p <= 100);
+  std::vector<double> responses;
+  responses.reserve(queries.size());
+  for (const ServiceQueryRecord& r : queries) {
+    if (r.outcome == ServiceOutcome::kCompleted) {
+      responses.push_back(r.response_sim_seconds);
+    }
+  }
+  if (responses.empty()) return 0;
+  std::sort(responses.begin(), responses.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(responses.size())));
+  return responses[std::min(rank, responses.size()) - 1];
+}
+
+ServiceRunResult run_query_service(Cluster& cluster,
+                                   const std::vector<SubgraphShard>& shards,
+                                   const RangePartition& partition,
+                                   std::span<const TimedQuery> arrivals,
+                                   const ServiceOptions& opts) {
+  obs::MetricsRegistry& registry = opts.scheduler.metrics != nullptr
+                                       ? *opts.scheduler.metrics
+                                       : obs::MetricsRegistry::global();
+  obs::TraceSpan run_span("run_query_service", &registry);
+
+  ServiceRunResult result;
+  ServicePipeline pipeline(cluster, shards, partition, arrivals, opts,
+                           result);
+  pipeline.run();
+
+  run_span.finish();
+  result.telemetry.publish(registry);
+  publish_service_metrics(registry, result);
+  return result;
+}
+
+}  // namespace cgraph

@@ -1,0 +1,141 @@
+// Online admission front end for the concurrent-query scheduler.
+//
+// The paper's §3.3 scenario is *concurrent* queries, but the offline
+// harness (run_concurrent_queries) assumes a closed world: every query
+// present at t=0, batches back-to-back. This layer serves an *open-loop*
+// arrival stream (gen/arrivals.hpp) the way a production front end would:
+//
+//   * bounded admission queue with backpressure — when the queries waiting
+//     to start execution reach queue_cap, new arrivals are shed;
+//   * deadline-based load shedding — an admitted query whose deadline has
+//     already passed when its batch reaches the head of the line is
+//     dropped (expired) instead of burning cluster time;
+//   * adaptive MS-BFS batch formation — a batch seals when batch_width
+//     admitted queries are pending OR the oldest has lingered
+//     linger_seconds, whichever first; FIFO or degree-sorted within the
+//     admitted window;
+//   * pipelined execution — batches execute on a worker thread through the
+//     shared BatchExecutor core while admission keeps consuming arrivals.
+//
+// Determinism: every admission / shedding / sealing decision is a pure
+// function of the arrival timestamps and the (deterministic) simulated
+// batch makespans, never of host wall-clock or thread interleaving, so a
+// pipelined run and a single-threaded run produce identical outcomes and
+// the same admitted batch is bit-exact versus the offline scheduler
+// (DESIGN.md §10).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "query/scheduler.hpp"
+
+namespace cgraph {
+
+/// Why a submitted query left the service.
+enum class ServiceOutcome : std::uint8_t {
+  /// Rejected at admission: the bounded queue was full.
+  kShed,
+  /// Admitted, but its deadline passed before its batch started executing.
+  kExpired,
+  /// Executed and answered.
+  kCompleted,
+};
+
+[[nodiscard]] const char* to_string(ServiceOutcome outcome);
+
+struct ServiceOptions {
+  /// Batch width, policy, engine, memory model, threads, metrics registry.
+  SchedulerOptions scheduler;
+  /// Bound on queries admitted but not yet executing (the pending window
+  /// plus sealed-but-unstarted batches). 0 = unbounded, nothing is shed.
+  std::size_t queue_cap = 1024;
+  /// Deadline from arrival to execution start; an admitted query whose
+  /// wait exceeds this when its batch starts is dropped as expired.
+  /// 0 disables expiry.
+  double deadline_seconds = 0;
+  /// Max linger: a partial batch seals once its oldest admitted query has
+  /// waited this long. <= 0 seals every batch at first arrival.
+  double linger_seconds = 0.010;
+  /// Overlap admission with execution on a worker thread (the production
+  /// shape and the TSAN target); false runs both phases on the caller
+  /// thread — results are identical either way.
+  bool pipeline = true;
+};
+
+struct ServiceQueryRecord {
+  static constexpr std::size_t kNoBatch = ~std::size_t{0};
+  QueryId id = 0;
+  ServiceOutcome outcome = ServiceOutcome::kShed;
+  std::size_t batch_index = kNoBatch;  // kNoBatch for shed queries
+  double arrival_sim_seconds = 0;
+  /// Arrival -> batch execution start (admitted queries; for expired ones
+  /// this is the wait at which the deadline verdict was passed).
+  double queue_wait_sim_seconds = 0;
+  /// Batch start -> this query answered (completed only).
+  double execute_sim_seconds = 0;
+  /// End-to-end: arrival -> answered (completed only).
+  double response_sim_seconds = 0;
+  std::uint64_t visited = 0;
+  Depth levels = 0;
+};
+
+struct ServiceBatchRecord {
+  std::size_t index = 0;
+  double seal_sim_seconds = 0;   // when the batch stopped admitting
+  double start_sim_seconds = 0;  // sealed AND the server became free
+  double makespan_sim_seconds = 0;
+  std::size_t admitted = 0;  // queries sealed into the batch
+  std::size_t expired = 0;   // dropped at start for missed deadlines
+  /// Ids actually executed, in execution (policy) order — the admitted
+  /// set the bit-exactness guarantee speaks about.
+  std::vector<QueryId> executed;
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;
+  std::size_t peak_queue_depth = 0;
+
+  /// The counter identities the service must keep:
+  ///   submitted = admitted + shed;  admitted = completed + expired.
+  [[nodiscard]] bool identities_hold() const {
+    return submitted == admitted + shed &&
+           admitted == completed + expired;
+  }
+};
+
+struct ServiceRunResult {
+  std::vector<ServiceQueryRecord> queries;  // submission order
+  std::vector<ServiceBatchRecord> batches;
+  ServiceStats stats;
+  /// Last batch finish (or last arrival when nothing executed).
+  double makespan_sim_seconds = 0;
+  std::uint64_t peak_memory_bytes = 0;
+  /// Same structured trace the offline scheduler emits (executed batches
+  /// only); already published into the configured metrics registry along
+  /// with the cgraph_service_* series.
+  obs::RunTelemetry telemetry;
+
+  /// Exact end-to-end latency percentile over completed queries, p in
+  /// (0, 100] (the cgraph_service_response_seconds histogram is the
+  /// scrape-able approximation). 0 when nothing completed.
+  [[nodiscard]] double response_percentile(double p) const;
+};
+
+/// Serve an open-loop arrival stream (nondecreasing timestamps) against
+/// the sharded graph. Crash/fault behavior follows whatever FaultPlan /
+/// RecoveryOptions the cluster carries — answers stay exact (PR 4).
+ServiceRunResult run_query_service(Cluster& cluster,
+                                   const std::vector<SubgraphShard>& shards,
+                                   const RangePartition& partition,
+                                   std::span<const TimedQuery> arrivals,
+                                   const ServiceOptions& opts = {});
+
+}  // namespace cgraph

@@ -202,6 +202,20 @@ class QueryBitRows {
   Word* data() { return bits_.data(); }
   [[nodiscard]] std::size_t size_words() const { return bits_.size(); }
 
+  /// Bytes the plane actually reserves (capacity, not size — the honest
+  /// number for long-running footprint accounting).
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    return bits_.capacity() * sizeof(Word);
+  }
+
+  /// Free the plane's storage entirely (0 rows afterwards).
+  void release() {
+    std::vector<Word>().swap(bits_);
+    nrows_ = 0;
+    nqueries_ = 0;
+    words_per_row_ = 0;
+  }
+
  private:
   std::size_t nrows_ = 0;
   std::size_t nqueries_ = 0;

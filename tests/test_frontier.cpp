@@ -161,6 +161,132 @@ TEST(LevelValueStore, ResetClearsEverything) {
   EXPECT_EQ(store.level(), 0u);
 }
 
+// Differential test for the O(words) mask-based advance(): against the
+// scanning advance() it must return the same activity answer and leave
+// bit-identical planes, for frontiers with activity in different words,
+// rows, and none at all.
+TEST(BatchFrontier, MaskAdvanceMatchesScanningAdvance) {
+  const std::size_t n = 96;
+  const std::size_t queries = 130;  // 3 words per row, last one partial
+  struct Discovery {
+    std::size_t v;
+    Word bits[3];
+  };
+  const std::vector<std::vector<Discovery>> scenarios = {
+      {},                                  // nothing discovered
+      {{7, {0b1, 0, 0}}},                  // single bit, first word
+      {{95, {0, 0, Word{1} << 1}}},        // last row, last word
+      {{3, {0b1010, 0, 0}}, {64, {0, ~Word{0}, 0}}, {65, {1, 1, 1}}},
+  };
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    BatchFrontier masked(n, queries);
+    BatchFrontier scanned(n, queries);
+    masked.seed(0, 0);
+    scanned.seed(0, 0);
+    for (const Discovery& d : scenarios[s]) {
+      masked.discover_atomic(d.v, d.bits);
+      scanned.discover_atomic(d.v, d.bits);
+    }
+    std::vector<Word> mask(masked.words_per_row(), 0);
+    masked.commit_rows(0, n, mask.data());
+    std::vector<Word> scan_mask(scanned.words_per_row(), 0);
+    scanned.commit_rows(0, n, scan_mask.data());
+
+    const bool active_masked = masked.advance(mask.data());
+    const bool active_scanned = scanned.advance();
+    EXPECT_EQ(active_masked, active_scanned) << "scenario " << s;
+    EXPECT_EQ(active_masked, !scenarios[s].empty()) << "scenario " << s;
+    for (std::size_t v = 0; v < n; ++v) {
+      for (std::size_t q = 0; q < queries; ++q) {
+        ASSERT_EQ(masked.frontier().test(v, q), scanned.frontier().test(v, q))
+            << "scenario " << s << " frontier v=" << v << " q=" << q;
+        ASSERT_EQ(masked.next().test(v, q), scanned.next().test(v, q))
+            << "scenario " << s << " next v=" << v << " q=" << q;
+        ASSERT_EQ(masked.visited().test(v, q), scanned.visited().test(v, q))
+            << "scenario " << s << " visited v=" << v << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(BatchFrontier, ReleaseReturnsMemory) {
+  BatchFrontier bf(4096, 256);
+  const std::size_t burst = bf.memory_bytes();
+  EXPECT_GT(burst, 0u);
+  bf.release();
+  EXPECT_EQ(bf.memory_bytes(), 0u);
+  EXPECT_EQ(bf.num_vertices(), 0u);
+  // Reassignment restores a working frontier.
+  bf = BatchFrontier(8, 2);
+  bf.seed(1, 1);
+  EXPECT_TRUE(bf.visited().test(1, 1));
+  EXPECT_GT(bf.memory_bytes(), 0u);
+  EXPECT_LT(bf.memory_bytes(), burst);
+}
+
+TEST(LevelValueStore, MemoryBytesCountsCapacityNotSize) {
+  LevelValueStore<Depth> store;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    store.record(static_cast<VertexId>(i), 0);
+  }
+  store.advance_level();  // previous_: the 1000-entry burst
+  for (std::size_t i = 0; i < 300; ++i) {
+    store.record(static_cast<VertexId>(i), 0);
+  }
+  // The recycled burst buffer (capacity >= 1000) becomes current_ and is
+  // retained: 300 live entries justify it under the 4x slack rule.
+  store.advance_level();
+  EXPECT_EQ(store.live_entries(), 300u);
+  // Size-based accounting would claim 300 entries; the reserved capacity
+  // (>= 300 previous + >= 1000 recycled) must be what's reported.
+  EXPECT_GE(store.memory_bytes(),
+            1300 * sizeof(LevelValueStore<Depth>::Entry));
+}
+
+TEST(LevelValueStore, BurstThenIdleReturnsMemory) {
+  LevelValueStore<Depth> store;
+  // Burst: one very wide level.
+  for (std::size_t i = 0; i < 100000; ++i) {
+    store.record(static_cast<VertexId>(i), 0);
+  }
+  store.advance_level();
+  const std::size_t at_burst = store.memory_bytes();
+  ASSERT_GE(at_burst, 100000 * sizeof(LevelValueStore<Depth>::Entry));
+
+  // Idle tail: tiny levels. The shrink policy must release the burst
+  // capacity instead of pinning it forever.
+  for (int level = 0; level < 3; ++level) {
+    store.record(0, 0);
+    store.advance_level();
+  }
+  EXPECT_LT(store.memory_bytes(), at_burst / 100);
+
+  // reset(release_capacity=true) drops everything.
+  store.reset(/*release_capacity=*/true);
+  EXPECT_EQ(store.memory_bytes(), 0u);
+  EXPECT_EQ(store.level(), 0u);
+}
+
+TEST(LevelValueStore, SteadyStateKeepsCapacityAcrossLevels) {
+  // The shrink policy must NOT thrash the steady state: levels of similar
+  // width reuse the recycled buffer without reallocating.
+  LevelValueStore<Depth> store;
+  for (int warm = 0; warm < 2; ++warm) {
+    for (std::size_t i = 0; i < 500; ++i) {
+      store.record(static_cast<VertexId>(i), 0);
+    }
+    store.advance_level();
+  }
+  const std::size_t warm_bytes = store.memory_bytes();
+  for (int level = 0; level < 5; ++level) {
+    for (std::size_t i = 0; i < 500; ++i) {
+      store.record(static_cast<VertexId>(i), 0);
+    }
+    store.advance_level();
+    EXPECT_EQ(store.memory_bytes(), warm_bytes) << "level " << level;
+  }
+}
+
 TEST(LevelValueStore, MemoryIsBoundedByWidestTwoLevels) {
   // A dense per-vertex store for V vertices costs V entries for the whole
   // query; the level store peaks at the two widest adjacent levels.

@@ -2,6 +2,8 @@
 // per-query results, memory-pressure model, workload generation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "gen/rmat.hpp"
 #include "graph/shard.hpp"
 #include "query/bfs.hpp"
@@ -216,6 +218,97 @@ TEST(Scheduler, DegreeSortedWithoutLookupFallsBackToFifo) {
   const auto run = run_concurrent_queries(f.cluster, f.shards, f.partition,
                                           queries, opts);
   EXPECT_EQ(run.queries.size(), 8u);
+}
+
+// Regression (silent-degradation bug): kDegreeSorted without a degree_of
+// lookup used to run FIFO while the telemetry still claimed degree-sorted.
+// The *effective* policy must be recorded in RunTelemetry and every
+// BatchTrace so the fallback is observable.
+TEST(Scheduler, EffectivePolicyReportedOnFallback) {
+  Fixture f(1);
+  const auto queries = make_random_queries(f.graph, 24, 2, 35);
+
+  SchedulerOptions broken;
+  broken.policy = BatchPolicy::kDegreeSorted;  // no degree_of: degrades
+  broken.batch_width = 8;
+  EXPECT_EQ(effective_batch_policy(broken), BatchPolicy::kFifo);
+  const auto fallback = run_concurrent_queries(f.cluster, f.shards,
+                                               f.partition, queries, broken);
+  EXPECT_EQ(fallback.telemetry.effective_policy, "fifo");
+  ASSERT_EQ(fallback.telemetry.batches.size(), 3u);
+  for (const auto& bt : fallback.telemetry.batches) {
+    EXPECT_EQ(bt.policy, "fifo");
+  }
+
+  SchedulerOptions sorted = broken;
+  sorted.degree_of = [&](VertexId v) { return f.graph.out_degree(v); };
+  EXPECT_EQ(effective_batch_policy(sorted), BatchPolicy::kDegreeSorted);
+  const auto real = run_concurrent_queries(f.cluster, f.shards, f.partition,
+                                           queries, sorted);
+  EXPECT_EQ(real.telemetry.effective_policy, "degree-sorted");
+  for (const auto& bt : real.telemetry.batches) {
+    EXPECT_EQ(bt.policy, "degree-sorted");
+  }
+
+  SchedulerOptions fifo;
+  EXPECT_EQ(effective_batch_policy(fifo), BatchPolicy::kFifo);
+  const auto plain = run_concurrent_queries(f.cluster, f.shards, f.partition,
+                                            queries, fifo);
+  EXPECT_EQ(plain.telemetry.effective_policy, "fifo");
+}
+
+// Pins two ordering contracts of the degree-sorted path with a count that
+// is NOT a multiple of batch_width (subspan boundaries exercise the
+// order[] mapping) and many duplicate-degree roots (exercises the
+// stable_sort tie rule):
+//   (a) results come back in submission order via order[];
+//   (b) within the sorted sequence, equal-degree queries keep submission
+//       order (std::stable_sort), pinned through telemetry.queries.
+TEST(Scheduler, DegreeSortedOrderMappingAndStableTies) {
+  Fixture f(2, /*scale=*/6);
+  // 21 queries, width 8 -> batches of 8/8/5. Duplicate roots guarantee
+  // duplicate degrees.
+  auto queries = make_random_queries(f.graph, 7, 3, 37);
+  const std::size_t distinct = queries.size();
+  for (std::size_t i = 0; i < 2 * distinct; ++i) {
+    KHopQuery q = queries[i % distinct];
+    q.id = static_cast<QueryId>(queries.size());
+    queries.push_back(q);
+  }
+  ASSERT_EQ(queries.size(), 21u);
+
+  SchedulerOptions opts;
+  opts.policy = BatchPolicy::kDegreeSorted;
+  opts.degree_of = [&](VertexId v) { return f.graph.out_degree(v); };
+  opts.batch_width = 8;
+  const auto run = run_concurrent_queries(f.cluster, f.shards, f.partition,
+                                          queries, opts);
+
+  // (a) submission order out, exact answers regardless of execution order.
+  ASSERT_EQ(run.queries.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(run.queries[i].id, queries[i].id) << "slot " << i;
+    EXPECT_EQ(run.queries[i].visited,
+              khop_reach_count(f.graph, queries[i].source, queries[i].k))
+        << "slot " << i;
+  }
+
+  // (b) telemetry.queries is appended in execution order; it must equal
+  // the stable sort of submission indices by descending degree.
+  std::vector<std::size_t> expect(queries.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) expect[i] = i;
+  std::stable_sort(expect.begin(), expect.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return f.graph.out_degree(queries[a].source) >
+                            f.graph.out_degree(queries[b].source);
+                   });
+  ASSERT_EQ(run.telemetry.queries.size(), queries.size());
+  for (std::size_t slot = 0; slot < expect.size(); ++slot) {
+    EXPECT_EQ(run.telemetry.queries[slot].id, queries[expect[slot]].id)
+        << "execution slot " << slot;
+    EXPECT_EQ(run.telemetry.queries[slot].batch_index, slot / 8)
+        << "execution slot " << slot;
+  }
 }
 
 TEST(Scheduler, TotalEdgeWorkReported) {
