@@ -15,6 +15,8 @@
 // the query-count knee shows up as a latency knee versus arrival rate.
 // Tunables: --queries N, --rates a,b,c (qps), --queue-cap N,
 // --deadline S, --linger S.
+#include <memory>
+
 #include "bench/common.hpp"
 
 using namespace cgraph;
@@ -83,6 +85,23 @@ int main(int argc, char** argv) {
   const int shift = static_cast<int>(opts.get_int("scale-shift", 2));
   const auto machines = static_cast<PartitionId>(opts.get_int("machines", 9));
 
+  // --trace-out PATH: record the whole bench run and export a Chrome
+  // trace (or JSONL for .jsonl paths) when main returns.
+  const std::string trace_out = opts.get("trace-out");
+  std::unique_ptr<obs::EventTracer> tracer;
+  std::unique_ptr<obs::EventTracer::Scope> trace_scope;
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<obs::EventTracer>();
+    trace_scope = std::make_unique<obs::EventTracer::Scope>(*tracer);
+  }
+  auto finish_trace = [&](int rc) {
+    if (tracer != nullptr) {
+      trace_scope.reset();
+      obs::write_trace_file(*tracer, trace_out);
+    }
+    return rc;
+  };
+
   print_header("Figure 12: query-count scalability (FRS-100B graph)",
                "20/50/100/350 concurrent 3-hop queries, " +
                    std::to_string(machines) + " machines");
@@ -108,7 +127,7 @@ int main(int argc, char** argv) {
   }
 
   if (opts.has("open-loop")) {
-    return run_open_loop(opts, sg, cluster, budget);
+    return finish_trace(run_open_loop(opts, sg, cluster, budget));
   }
 
   std::vector<ResponseTimeSeries> series;
@@ -172,5 +191,5 @@ int main(int argc, char** argv) {
                   base_wall / std::max(run.total_wall_seconds, 1e-12));
     }
   }
-  return 0;
+  return finish_trace(0);
 }

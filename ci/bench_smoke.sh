@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Perf-baseline gate: proves the committed BENCH_*.json artifacts are
+# honest. Three steps:
+#
+#   1. Schema-validate the committed artifacts (ci/validate_bench.py,
+#      stdlib-only), including the <=2% tracer-off overhead gate on the
+#      committed BENCH_trace_overhead.json.
+#   2. Rebuild bench/baseline_runner and regenerate the fig12 sweep with
+#      the identical (full) configuration.
+#   3. Diff the fresh sweep against the committed one with a 20% drift
+#      gate. Every compared metric is simulated-clock, so the diff is
+#      exactly zero on an unchanged tree — drift means engine behavior
+#      changed and the baseline must be regenerated deliberately.
+#
+# The fresh trace-overhead artifact is schema-validated but not gated:
+# wall-clock spreads on a loaded CI host are not evidence about the code.
+#
+# Usage: ci/bench_smoke.sh [build-dir]   (default: build-bench)
+set -eu
+
+BUILD_DIR="${1:-build-bench}"
+SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+SCHEMA="$SRC_DIR/bench/bench_schema.json"
+
+python3 "$SRC_DIR/ci/validate_bench.py" --schema "$SCHEMA" \
+  "$SRC_DIR/BENCH_fig12.json"
+python3 "$SRC_DIR/ci/validate_bench.py" --schema "$SCHEMA" \
+  --strict-overhead "$SRC_DIR/BENCH_trace_overhead.json"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR"
+cmake --build "$BUILD_DIR" --target baseline_runner -j "$(nproc)"
+
+OUT_DIR="$BUILD_DIR/bench-baseline"
+"$BUILD_DIR/bench/baseline_runner" --out-dir "$OUT_DIR"
+
+python3 "$SRC_DIR/ci/validate_bench.py" --schema "$SCHEMA" \
+  --baseline "$SRC_DIR/BENCH_fig12.json" --tolerance-pct 20 \
+  "$OUT_DIR/BENCH_fig12.json"
+python3 "$SRC_DIR/ci/validate_bench.py" --schema "$SCHEMA" \
+  "$OUT_DIR/BENCH_trace_overhead.json"
+
+echo "bench smoke: OK"

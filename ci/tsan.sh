@@ -9,7 +9,9 @@
 # barriers, the cluster-wide crash flag, restore while every machine
 # unwinds), and the service layer's pipelined admission/executor handoff
 # (test_service runs its batches on a worker thread overlapped with
-# admission) all run under TSan here.
+# admission) all run under TSan here. The bench label adds the committed-
+# baseline smoke run, whose enabled arm drives the per-thread tracer rings
+# while four compute threads record concurrently.
 #
 # Usage: ci/tsan.sh [build-dir]   (default: build-tsan)
 set -eu
@@ -20,4 +22,4 @@ SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DCGRAPH_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 CGRAPH_THREADS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -L 'unit|chaos|recovery|service'
+  -L 'unit|chaos|recovery|service|bench'

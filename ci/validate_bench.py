@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Validate and regression-gate the committed BENCH_*.json artifacts.
+
+Stdlib-only on purpose: CI images carry no pip packages, so this module
+implements the small JSON-Schema subset bench/bench_schema.json is written
+in (type / required / properties / items / enum / minimum / maximum) by
+hand. Each input file is matched to a schema by its top-level "bench"
+field.
+
+Modes (composable):
+  validate_bench.py --schema bench/bench_schema.json FILE...
+      Schema validation only.
+  ... --strict-overhead
+      Additionally fail any trace_overhead file whose
+      disabled_overhead_pct exceeds 2.0 — the "tracing compiled in but
+      off costs nothing" claim, gated on the committed artifact.
+  ... --baseline BENCH_fig12.json [--tolerance-pct 20]
+      Additionally diff each fig12_open_loop file against the committed
+      baseline: configs must match exactly and every sim-domain metric
+      must stay within the tolerance. All compared numbers live in the
+      simulated clock domain, so on an unchanged tree the diff is exactly
+      zero and any drift is a behavior change, not host noise.
+
+Exit status: 0 = all files pass, 1 = any failure (every failure printed).
+"""
+
+import argparse
+import json
+import sys
+
+STRICT_OVERHEAD_MAX_PCT = 2.0
+
+# Sim-domain row metrics gated against the committed baseline. Counts are
+# integers and percentiles doubles, but both are pure functions of the
+# (seeded) workload, so the comparison is exact-in-practice.
+ROW_METRICS = [
+    "shed", "expired", "completed", "batches",
+    "p50_sim_seconds", "p95_sim_seconds", "p99_sim_seconds",
+    "makespan_sim_seconds",
+]
+MICRO_METRICS = ["sim_seconds", "edges_scanned"]
+
+
+def _type_ok(value, expected):
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    if expected == "integer":
+        # bool is an int subclass in Python; a JSON true is not an integer.
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    raise ValueError(f"schema uses unsupported type {expected!r}")
+
+
+def validate(value, schema, path, errors):
+    """Recursively check `value` against the mini-schema at `path`."""
+    expected = schema.get("type")
+    if expected is not None and not _type_ok(value, expected):
+        errors.append(f"{path}: expected {expected}, got "
+                      f"{type(value).__name__} ({value!r})")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in allowed set "
+                      f"{schema['enum']!r}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value!r} below minimum {schema['minimum']}")
+    if "maximum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value > schema["maximum"]:
+        errors.append(f"{path}: {value!r} above maximum {schema['maximum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                validate(value[key], sub, f"{path}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def _within(fresh, committed, tolerance_pct):
+    if committed == 0:
+        # A metric that was zero must stay zero (shed/expired on an
+        # uncontended sweep): 20% of nothing is nothing.
+        return fresh == 0
+    return abs(fresh - committed) <= abs(committed) * tolerance_pct / 100.0
+
+
+def compare_fig12(fresh, committed, tolerance_pct, errors):
+    if fresh.get("config") != committed.get("config"):
+        errors.append(
+            "config mismatch vs committed baseline — the sweep parameters "
+            "changed; regenerate BENCH_fig12.json with bench/baseline_runner "
+            "and commit it alongside the change")
+        return
+    fresh_rows = {row["rate_qps"]: row for row in fresh.get("rows", [])}
+    committed_rows = {row["rate_qps"]: row for row in committed.get("rows", [])}
+    if sorted(fresh_rows) != sorted(committed_rows):
+        errors.append(f"rate sweep differs: fresh {sorted(fresh_rows)} vs "
+                      f"committed {sorted(committed_rows)}")
+        return
+    for rate, committed_row in committed_rows.items():
+        fresh_row = fresh_rows[rate]
+        for metric in ROW_METRICS:
+            if not _within(fresh_row[metric], committed_row[metric],
+                           tolerance_pct):
+                errors.append(
+                    f"rows[rate={rate:g}].{metric}: {fresh_row[metric]!r} "
+                    f"drifted >{tolerance_pct:g}% from committed "
+                    f"{committed_row[metric]!r}")
+    fresh_micro = {m["name"]: m for m in fresh.get("micro", [])}
+    committed_micro = {m["name"]: m for m in committed.get("micro", [])}
+    if sorted(fresh_micro) != sorted(committed_micro):
+        errors.append(f"micro set differs: fresh {sorted(fresh_micro)} vs "
+                      f"committed {sorted(committed_micro)}")
+        return
+    for name, committed_m in committed_micro.items():
+        fresh_m = fresh_micro[name]
+        for metric in MICRO_METRICS:
+            if not _within(fresh_m[metric], committed_m[metric],
+                           tolerance_pct):
+                errors.append(
+                    f"micro[{name}].{metric}: {fresh_m[metric]!r} drifted "
+                    f">{tolerance_pct:g}% from committed "
+                    f"{committed_m[metric]!r}")
+
+
+def check_file(path, schemas, args):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: cannot parse: {exc}"]
+    bench = data.get("bench")
+    schema = schemas.get(bench)
+    if schema is None:
+        return [f"{path}: unknown bench kind {bench!r} "
+                f"(schemas: {sorted(k for k in schemas if not k.startswith('_'))})"]
+    validate(data, schema, bench, errors)
+    if errors:
+        return [f"{path}: {e}" for e in errors]
+
+    if bench == "trace_overhead" and args.strict_overhead:
+        pct = data["disabled_overhead_pct"]
+        if pct > STRICT_OVERHEAD_MAX_PCT:
+            errors.append(
+                f"disabled_overhead_pct {pct:.3f} exceeds the "
+                f"{STRICT_OVERHEAD_MAX_PCT:g}% gate: the tracer-off path is "
+                f"no longer free — rerun bench/baseline_runner on a quiet "
+                f"host, and if it reproduces, fix the hot path before "
+                f"recommitting")
+    if bench == "fig12_open_loop" and args.baseline:
+        try:
+            with open(args.baseline, encoding="utf-8") as f:
+                committed = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            errors.append(f"cannot parse baseline {args.baseline}: {exc}")
+        else:
+            compare_fig12(data, committed, args.tolerance_pct, errors)
+    return [f"{path}: {e}" for e in errors]
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="BENCH_*.json files")
+    parser.add_argument("--schema", required=True,
+                        help="path to bench/bench_schema.json")
+    parser.add_argument("--baseline",
+                        help="committed BENCH_fig12.json to diff against")
+    parser.add_argument("--tolerance-pct", type=float, default=20.0,
+                        help="allowed drift vs baseline (default 20)")
+    parser.add_argument("--strict-overhead", action="store_true",
+                        help=f"fail trace_overhead files whose disabled "
+                             f"overhead exceeds {STRICT_OVERHEAD_MAX_PCT}%%")
+    args = parser.parse_args(argv)
+
+    with open(args.schema, encoding="utf-8") as f:
+        schemas = json.load(f)
+
+    failures = []
+    for path in args.files:
+        failures.extend(check_file(path, schemas, args))
+    for failure in failures:
+        print(f"validate_bench: FAIL {failure}", file=sys.stderr)
+    if not failures:
+        print(f"validate_bench: OK ({len(args.files)} file(s))")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -22,6 +22,12 @@
 // traffic) is written there — Prometheus text format, or JSON when PATH
 // ends in .json. Without the flag, $CGRAPH_METRICS names the same sink.
 //
+// Any command also takes --trace-out PATH: the run is recorded by the
+// event tracer and exported afterwards — Chrome trace_event JSON
+// (Perfetto-loadable), or JSONL when PATH ends in .jsonl. Queries that
+// were shed, expired, or re-executed after a crash additionally get
+// flight-recorder dumps in PATH.flight/.
+//
 // Crash-fault flags (query/batch/pagerank): --crash m@s[,m@s...] kills
 // machine m at superstep s; --crash-prob P crashes each machine with
 // probability P per superstep (seeded by --fault-seed, default 1). Either
@@ -360,6 +366,18 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   const Options opts(argc - 1, argv + 1);
+
+  // --trace-out PATH: record the whole command under an event tracer and
+  // export it afterwards (.jsonl => JSONL, else Chrome trace JSON).
+  // Anomalous queries additionally get flight dumps in PATH.flight/.
+  const std::string trace_out = opts.get("trace-out");
+  std::unique_ptr<obs::EventTracer> tracer;
+  std::unique_ptr<obs::EventTracer::Scope> trace_scope;
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<obs::EventTracer>();
+    trace_scope = std::make_unique<obs::EventTracer::Scope>(*tracer);
+  }
+
   int rc = 2;
   // Loader/ingestion errors (malformed edge lists, truncated files,
   // out-of-range ids) surface as exceptions; fail with a message instead
@@ -375,6 +393,22 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cgraph_tool %s: %s\n", cmd.c_str(), e.what());
     return 1;
+  }
+
+  if (tracer != nullptr) {
+    trace_scope.reset();  // stop recording before exporting
+    if (!obs::write_trace_file(*tracer, trace_out)) rc = rc == 0 ? 1 : rc;
+    obs::FlightRecorderOptions fr_opts;
+    fr_opts.fault_seed =
+        static_cast<std::uint64_t>(opts.get_int("fault-seed", 1));
+    fr_opts.config = "cgraph_tool " + cmd;
+    obs::FlightRecorder recorder(fr_opts);
+    recorder.ingest(*tracer);
+    if (!recorder.anomalies().empty()) {
+      const std::size_t dumps = recorder.write_dumps(trace_out + ".flight");
+      std::printf("flight recorder: %zu anomalies, %zu dumps in %s.flight/\n",
+                  recorder.anomalies().size(), dumps, trace_out.c_str());
+    }
   }
 
   const std::string metrics_out = opts.get("metrics-out");

@@ -23,6 +23,13 @@
 // It prints p50/p95/p99 end-to-end latency plus shed/expired counts, and
 // --metrics-out dumps the cgraph_service_* series for scraping.
 //
+// --trace-out PATH records the whole run under the event tracer and
+// exports it afterwards: Chrome trace_event JSON (Perfetto-loadable, one
+// track per machine plus the admission/executor service threads), or JSONL
+// when PATH ends in .jsonl. Shed, expired, and crash-re-executed queries
+// additionally get flight-recorder dumps (full span tree + fault seed) in
+// PATH.flight/.
+//
 // --threads N parallelizes each simulated machine's per-level scans over N
 // compute threads (0 = one per hardware core); $CGRAPH_THREADS is the
 // flagless default. Latencies change, answers do not.
@@ -169,6 +176,37 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(opts.get_int("threads", 1)));
   }
 
+  // Install the event tracer before any query work so the whole run —
+  // admission decisions included — lands in the trace.
+  const std::string trace_out = opts.get("trace-out");
+  std::unique_ptr<obs::EventTracer> tracer;
+  std::unique_ptr<obs::EventTracer::Scope> trace_scope;
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<obs::EventTracer>();
+    trace_scope = std::make_unique<obs::EventTracer::Scope>(*tracer);
+  }
+  auto finish_trace = [&] {
+    if (tracer == nullptr) return;
+    trace_scope.reset();  // stop recording before exporting
+    obs::write_trace_file(*tracer, trace_out);
+    obs::FlightRecorderOptions fr_opts;
+    fr_opts.fault_seed =
+        static_cast<std::uint64_t>(opts.get_int("fault-seed", 1));
+    char cfg[160];
+    std::snprintf(cfg, sizeof(cfg),
+                  "concurrent_service scale=%u machines=%u k=%u", scale,
+                  unsigned{machines}, unsigned{k});
+    fr_opts.config = cfg;
+    obs::FlightRecorder recorder(fr_opts);
+    recorder.ingest(*tracer);
+    if (!recorder.anomalies().empty()) {
+      const std::size_t dumps = recorder.write_dumps(trace_out + ".flight");
+      std::printf("flight recorder: %zu anomalies, %zu dumps in "
+                  "%s.flight/\n",
+                  recorder.anomalies().size(), dumps, trace_out.c_str());
+    }
+  };
+
   const std::string crash = opts.get("crash");
   const double crash_prob = opts.get_double("crash-prob", 0.0);
   if (!crash.empty() || crash_prob > 0.0 || opts.has("checkpoint-dir") ||
@@ -192,7 +230,9 @@ int main(int argc, char** argv) {
   }
 
   if (opts.has("arrival-rate")) {
-    return run_open_loop(opts, graph, cluster, shards, partition, k);
+    const int rc = run_open_loop(opts, graph, cluster, shards, partition, k);
+    finish_trace();
+    return rc;
   }
 
   std::printf("service: %s on %u machines x %zu compute threads, "
@@ -231,5 +271,6 @@ int main(int argc, char** argv) {
 
   std::printf("\nthresholds: <=0.2s instantaneous, <=2s interacting, "
               "<=10s focused (Shneiderman via paper §4.2)\n");
+  finish_trace();
   return 0;
 }

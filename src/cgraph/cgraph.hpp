@@ -41,9 +41,12 @@
 #include "net/cost_model.hpp"
 #include "net/fabric.hpp"
 #include "net/serialize.hpp"
+#include "obs/event_tracer.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "query/async_khop.hpp"
 #include "query/bfs.hpp"
 #include "query/distributed_khop.hpp"

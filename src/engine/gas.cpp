@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "net/serialize.hpp"
+#include "obs/event_tracer.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -132,6 +133,9 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
         pw.write_span<double>({value.data(), value.size()});
       });
 
+      const bool tracing = obs::tracing_enabled();
+      const double scan_sim_t0 = tracing ? mc.clock().seconds() : 0.0;
+      WallTimer phase_wall;
       // --- Scatter phase: compute outgoing contribution per local vertex.
       // Each slot is written by exactly one pool thread.
       const ParallelForStats scatter_stats = parallel_ranges(
@@ -155,8 +159,23 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
         w.write_span(std::span<const ScatterRecord>(records));
         mc.send(q, kScatterTag, w.take());
       }
+      if (tracing) {
+        // Scatter = the "scan" half of a GAS iteration.
+        obs::TraceEvent ev;
+        ev.phase = obs::TraceEventPhase::kSuperstepScan;
+        ev.kind = obs::TraceEventKind::kSpan;
+        ev.machine = static_cast<std::int32_t>(mc.id());
+        ev.level = static_cast<std::int32_t>(iter);
+        ev.sim_seconds = scan_sim_t0;
+        ev.sim_dur_seconds = mc.clock().seconds() - scan_sim_t0;
+        ev.wall_dur_ns = phase_wall.nanos();
+        ev.a = static_cast<double>(nlocal);
+        obs::trace(ev);
+      }
       mc.barrier();
 
+      const double commit_sim_t0 = tracing ? mc.clock().seconds() : 0.0;
+      phase_wall.reset();
       for (Envelope& env : mc.recv_staged()) {
         CGRAPH_CHECK(env.tag == kScatterTag);
         if (!dedup.accept(env.from, env.seq)) {
@@ -217,6 +236,19 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
       my_ptasks += scatter_stats.tasks + gather_stats.tasks;
       my_steal +=
           scatter_stats.join_wait_seconds + gather_stats.join_wait_seconds;
+      if (tracing) {
+        // Gather+apply = the "commit" half of a GAS iteration.
+        obs::TraceEvent ev;
+        ev.phase = obs::TraceEventPhase::kSuperstepCommit;
+        ev.kind = obs::TraceEventKind::kSpan;
+        ev.machine = static_cast<std::int32_t>(mc.id());
+        ev.level = static_cast<std::int32_t>(iter);
+        ev.sim_seconds = commit_sim_t0;
+        ev.sim_dur_seconds = mc.clock().seconds() - commit_sim_t0;
+        ev.wall_dur_ns = phase_wall.nanos();
+        ev.a = static_cast<double>(edges_acc.load(std::memory_order_relaxed));
+        obs::trace(ev);
+      }
       mc.barrier();  // iteration boundary: everyone advances together
 
       if (mc.id() == 0) {

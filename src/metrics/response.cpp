@@ -21,20 +21,24 @@ std::vector<double> ResponseTimeSeries::sorted() const {
   return s;
 }
 
+// Degenerate series return defined values (0 for empty, the sample for a
+// single element) instead of crashing or propagating NaN — a service run
+// where every query was shed still reports printable stats.
+
 double ResponseTimeSeries::mean() const {
-  CGRAPH_CHECK(!samples_.empty());
+  if (samples_.empty()) return 0.0;
   double sum = 0;
   for (double x : samples_) sum += x;
   return sum / static_cast<double>(samples_.size());
 }
 
 double ResponseTimeSeries::max() const {
-  CGRAPH_CHECK(!samples_.empty());
+  if (samples_.empty()) return 0.0;
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
 double ResponseTimeSeries::min() const {
-  CGRAPH_CHECK(!samples_.empty());
+  if (samples_.empty()) return 0.0;
   return *std::min_element(samples_.begin(), samples_.end());
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/event_tracer.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -39,6 +40,15 @@ PartitionId MachineContext::num_machines() const {
 void MachineContext::send(PartitionId to, std::uint32_t tag, Packet payload) {
   step_packets_ += 1;
   step_bytes_ += payload.size();
+  if (obs::tracing_enabled()) {
+    obs::TraceEvent ev;
+    ev.phase = obs::TraceEventPhase::kFabricSend;
+    ev.machine = static_cast<std::int32_t>(id_);
+    ev.sim_seconds = clock().seconds();
+    ev.a = static_cast<double>(payload.size());
+    ev.b = static_cast<double>(to);
+    obs::trace(ev);
+  }
   cluster_.fabric_.send_superstep(id_, to, tag, std::move(payload),
                                   superstep_);
 }
@@ -47,6 +57,15 @@ void MachineContext::send_async(PartitionId to, std::uint32_t tag,
                                 Packet payload) {
   // Async sends are charged immediately: the sender pays injection cost.
   cluster_.clocks_[id_].charge_comm(cluster_.cost_model_, 1, payload.size());
+  if (obs::tracing_enabled()) {
+    obs::TraceEvent ev;
+    ev.phase = obs::TraceEventPhase::kFabricAsyncSend;
+    ev.machine = static_cast<std::int32_t>(id_);
+    ev.sim_seconds = clock().seconds();
+    ev.a = static_cast<double>(payload.size());
+    ev.b = static_cast<double>(to);
+    obs::trace(ev);
+  }
   // Keep a copy for retransmission until the ack arrives. (A clean fabric
   // acks on the receiver's next poll, so the window stays tiny.)
   Packet copy = payload;
@@ -82,6 +101,15 @@ std::vector<Envelope> MachineContext::recv_async() {
     // exactly once.
     fabric.send_ack(id_, env.from, env.seq);
     cluster_.clocks_[id_].charge_comm(cluster_.cost_model_, 1, 0);
+    if (obs::tracing_enabled()) {
+      obs::TraceEvent ev;
+      ev.phase = obs::TraceEventPhase::kFabricAck;
+      ev.machine = static_cast<std::int32_t>(id_);
+      ev.sim_seconds = clock().seconds();
+      ev.a = static_cast<double>(env.seq);
+      ev.b = static_cast<double>(env.from);
+      obs::trace(ev);
+    }
     if (!proto_.dedup.accept(env.from, env.seq)) {
       fabric.record_dedup_suppressed(id_);
       continue;
@@ -115,6 +143,15 @@ std::vector<Envelope> MachineContext::recv_async() {
     ++p.attempts;
     cluster_.clocks_[id_].charge_comm(cluster_.cost_model_, 1,
                                       p.payload.size());
+    if (obs::tracing_enabled()) {
+      obs::TraceEvent ev;
+      ev.phase = obs::TraceEventPhase::kFabricRetry;
+      ev.machine = static_cast<std::int32_t>(id_);
+      ev.sim_seconds = clock().seconds();
+      ev.a = static_cast<double>(p.attempts);
+      ev.b = static_cast<double>(p.to);
+      obs::trace(ev);
+    }
     p.ever_deposited =
         fabric.resend_now(id_, p.to, p.tag, p.payload, p.seq) ||
         p.ever_deposited;
@@ -134,6 +171,7 @@ void MachineContext::barrier() {
                                     step_bytes_);
   step_packets_ = 0;
   step_bytes_ = 0;
+  const double barrier_sim_t0 = clock().seconds();
   WallTimer wait_timer;
   cluster_.barrier_.arrive_and_wait();
   // Own-slot fields only; the sim-wait field of this slot is written by
@@ -142,6 +180,20 @@ void MachineContext::barrier() {
   MachineTelemetry& mt = cluster_.telemetry_.machines[id_];
   mt.barrier_wait_wall_seconds += wait_timer.seconds();
   mt.supersteps += 1;
+  if (obs::tracing_enabled()) {
+    // The completion callback advanced this machine's clock to the barrier
+    // sync point while everyone was parked, so [t0, now) is the simulated
+    // idle wait at this barrier.
+    obs::TraceEvent ev;
+    ev.phase = obs::TraceEventPhase::kBarrier;
+    ev.kind = obs::TraceEventKind::kSpan;
+    ev.machine = static_cast<std::int32_t>(id_);
+    ev.sim_seconds = barrier_sim_t0;
+    ev.sim_dur_seconds = clock().seconds() - barrier_sim_t0;
+    ev.wall_dur_ns = static_cast<std::uint64_t>(wait_timer.nanos());
+    ev.a = static_cast<double>(superstep_);
+    obs::trace(ev);
+  }
   ++superstep_;
   // Crash-stop failure: the completion callback flagged a crash at this
   // barrier, and every machine is parked at it, so every machine unwinds
@@ -196,6 +248,16 @@ bool MachineContext::maybe_checkpoint(
     cl.recovery_stats_.checkpoint_bytes += bytes;
     cl.recovery_stats_.checkpoint_seconds += timer.seconds();
   }
+  if (obs::tracing_enabled()) {
+    obs::TraceEvent ev;
+    ev.phase = obs::TraceEventPhase::kCheckpoint;
+    ev.machine = static_cast<std::int32_t>(id_);
+    ev.sim_seconds = clock().seconds();
+    ev.wall_dur_ns = static_cast<std::uint64_t>(timer.nanos());
+    ev.a = static_cast<double>(bytes);
+    ev.b = static_cast<double>(superstep_);
+    obs::trace(ev);
+  }
   return true;
 }
 
@@ -211,6 +273,17 @@ std::optional<Packet> MachineContext::restore_checkpoint() {
   has_last_ckpt_ = true;
   last_ckpt_step_ = blob->step;
   last_ckpt_tick_ = blob->tick;
+  if (obs::tracing_enabled()) {
+    // The cluster rolled the clocks back before re-entering the body, so
+    // this instant lands at the restored (checkpointed) sim time.
+    obs::TraceEvent ev;
+    ev.phase = obs::TraceEventPhase::kRestore;
+    ev.machine = static_cast<std::int32_t>(id_);
+    ev.sim_seconds = clock().seconds();
+    ev.a = static_cast<double>(blob->step);
+    ev.b = static_cast<double>(blob->state.size());
+    obs::trace(ev);
+  }
   return std::move(blob->state);
 }
 

@@ -1,0 +1,184 @@
+#include "obs/event_tracer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <tuple>
+
+namespace cgraph::obs {
+namespace {
+
+std::atomic<EventTracer*> g_current{nullptr};
+std::atomic<std::uint64_t> g_next_id{1};
+
+std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Deterministic content ordering: sim time first, then every other
+/// non-wall field as a tie break, so the merged timeline is independent of
+/// which thread's ring an event landed in.
+bool content_less(const TraceEvent& x, const TraceEvent& y) {
+  return std::tie(x.sim_seconds, x.machine, x.level, x.batch, x.query,
+                  x.phase, x.kind, x.sim_dur_seconds, x.a, x.b) <
+         std::tie(y.sim_seconds, y.machine, y.level, y.batch, y.query,
+                  y.phase, y.kind, y.sim_dur_seconds, y.a, y.b);
+}
+
+}  // namespace
+
+const char* to_string(TraceEventPhase phase) {
+  switch (phase) {
+    case TraceEventPhase::kQuery:
+      return "query";
+    case TraceEventPhase::kAdmissionWait:
+      return "admission_wait";
+    case TraceEventPhase::kBatchSeal:
+      return "batch_seal";
+    case TraceEventPhase::kBatchExecute:
+      return "batch_execute";
+    case TraceEventPhase::kSuperstepScan:
+      return "superstep_scan";
+    case TraceEventPhase::kSuperstepCommit:
+      return "superstep_commit";
+    case TraceEventPhase::kBarrier:
+      return "barrier";
+    case TraceEventPhase::kFabricSend:
+      return "fabric_send";
+    case TraceEventPhase::kFabricAsyncSend:
+      return "fabric_async_send";
+    case TraceEventPhase::kFabricRetry:
+      return "fabric_retry";
+    case TraceEventPhase::kFabricAck:
+      return "fabric_ack";
+    case TraceEventPhase::kCheckpoint:
+      return "checkpoint";
+    case TraceEventPhase::kRestore:
+      return "restore";
+    case TraceEventPhase::kQueryComplete:
+      return "query_complete";
+    case TraceEventPhase::kQueryShed:
+      return "query_shed";
+    case TraceEventPhase::kQueryExpired:
+      return "query_expired";
+    case TraceEventPhase::kQueryReexecuted:
+      return "query_reexecuted";
+  }
+  return "unknown";
+}
+
+EventTracer::EventTracer() : EventTracer(Options()) {}
+
+EventTracer::EventTracer(Options opts)
+    : opts_(opts),
+      id_(g_next_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+EventTracer::~EventTracer() {
+  // Installing a tracer without uninstalling it before destruction would
+  // leave a dangling current(); Scope handles the pairing, and a stray
+  // current() == this is cleared here as a last resort.
+  EventTracer* self = this;
+  g_current.compare_exchange_strong(self, nullptr,
+                                    std::memory_order_acq_rel);
+}
+
+EventTracer* EventTracer::current() {
+  return g_current.load(std::memory_order_relaxed);
+}
+
+EventTracer::Scope::Scope(EventTracer& tracer)
+    : previous_(g_current.exchange(&tracer, std::memory_order_acq_rel)) {}
+
+EventTracer::Scope::~Scope() {
+  g_current.store(previous_, std::memory_order_release);
+}
+
+EventTracer::Ring& EventTracer::ring_for_this_thread() {
+  // Per-thread cache keyed by tracer id: a thread re-registers once per
+  // tracer it ever records into, and the hot path is two thread_local
+  // reads. Ids are never reused, so a stale cache entry can only miss.
+  thread_local std::uint64_t cached_id = 0;
+  thread_local Ring* cached_ring = nullptr;
+  if (cached_id == id_ && cached_ring != nullptr) return *cached_ring;
+  std::lock_guard<std::mutex> lk(mu_);
+  rings_.push_back(std::make_unique<Ring>(opts_.ring_capacity));
+  cached_id = id_;
+  cached_ring = rings_.back().get();
+  return *cached_ring;
+}
+
+void EventTracer::record(TraceEvent ev) {
+  if (ev.machine >= 0) {
+    // Engine event: attach the active batch context so batch-relative sim
+    // times land on the absolute timeline with their batch id.
+    const std::int64_t ctx_batch =
+        ctx_batch_.load(std::memory_order_relaxed);
+    if (ctx_batch >= 0) {
+      if (ev.batch < 0) ev.batch = ctx_batch;
+      ev.sim_seconds += ctx_offset_.load(std::memory_order_relaxed);
+    }
+  }
+  if (ev.wall_ns == 0) ev.wall_ns = wall_now_ns();
+  Ring& ring = ring_for_this_thread();
+  std::lock_guard<std::mutex> lk(ring.mu);
+  if (ring.buf.size() < ring.capacity) {
+    ring.buf.push_back(ev);
+  } else {
+    // Drop-oldest: the write cursor count % capacity always lands on the
+    // oldest retained slot.
+    ring.buf[ring.count % ring.capacity] = ev;
+    ++ring.dropped;
+  }
+  ++ring.count;
+}
+
+std::uint64_t EventTracer::recorded() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t total = 0;
+  for (const auto& r : rings_) {
+    std::lock_guard<std::mutex> rlk(r->mu);
+    total += r->count;
+  }
+  return total;
+}
+
+std::uint64_t EventTracer::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t total = 0;
+  for (const auto& r : rings_) {
+    std::lock_guard<std::mutex> rlk(r->mu);
+    total += r->dropped;
+  }
+  return total;
+}
+
+std::vector<TraceEvent> EventTracer::snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& r : rings_) {
+      std::lock_guard<std::mutex> rlk(r->mu);
+      out.insert(out.end(), r->buf.begin(), r->buf.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), content_less);
+  return out;
+}
+
+void EventTracer::set_batch_context(std::int64_t batch,
+                                    double sim_offset_seconds) {
+  // Offset first: a machine event racing this install may read the old
+  // batch id with the old offset or the new pair, never a torn mix that
+  // shifts an old batch onto the new timeline.
+  ctx_offset_.store(sim_offset_seconds, std::memory_order_relaxed);
+  ctx_batch_.store(batch, std::memory_order_release);
+}
+
+void EventTracer::clear_batch_context() {
+  ctx_batch_.store(-1, std::memory_order_release);
+  ctx_offset_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace cgraph::obs

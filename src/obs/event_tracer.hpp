@@ -1,0 +1,187 @@
+// Structured event tracing for the query path (DESIGN.md §11).
+//
+// An EventTracer records causally linked spans and instants — query →
+// admission wait → batch seal → per-level superstep (scan/commit/barrier)
+// → fabric send/retry/ack → checkpoint/restore → completion|shed|expired —
+// keyed by stable query/batch ids and stamped with both clock domains:
+// simulated seconds (deterministic, what the exporters order by) and host
+// wall nanoseconds (informational).
+//
+// Hot-path cost model:
+//   * disabled (no tracer installed): one relaxed atomic load + branch per
+//     call site — the default for every engine run;
+//   * enabled: one uncontended per-thread mutex lock plus a ring-buffer
+//     slot write. Threads never share rings, so recording never contends;
+//     only snapshot() takes the cross-thread locks.
+//
+// Memory is bounded: each thread's ring holds ring_capacity events and
+// overwrites the oldest once full (drop-oldest), counting what it dropped,
+// so a runaway trace degrades to "most recent window" instead of OOM.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace cgraph::obs {
+
+/// Compile-time kill switch: build with -DCGRAPH_TRACING_ENABLED=0 to turn
+/// every trace() call site into dead code.
+#ifndef CGRAPH_TRACING_ENABLED
+#define CGRAPH_TRACING_ENABLED 1
+#endif
+
+/// What happened. One enumerator per edge of the causal chain the tracer
+/// records (the event taxonomy of DESIGN.md §11).
+enum class TraceEventPhase : std::uint8_t {
+  kQuery,            // span: arrival -> answered (per query)
+  kAdmissionWait,    // span: arrival -> batch execution start
+  kBatchSeal,        // instant: the adaptive batcher closed a batch
+  kBatchExecute,     // span: batch start -> batch finish
+  kSuperstepScan,    // span: per machine per level, edge-set scan + charge
+  kSuperstepCommit,  // span: per machine per level, recv + visited commit
+  kBarrier,          // span: per machine, BSP barrier (sim dur = sync wait)
+  kFabricSend,       // instant: staged (superstep) send
+  kFabricAsyncSend,  // instant: async send injection
+  kFabricRetry,      // instant: retransmission attempt
+  kFabricAck,        // instant: ack frame sent
+  kCheckpoint,       // instant: superstep checkpoint saved
+  kRestore,          // instant: machine state rolled back after a crash
+  kQueryComplete,    // instant: query answered
+  kQueryShed,        // instant: arrival rejected at admission
+  kQueryExpired,     // instant: admitted query dropped for missed deadline
+  kQueryReexecuted,  // instant: query re-derived after a machine crash
+};
+
+[[nodiscard]] const char* to_string(TraceEventPhase phase);
+
+enum class TraceEventKind : std::uint8_t { kSpan, kInstant };
+
+/// One recorded event. POD by design: rings copy these around freely.
+struct TraceEvent {
+  /// Pseudo-machine ids for the service threads (real machines are >= 0).
+  static constexpr std::int32_t kAdmissionTrack = -1;
+  static constexpr std::int32_t kExecutorTrack = -2;
+
+  TraceEventPhase phase = TraceEventPhase::kQuery;
+  TraceEventKind kind = TraceEventKind::kInstant;
+  /// Simulated machine (>= 0) or a service track constant above.
+  std::int32_t machine = kAdmissionTrack;
+  /// Traversal level for superstep events, -1 otherwise.
+  std::int32_t level = -1;
+  /// Stable query id (-1 when the event is not query-scoped).
+  std::int64_t query = -1;
+  /// Batch index (-1 when unknown; engine events inherit the installed
+  /// batch context, see EventTracer::set_batch_context).
+  std::int64_t batch = -1;
+  /// Simulated-clock start (seconds). The deterministic timeline.
+  double sim_seconds = 0;
+  /// Simulated duration; 0 for instants and uncharged phases.
+  double sim_dur_seconds = 0;
+  /// Host wall clock at record time (steady-clock ns) and span duration.
+  /// Informational only: exporters exclude these in deterministic mode.
+  std::uint64_t wall_ns = 0;
+  std::uint64_t wall_dur_ns = 0;
+  /// Phase-specific payload (bytes, counts, peer ids, ...). Must be
+  /// derived from deterministic state only — wall-derived values belong in
+  /// wall_ns / wall_dur_ns.
+  double a = 0;
+  double b = 0;
+};
+
+/// Lock-light per-thread ring-buffer trace collector.
+class EventTracer {
+ public:
+  struct Options {
+    /// Events retained per recording thread before drop-oldest kicks in.
+    std::size_t ring_capacity = std::size_t{1} << 16;
+  };
+
+  EventTracer();
+  explicit EventTracer(Options opts);
+  ~EventTracer();
+  EventTracer(const EventTracer&) = delete;
+  EventTracer& operator=(const EventTracer&) = delete;
+
+  /// Record one event into the calling thread's ring. Applies the current
+  /// batch context (batch id + sim-time offset) to machine events and
+  /// stamps wall_ns when the caller left it 0.
+  void record(TraceEvent ev);
+
+  /// Events recorded (before drops) / overwritten by drop-oldest, summed
+  /// over every thread ring.
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Merge every ring into one list ordered by deterministic content
+  /// (sim time, then phase/machine/level/query/batch/payload) — the order
+  /// every exporter uses, independent of which thread recorded what.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Engine events (machine >= 0) carry sim times relative to their batch
+  /// (each engine run resets the cluster clocks). The front end that knows
+  /// the batch's absolute start installs it here before executing, so
+  /// recorded engine events land on the service-absolute timeline with
+  /// their batch id attached. Batches execute one at a time on both front
+  /// ends, so a single context is enough.
+  void set_batch_context(std::int64_t batch, double sim_offset_seconds);
+  void clear_batch_context();
+
+  /// Process-wide current tracer (nullptr = tracing disabled).
+  [[nodiscard]] static EventTracer* current();
+
+  /// RAII installer: constructor publishes the tracer as current(),
+  /// destructor restores the previous one.
+  class Scope {
+   public:
+    explicit Scope(EventTracer& tracer);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    EventTracer* previous_;
+  };
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap) : capacity(cap) {}
+    mutable std::mutex mu;
+    std::vector<TraceEvent> buf;  // grows to capacity, then wraps
+    std::size_t capacity;
+    std::uint64_t count = 0;    // total recorded
+    std::uint64_t dropped = 0;  // overwritten by drop-oldest
+  };
+
+  Ring& ring_for_this_thread();
+
+  const Options opts_;
+  const std::uint64_t id_;  // distinguishes tracers for thread caches
+  mutable std::mutex mu_;   // guards rings_ growth
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::atomic<std::int64_t> ctx_batch_{-1};
+  std::atomic<double> ctx_offset_{0.0};
+};
+
+/// True iff a tracer is installed. One relaxed load; call sites guard any
+/// non-trivial event assembly behind it.
+[[nodiscard]] inline bool tracing_enabled() {
+#if CGRAPH_TRACING_ENABLED
+  return EventTracer::current() != nullptr;
+#else
+  return false;
+#endif
+}
+
+/// Record `ev` into the current tracer, if any.
+inline void trace(const TraceEvent& ev) {
+#if CGRAPH_TRACING_ENABLED
+  if (EventTracer* t = EventTracer::current()) t->record(ev);
+#else
+  (void)ev;
+#endif
+}
+
+}  // namespace cgraph::obs

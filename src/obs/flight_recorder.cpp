@@ -1,0 +1,164 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "obs/trace_export.hpp"
+#include "util/logging.hpp"
+
+namespace cgraph::obs {
+namespace {
+
+const char* anomaly_reason(TraceEventPhase phase) {
+  switch (phase) {
+    case TraceEventPhase::kQueryShed:
+      return "shed";
+    case TraceEventPhase::kQueryExpired:
+      return "expired";
+    case TraceEventPhase::kQueryReexecuted:
+      return "reexecuted";
+    default:
+      return nullptr;
+  }
+}
+
+/// JSON string escape for the free-form config field.
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions opts)
+    : opts_(std::move(opts)) {}
+
+void FlightRecorder::ingest(const EventTracer& tracer) {
+  ingest(tracer.snapshot());
+}
+
+void FlightRecorder::ingest(const std::vector<TraceEvent>& events) {
+  // Index the snapshot two ways: per-query events (the query's own span
+  // tree) and per-batch events (everything its batch did on every machine
+  // — supersteps, barriers, fabric traffic, checkpoints).
+  std::map<std::int64_t, std::vector<TraceEvent>> by_query;
+  std::map<std::int64_t, std::vector<TraceEvent>> by_batch;
+  // (query, reason) anomaly markers in timeline order; query -> batch.
+  std::vector<std::pair<std::int64_t, const char*>> markers;
+  std::map<std::int64_t, std::int64_t> batch_of;
+
+  for (const TraceEvent& ev : events) {
+    if (ev.query >= 0) {
+      by_query[ev.query].push_back(ev);
+      if (ev.batch >= 0) batch_of.emplace(ev.query, ev.batch);
+      if (const char* reason = anomaly_reason(ev.phase)) {
+        markers.emplace_back(ev.query, reason);
+      }
+    } else if (ev.batch >= 0) {
+      by_batch[ev.batch].push_back(ev);
+    }
+  }
+
+  // Retained window: the last N queries seen (by last event on the
+  // timeline, which the content-ordered snapshot gives us for free).
+  recent_.clear();
+  for (const auto& [query, evs] : by_query) {
+    FlightRecord rec;
+    rec.query = query;
+    rec.events = evs;
+    recent_.push_back(std::move(rec));
+  }
+  std::sort(recent_.begin(), recent_.end(),
+            [](const FlightRecord& x, const FlightRecord& y) {
+              return x.events.back().sim_seconds <
+                     y.events.back().sim_seconds;
+            });
+  while (recent_.size() > opts_.retain) recent_.pop_front();
+
+  // One record per (query, reason), full span tree attached.
+  std::set<std::pair<std::int64_t, std::string>> seen;
+  for (const auto& [query, reason] : markers) {
+    if (!seen.emplace(query, reason).second) continue;
+    FlightRecord rec;
+    rec.query = query;
+    rec.reason = reason;
+    rec.events = by_query[query];
+    const auto it = batch_of.find(query);
+    if (it != batch_of.end()) {
+      const auto& batch_events = by_batch[it->second];
+      rec.events.insert(rec.events.end(), batch_events.begin(),
+                        batch_events.end());
+      std::sort(rec.events.begin(), rec.events.end(),
+                [](const TraceEvent& x, const TraceEvent& y) {
+                  return x.sim_seconds < y.sim_seconds;
+                });
+    }
+    anomalies_.push_back(std::move(rec));
+  }
+}
+
+std::size_t FlightRecorder::write_dumps(const std::string& dir) const {
+  if (anomalies_.empty()) return 0;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::size_t written = 0;
+  for (const FlightRecord& rec : anomalies_) {
+    if (written >= opts_.max_dumps) break;
+    const std::string path = dir + "/flight_q" + std::to_string(rec.query) +
+                             "_" + rec.reason + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      CGRAPH_LOG_WARN("flight recorder: cannot write %s", path.c_str());
+      continue;
+    }
+    out << "{\"query\":" << rec.query << ",\"reason\":\"" << rec.reason
+        << "\",\"fault_seed\":" << opts_.fault_seed << ",\"config\":\""
+        << escape_json(opts_.config) << "\",\"events\":[\n";
+    TraceExportOptions eopts;
+    for (std::size_t i = 0; i < rec.events.size(); ++i) {
+      std::string line = to_jsonl({rec.events[i]}, eopts);
+      // to_jsonl emits a header line then the event line; keep the event.
+      const std::size_t nl = line.find('\n');
+      std::string obj = line.substr(nl + 1);
+      if (!obj.empty() && obj.back() == '\n') obj.pop_back();
+      out << obj << (i + 1 < rec.events.size() ? ",\n" : "\n");
+    }
+    out << "]}\n";
+    if (out.good()) ++written;
+  }
+  if (written < anomalies_.size()) {
+    CGRAPH_LOG_WARN("flight recorder: %zu anomalies, wrote %zu (max-dumps)",
+                    anomalies_.size(), written);
+  }
+  return written;
+}
+
+}  // namespace cgraph::obs

@@ -1,0 +1,68 @@
+// Flight recorder (DESIGN.md §11): turns every service anomaly into a
+// self-contained repro artifact.
+//
+// After a run, ingest() scans a tracer snapshot, retains the last N
+// per-query span trees in memory, and collects one FlightRecord for every
+// query that was shed, expired, or re-executed after a crash — the full
+// span tree (the query's own events plus everything its batch did on every
+// machine: supersteps, barriers, fabric traffic, checkpoints). write_dumps()
+// then writes one JSON file per anomaly, stamped with the FaultPlan seed
+// and the run configuration, so an operator can replay the exact scenario.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/event_tracer.hpp"
+
+namespace cgraph::obs {
+
+struct FlightRecorderOptions {
+  /// Per-query traces retained in memory (most recent first out).
+  std::size_t retain = 64;
+  /// Dump budget per run: anomalies beyond this are counted, not written.
+  std::size_t max_dumps = 64;
+  /// FaultPlan seed of the run (0 when no fault plan was installed).
+  std::uint64_t fault_seed = 0;
+  /// Free-form configuration summary embedded in every dump.
+  std::string config;
+};
+
+/// One anomalous query's complete trace.
+struct FlightRecord {
+  std::int64_t query = -1;
+  std::string reason;  // "shed" | "expired" | "reexecuted"
+  std::vector<TraceEvent> events;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions opts = {});
+
+  /// Scan a content-ordered event list (EventTracer::snapshot()).
+  void ingest(const std::vector<TraceEvent>& events);
+  /// Convenience: snapshot + ingest.
+  void ingest(const EventTracer& tracer);
+
+  /// Anomalies found so far, in timeline order.
+  [[nodiscard]] const std::vector<FlightRecord>& anomalies() const {
+    return anomalies_;
+  }
+  /// The last-N retained query traces (ring semantics: oldest evicted).
+  [[nodiscard]] const std::deque<FlightRecord>& recent() const {
+    return recent_;
+  }
+
+  /// Write one JSON dump per anomaly into `dir` (created if missing),
+  /// named flight_q<query>_<reason>.json. Returns files written.
+  std::size_t write_dumps(const std::string& dir) const;
+
+ private:
+  FlightRecorderOptions opts_;
+  std::vector<FlightRecord> anomalies_;
+  std::deque<FlightRecord> recent_;
+};
+
+}  // namespace cgraph::obs

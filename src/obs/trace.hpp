@@ -28,6 +28,27 @@ class TraceSpan {
       : name_(std::move(name)), registry_(registry) {}
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
+  /// Moves transfer ownership of the recording: the moved-from span is
+  /// left finished, so factory helpers can return spans by value without
+  /// double-recording.
+  TraceSpan(TraceSpan&& other) noexcept
+      : name_(std::move(other.name_)),
+        registry_(other.registry_),
+        timer_(other.timer_),
+        finished_(other.finished_) {
+    other.finished_ = true;
+  }
+  TraceSpan& operator=(TraceSpan&& other) noexcept {
+    if (this != &other) {
+      finish();  // close our own span before adopting the other
+      name_ = std::move(other.name_);
+      registry_ = other.registry_;
+      timer_ = other.timer_;
+      finished_ = other.finished_;
+      other.finished_ = true;
+    }
+    return *this;
+  }
   ~TraceSpan() { finish(); }
 
   /// Elapsed seconds so far (the span keeps running).

@@ -1,0 +1,173 @@
+#include "obs/trace_export.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "util/logging.hpp"
+
+namespace cgraph::obs {
+namespace {
+
+/// Chrome needs nonnegative thread ids; service tracks sort first.
+std::int64_t track_tid(std::int32_t machine) {
+  if (machine == TraceEvent::kAdmissionTrack) return 0;
+  if (machine == TraceEvent::kExecutorTrack) return 1;
+  return 10 + static_cast<std::int64_t>(machine);
+}
+
+std::string track_name(std::int32_t machine) {
+  if (machine == TraceEvent::kAdmissionTrack) return "service admission";
+  if (machine == TraceEvent::kExecutorTrack) return "service executor";
+  return "machine " + std::to_string(machine);
+}
+
+void append_f(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+/// Locale-independent, round-trip-exact double (deterministic output).
+void append_double(std::string& out, double v) {
+  append_f(out, "%.17g", v);
+}
+
+/// Common `"args":{...}` payload for both exporters' Chrome-side events.
+void append_args(std::string& out, const TraceEvent& ev,
+                 const TraceExportOptions& opts) {
+  out += "\"args\":{";
+  if (ev.query >= 0) {
+    append_f(out, "\"query\":%" PRId64 ",", ev.query);
+  }
+  if (ev.batch >= 0) {
+    append_f(out, "\"batch\":%" PRId64 ",", ev.batch);
+  }
+  if (ev.level >= 0) append_f(out, "\"level\":%d,", ev.level);
+  out += "\"a\":";
+  append_double(out, ev.a);
+  out += ",\"b\":";
+  append_double(out, ev.b);
+  if (opts.include_wall) {
+    append_f(out, ",\"wall_ns\":%" PRIu64 ",\"wall_dur_ns\":%" PRIu64,
+             ev.wall_ns, ev.wall_dur_ns);
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const std::vector<TraceEvent>& events,
+                                 const TraceExportOptions& opts) {
+  std::string out;
+  out.reserve(events.size() * 160 + 1024);
+  out += "{\"traceEvents\":[\n";
+
+  // Track metadata: name every track that actually has events, in tid
+  // order, so Perfetto shows "service admission", "service executor",
+  // "machine 0..N" lanes.
+  std::set<std::int32_t> machines;
+  for (const TraceEvent& ev : events) machines.insert(ev.machine);
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":\"cgraph\"}}";
+  for (std::int32_t m : machines) {
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    append_f(out, "%" PRId64, track_tid(m));
+    out += ",\"args\":{\"name\":\"" + track_name(m) + "\"}}";
+  }
+
+  for (const TraceEvent& ev : events) {
+    out += ",\n{\"name\":\"";
+    out += to_string(ev.phase);
+    out += "\",\"ph\":\"";
+    out += ev.kind == TraceEventKind::kSpan ? "X" : "i";
+    out += "\",";
+    if (ev.kind == TraceEventKind::kInstant) out += "\"s\":\"t\",";
+    out += "\"ts\":";
+    append_f(out, "%.3f", ev.sim_seconds * 1e6);  // microseconds
+    if (ev.kind == TraceEventKind::kSpan) {
+      out += ",\"dur\":";
+      append_f(out, "%.3f", ev.sim_dur_seconds * 1e6);
+    }
+    out += ",\"pid\":0,\"tid\":";
+    append_f(out, "%" PRId64, track_tid(ev.machine));
+    out += ",";
+    append_args(out, ev, opts);
+    out += "}";
+  }
+
+  out += "\n],\"displayTimeUnit\":\"ms\"";
+  if (opts.recorded > 0) {
+    append_f(out,
+             ",\"otherData\":{\"events_recorded\":%" PRIu64
+             ",\"events_dropped\":%" PRIu64 "}",
+             opts.recorded, opts.dropped);
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_jsonl(const std::vector<TraceEvent>& events,
+                     const TraceExportOptions& opts) {
+  std::string out;
+  out.reserve(events.size() * 140 + 256);
+  append_f(out,
+           "{\"trace\":\"cgraph\",\"events\":%zu,\"recorded\":%" PRIu64
+           ",\"dropped\":%" PRIu64 "}\n",
+           events.size(), opts.recorded, opts.dropped);
+  for (const TraceEvent& ev : events) {
+    out += "{\"phase\":\"";
+    out += to_string(ev.phase);
+    out += "\",\"kind\":\"";
+    out += ev.kind == TraceEventKind::kSpan ? "span" : "instant";
+    append_f(out, "\",\"machine\":%d,\"level\":%d,", ev.machine, ev.level);
+    append_f(out, "\"query\":%" PRId64 ",\"batch\":%" PRId64 ",", ev.query,
+             ev.batch);
+    out += "\"sim\":";
+    append_double(out, ev.sim_seconds);
+    out += ",\"sim_dur\":";
+    append_double(out, ev.sim_dur_seconds);
+    out += ",\"a\":";
+    append_double(out, ev.a);
+    out += ",\"b\":";
+    append_double(out, ev.b);
+    if (opts.include_wall) {
+      append_f(out, ",\"wall_ns\":%" PRIu64 ",\"wall_dur_ns\":%" PRIu64,
+               ev.wall_ns, ev.wall_dur_ns);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+bool write_trace_file(const EventTracer& tracer, const std::string& path,
+                      TraceExportOptions opts) {
+  if (opts.recorded == 0) {
+    opts.recorded = tracer.recorded();
+    opts.dropped = tracer.dropped();
+  }
+  const std::vector<TraceEvent> events = tracer.snapshot();
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out) {
+    CGRAPH_LOG_WARN("trace sink: cannot write %s", path.c_str());
+    return false;
+  }
+  const bool jsonl = p.extension() == ".jsonl";
+  out << (jsonl ? to_jsonl(events, opts) : to_chrome_trace_json(events, opts));
+  CGRAPH_LOG_INFO("trace sink: wrote %s (%zu events, %s)", path.c_str(),
+                  events.size(), jsonl ? "jsonl" : "chrome-trace");
+  return out.good();
+}
+
+}  // namespace cgraph::obs

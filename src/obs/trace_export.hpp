@@ -1,0 +1,47 @@
+// Trace exporters (DESIGN.md §11): Chrome trace_event JSON — loadable in
+// Perfetto / chrome://tracing, one track per simulated machine plus one
+// per service thread — and a compact JSONL stream (one event per line) for
+// ad-hoc tooling.
+//
+// Both exporters order events by deterministic content (simulated time +
+// identity fields) and, with include_wall = false, emit no host-clock
+// data at all, so a fixed-seed run exports byte-identical files whatever
+// the thread count (the determinism test relies on this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event_tracer.hpp"
+
+namespace cgraph::obs {
+
+struct TraceExportOptions {
+  /// Include host wall-clock stamps in the output. Set false for
+  /// byte-deterministic sim-only exports (fixed seed => identical file
+  /// across thread counts).
+  bool include_wall = true;
+  /// Ring statistics to embed (Chrome: `otherData`; JSONL: header line).
+  /// Zero means "not provided" and is omitted.
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// Chrome trace_event JSON ("X" complete events for spans, "i" instants),
+/// with thread_name metadata naming every machine/service track.
+[[nodiscard]] std::string to_chrome_trace_json(
+    const std::vector<TraceEvent>& events,
+    const TraceExportOptions& opts = {});
+
+/// One JSON object per line (plus a leading header object).
+[[nodiscard]] std::string to_jsonl(const std::vector<TraceEvent>& events,
+                                   const TraceExportOptions& opts = {});
+
+/// Snapshot `tracer` and write it to `path` (parent directories are
+/// created): ".jsonl" selects the JSONL stream, anything else the Chrome
+/// trace JSON. Returns false (and logs a warning) on write failure.
+bool write_trace_file(const EventTracer& tracer, const std::string& path,
+                      TraceExportOptions opts = {});
+
+}  // namespace cgraph::obs

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "net/serialize.hpp"
+#include "obs/event_tracer.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
@@ -212,6 +213,10 @@ MsBfsBatchResult run_async_khop(Cluster& cluster,
       });
 
       // Process a chunk, then loop back to the poll.
+      const bool tracing = obs::tracing_enabled();
+      const double scan_sim_t0 = tracing ? mc.clock().seconds() : 0.0;
+      WallTimer phase_wall;
+      const std::uint64_t queued_before = queue.size();
       std::uint64_t chunk_edges = 0;
       for (std::size_t n = 0; n < kChunk && !queue.empty(); ++n) {
         const AsyncTask task = queue.back();
@@ -246,6 +251,20 @@ MsBfsBatchResult run_async_khop(Cluster& cluster,
       }
       my_edges += chunk_edges;
       mc.charge_compute(chunk_edges);
+      if (tracing) {
+        // Async has no supersteps: each worked poll-loop pass is one scan
+        // span (level -1 marks "not a BSP level").
+        obs::TraceEvent ev;
+        ev.phase = obs::TraceEventPhase::kSuperstepScan;
+        ev.kind = obs::TraceEventKind::kSpan;
+        ev.machine = static_cast<std::int32_t>(mc.id());
+        ev.sim_seconds = scan_sim_t0;
+        ev.sim_dur_seconds = mc.clock().seconds() - scan_sim_t0;
+        ev.wall_dur_ns = phase_wall.nanos();
+        ev.a = static_cast<double>(chunk_edges);
+        ev.b = static_cast<double>(queued_before);
+        obs::trace(ev);
+      }
       for (PartitionId to = 0; to < P; ++to) flush(to);
     }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "net/serialize.hpp"
+#include "obs/event_tracer.hpp"
 #include "util/assert.hpp"
 #include "util/bitops.hpp"
 #include "util/thread_pool.hpp"
@@ -176,6 +177,9 @@ MsBfsBatchResult run_distributed_khop(
               {frontier[q].data(), frontier[q].size()});
         }
       });
+      const bool tracing = obs::tracing_enabled();
+      const double scan_sim_t0 = tracing ? mc.clock().seconds() : 0.0;
+      WallTimer phase_wall;
       // --- Expand every active query's local frontier (Listing 2 body).
       // Pool threads claim ranges of queries: all of query q's state
       // (visited[q], next[q], its outbox row) is touched by exactly one
@@ -222,6 +226,19 @@ MsBfsBatchResult run_distributed_khop(
       std::uint64_t level_tnset = tnset_acc.load(std::memory_order_relaxed);
       my_edges += level_edges;
       mc.charge_compute(level_edges);
+      if (tracing) {
+        obs::TraceEvent ev;
+        ev.phase = obs::TraceEventPhase::kSuperstepScan;
+        ev.kind = obs::TraceEventKind::kSpan;
+        ev.machine = static_cast<std::int32_t>(mc.id());
+        ev.level = static_cast<std::int32_t>(level);
+        ev.sim_seconds = scan_sim_t0;
+        ev.sim_dur_seconds = mc.clock().seconds() - scan_sim_t0;
+        ev.wall_dur_ns = phase_wall.nanos();
+        ev.a = static_cast<double>(level_edges);
+        ev.b = static_cast<double>(level_tasks);
+        obs::trace(ev);
+      }
 
       for (PartitionId to = 0; to < M; ++to) {
         merged.clear();
@@ -237,7 +254,11 @@ MsBfsBatchResult run_distributed_khop(
       }
       mc.barrier();  // ---- exchange remote task buffers ----
 
+      const double commit_sim_t0 = tracing ? mc.clock().seconds() : 0.0;
+      phase_wall.reset();
+      std::uint64_t staged_envelopes = 0;
       for (Envelope& env : mc.recv_staged()) {
+        ++staged_envelopes;
         CGRAPH_CHECK(env.tag == kVisitTag);
         if (!dedup.accept(env.from, env.seq)) {
           mc.cluster().fabric().record_dedup_suppressed(mc.id());
@@ -283,6 +304,18 @@ MsBfsBatchResult run_distributed_khop(
       for (std::size_t q = 0; q < Q; ++q) {
         frontier[q].swap(next[q]);  // Q.pop of the drained level
         next[q].clear();
+      }
+      if (tracing) {
+        obs::TraceEvent ev;
+        ev.phase = obs::TraceEventPhase::kSuperstepCommit;
+        ev.kind = obs::TraceEventKind::kSpan;
+        ev.machine = static_cast<std::int32_t>(mc.id());
+        ev.level = static_cast<std::int32_t>(level);
+        ev.sim_seconds = commit_sim_t0;
+        ev.sim_dur_seconds = mc.clock().seconds() - commit_sim_t0;
+        ev.wall_dur_ns = phase_wall.nanos();
+        ev.a = static_cast<double>(staged_envelopes);
+        obs::trace(ev);
       }
       mc.barrier();  // ---- level close ----
 

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "net/serialize.hpp"
+#include "obs/event_tracer.hpp"
 #include "query/frontier.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
@@ -377,6 +378,10 @@ MsBfsBatchResult run_distributed_msbfs_core(
 
       const WordRow expand = expand_mask_for_level(batch.ks, level);
 
+      const bool tracing = obs::tracing_enabled();
+      const double scan_sim_t0 = tracing ? mc.clock().seconds() : 0.0;
+      WallTimer phase_wall;
+
       // --- Telemetry: local frontier occupancy entering this level.
       std::atomic<std::uint64_t> frontier_acc{0};
       const ParallelForStats occ_stats = parallel_ranges(
@@ -391,9 +396,10 @@ MsBfsBatchResult run_distributed_msbfs_core(
             frontier_acc.fetch_add(chunk_frontier,
                                    std::memory_order_relaxed);
           });
-      lvl_frontier[level].fetch_add(
-          frontier_acc.load(std::memory_order_relaxed),
-          std::memory_order_relaxed);
+      const std::uint64_t level_frontier =
+          frontier_acc.load(std::memory_order_relaxed);
+      lvl_frontier[level].fetch_add(level_frontier,
+                                    std::memory_order_relaxed);
 
       // --- Local edge-set scan. Pool threads claim ranges of flat block
       // indices (each block is an LLC-sized EdgeSet tile, the natural unit
@@ -461,6 +467,22 @@ MsBfsBatchResult run_distributed_msbfs_core(
           std::memory_order_relaxed);
       mc.charge_compute(level_edges, /*vertices=*/0);
 
+      if (tracing) {
+        // Scan span: occupancy pre-scan + edge-set scan + compute charge.
+        // Sim duration is exactly this level's charged compute time.
+        obs::TraceEvent ev;
+        ev.phase = obs::TraceEventPhase::kSuperstepScan;
+        ev.kind = obs::TraceEventKind::kSpan;
+        ev.machine = static_cast<std::int32_t>(mc.id());
+        ev.level = static_cast<std::int32_t>(level);
+        ev.sim_seconds = scan_sim_t0;
+        ev.sim_dur_seconds = mc.clock().seconds() - scan_sim_t0;
+        ev.wall_dur_ns = static_cast<std::uint64_t>(phase_wall.nanos());
+        ev.a = static_cast<double>(level_edges);
+        ev.b = static_cast<double>(level_frontier);
+        obs::trace(ev);
+      }
+
       // --- Ship combined remote discoveries, grouped by owner.
       std::sort(touched.begin(), touched.end());
       std::size_t i = 0;
@@ -492,9 +514,14 @@ MsBfsBatchResult run_distributed_msbfs_core(
 
       mc.barrier();  // ---- exchange boundary discoveries ----
 
+      const double commit_sim_t0 = tracing ? mc.clock().seconds() : 0.0;
+      phase_wall.reset();
+      std::uint64_t staged_envelopes = 0;
+
       WordRow incoming_bits;
       for (Envelope& env : mc.recv_staged()) {
         CGRAPH_CHECK(env.tag == kRemoteDiscoverTag);
+        ++staged_envelopes;
         if (!dedup.accept(env.from, env.seq)) {
           mc.cluster().fabric().record_dedup_suppressed(mc.id());
           continue;
@@ -539,6 +566,22 @@ MsBfsBatchResult run_distributed_msbfs_core(
               1e9),
           std::memory_order_relaxed);
       bf.advance(nonempty.data());  // O(words): reuse the commit-phase mask
+
+      if (tracing) {
+        // Commit span: staged recv + dedup + visited fold + occupancy
+        // publish. No sim cost is charged here, so the sim duration is
+        // usually 0 — the wall duration carries the host-side cost.
+        obs::TraceEvent ev;
+        ev.phase = obs::TraceEventPhase::kSuperstepCommit;
+        ev.kind = obs::TraceEventKind::kSpan;
+        ev.machine = static_cast<std::int32_t>(mc.id());
+        ev.level = static_cast<std::int32_t>(level);
+        ev.sim_seconds = commit_sim_t0;
+        ev.sim_dur_seconds = mc.clock().seconds() - commit_sim_t0;
+        ev.wall_dur_ns = static_cast<std::uint64_t>(phase_wall.nanos());
+        ev.a = static_cast<double>(staged_envelopes);
+        obs::trace(ev);
+      }
       mc.barrier();  // ---- level close: occupancy now globally visible ----
 
       // --- Globally consistent completion decisions.

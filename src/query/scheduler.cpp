@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/event_tracer.hpp"
 #include "query/distributed_khop.hpp"
 #include "query/msbfs.hpp"
 #include "util/assert.hpp"
@@ -177,7 +178,17 @@ ConcurrentRunResult run_concurrent_queries(
         exec_queries.subspan(begin, end - begin);
 
     obs::TraceSpan batch_span("batch_execute", &registry);
+    // Engine events carry batch-relative sim times (every engine resets the
+    // cluster clocks); the batch context re-bases them onto the run's
+    // absolute sim axis and stamps the batch id. Batches execute serially,
+    // so one global context is race-free.
+    obs::EventTracer* tracer = obs::EventTracer::current();
+    if (tracer != nullptr) {
+      tracer->set_batch_context(static_cast<std::int64_t>(run.batches),
+                                wait_sim);
+    }
     BatchExecutor::Outcome out = executor.execute(batch);
+    if (tracer != nullptr) tracer->clear_batch_context();
     batch_span.finish();
 
     obs::BatchTrace bt = std::move(out.trace);
@@ -185,6 +196,32 @@ ConcurrentRunResult run_concurrent_queries(
     bt.wait_sim_seconds = wait_sim;
     ++run.batches;
     run.total_edges_scanned += out.result.edges_scanned;
+
+    if (obs::tracing_enabled()) {
+      obs::TraceEvent ev;
+      ev.phase = obs::TraceEventPhase::kBatchExecute;
+      ev.kind = obs::TraceEventKind::kSpan;
+      ev.machine = obs::TraceEvent::kExecutorTrack;
+      ev.batch = static_cast<std::int64_t>(bt.index);
+      ev.sim_seconds = wait_sim;
+      ev.sim_dur_seconds = out.result.sim_seconds * out.slowdown;
+      ev.wall_dur_ns = static_cast<std::uint64_t>(
+          out.result.wall_seconds * 1e9);
+      ev.a = static_cast<double>(batch.size());
+      obs::trace(ev);
+      if (out.reexecuted) {
+        for (const KHopQuery& q : batch) {
+          obs::TraceEvent rx;
+          rx.phase = obs::TraceEventPhase::kQueryReexecuted;
+          rx.kind = obs::TraceEventKind::kInstant;
+          rx.machine = obs::TraceEvent::kExecutorTrack;
+          rx.query = static_cast<std::int64_t>(q.id);
+          rx.batch = static_cast<std::int64_t>(bt.index);
+          rx.sim_seconds = wait_sim;
+          obs::trace(rx);
+        }
+      }
+    }
 
     const MsBfsBatchResult& br = out.result;
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -205,6 +242,30 @@ ConcurrentRunResult run_concurrent_queries(
       qt.wait_sim_seconds = wait_sim;
       qt.execute_sim_seconds = br.completion_sim_seconds[i] * out.slowdown;
       run.telemetry.queries.push_back(qt);
+
+      if (obs::tracing_enabled()) {
+        obs::TraceEvent ev;
+        ev.phase = obs::TraceEventPhase::kQuery;
+        ev.kind = obs::TraceEventKind::kSpan;
+        ev.machine = obs::TraceEvent::kExecutorTrack;
+        ev.query = static_cast<std::int64_t>(qr.id);
+        ev.batch = static_cast<std::int64_t>(bt.index);
+        ev.sim_seconds = 0.0;  // closed-loop: all queries submitted at t=0
+        ev.sim_dur_seconds = qr.sim_seconds;
+        ev.a = static_cast<double>(qr.visited);
+        ev.b = static_cast<double>(qr.levels);
+        obs::trace(ev);
+        obs::TraceEvent done_ev;
+        done_ev.phase = obs::TraceEventPhase::kQueryComplete;
+        done_ev.kind = obs::TraceEventKind::kInstant;
+        done_ev.machine = obs::TraceEvent::kExecutorTrack;
+        done_ev.query = static_cast<std::int64_t>(qr.id);
+        done_ev.batch = static_cast<std::int64_t>(bt.index);
+        done_ev.sim_seconds = qr.sim_seconds;
+        done_ev.a = static_cast<double>(qr.visited);
+        done_ev.b = static_cast<double>(qr.levels);
+        obs::trace(done_ev);
+      }
     }
     wait_wall += br.wall_seconds * out.slowdown;
     wait_sim += br.sim_seconds * out.slowdown;

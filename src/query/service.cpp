@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/event_tracer.hpp"
 #include "util/assert.hpp"
 
 namespace cgraph {
@@ -45,11 +46,20 @@ class ServicePipeline {
   ServicePipeline(Cluster& cluster, const std::vector<SubgraphShard>& shards,
                   const RangePartition& partition,
                   std::span<const TimedQuery> arrivals,
-                  const ServiceOptions& opts, ServiceRunResult& result)
+                  const ServiceOptions& opts, obs::MetricsRegistry& registry,
+                  ServiceRunResult& result)
       : arrivals_(arrivals),
         opts_(opts),
         executor_(cluster, shards, partition, opts.scheduler),
-        result_(result) {
+        result_(result),
+        queue_depth_current_(registry.gauge(
+            "cgraph_service_queue_depth",
+            "Admitted-but-unstarted queries in the service queue",
+            {{"stat", "current"}})),
+        queue_depth_high_water_(registry.gauge(
+            "cgraph_service_queue_depth",
+            "Admitted-but-unstarted queries in the service queue",
+            {{"stat", "high_water"}})) {
     result_.queries.resize(arrivals.size());
     for (std::size_t i = 0; i < arrivals.size(); ++i) {
       ServiceQueryRecord& r = result_.queries[i];
@@ -99,11 +109,25 @@ class ServicePipeline {
       // time t has reached the cap.
       const std::size_t occupancy = pending_.size() + waiting_admitted_at(t);
       if (opts_.queue_cap > 0 && occupancy >= opts_.queue_cap) {
+        queue_depth_current_.set(static_cast<double>(occupancy));
+        if (obs::tracing_enabled()) {
+          obs::TraceEvent ev;
+          ev.phase = obs::TraceEventPhase::kQueryShed;
+          ev.kind = obs::TraceEventKind::kInstant;
+          ev.machine = obs::TraceEvent::kAdmissionTrack;
+          ev.query = static_cast<std::int64_t>(arrivals_[i].query.id);
+          ev.sim_seconds = t;
+          ev.a = static_cast<double>(occupancy);
+          obs::trace(ev);
+        }
         continue;  // record already says kShed
       }
       pending_.push_back({i, t});
       result_.stats.peak_queue_depth =
           std::max(result_.stats.peak_queue_depth, occupancy + 1);
+      queue_depth_current_.set(static_cast<double>(occupancy + 1));
+      queue_depth_high_water_.set(
+          static_cast<double>(result_.stats.peak_queue_depth));
 
       if (pending_.size() >= opts_.scheduler.batch_width ||
           opts_.linger_seconds <= 0) {
@@ -128,6 +152,16 @@ class ServicePipeline {
     sb.seal_time = seal_time;
     sb.members = std::move(pending_);
     pending_.clear();
+    if (obs::tracing_enabled()) {
+      obs::TraceEvent ev;
+      ev.phase = obs::TraceEventPhase::kBatchSeal;
+      ev.kind = obs::TraceEventKind::kInstant;
+      ev.machine = obs::TraceEvent::kAdmissionTrack;
+      ev.batch = static_cast<std::int64_t>(sb.index);
+      ev.sim_seconds = seal_time;
+      ev.a = static_cast<double>(sb.members.size());
+      obs::trace(ev);
+    }
     if (executor_.policy() == BatchPolicy::kDegreeSorted) {
       // Degree-sorted within the admitted window; stable so equal-degree
       // queries keep submission order (the tie rule the offline scheduler
@@ -205,6 +239,17 @@ class ServicePipeline {
         r.outcome = ServiceOutcome::kExpired;
         r.batch_index = sb.index;
         r.queue_wait_sim_seconds = wait;
+        if (obs::tracing_enabled()) {
+          obs::TraceEvent ev;
+          ev.phase = obs::TraceEventPhase::kQueryExpired;
+          ev.kind = obs::TraceEventKind::kInstant;
+          ev.machine = obs::TraceEvent::kExecutorTrack;
+          ev.query = static_cast<std::int64_t>(r.id);
+          ev.batch = static_cast<std::int64_t>(sb.index);
+          ev.sim_seconds = start;
+          ev.a = wait;
+          obs::trace(ev);
+        }
       } else {
         live.push_back(pq);
       }
@@ -218,10 +263,33 @@ class ServicePipeline {
       for (const PendingQuery& pq : live) {
         batch.push_back(arrivals_[pq.submission].query);
       }
+      // Engine events carry batch-relative sim times; the batch context
+      // re-bases them onto the service's absolute sim axis (the batch
+      // starts at `start`) and stamps the batch id. One batch executes at
+      // a time, so the single global context is race-free even pipelined.
+      obs::EventTracer* tracer = obs::EventTracer::current();
+      if (tracer != nullptr) {
+        tracer->set_batch_context(static_cast<std::int64_t>(sb.index), start);
+      }
       BatchExecutor::Outcome out = executor_.execute(batch);
+      if (tracer != nullptr) tracer->clear_batch_context();
       const double makespan = out.result.sim_seconds * out.slowdown;
       finish = start + makespan;
       rec.makespan_sim_seconds = makespan;
+
+      if (obs::tracing_enabled()) {
+        obs::TraceEvent ev;
+        ev.phase = obs::TraceEventPhase::kBatchExecute;
+        ev.kind = obs::TraceEventKind::kSpan;
+        ev.machine = obs::TraceEvent::kExecutorTrack;
+        ev.batch = static_cast<std::int64_t>(sb.index);
+        ev.sim_seconds = start;
+        ev.sim_dur_seconds = makespan;
+        ev.wall_dur_ns = static_cast<std::uint64_t>(
+            out.result.wall_seconds * 1e9);
+        ev.a = static_cast<double>(live.size());
+        obs::trace(ev);
+      }
 
       for (std::size_t i = 0; i < live.size(); ++i) {
         rec.executed.push_back(batch[i].id);
@@ -244,6 +312,50 @@ class ServicePipeline {
         qt.wait_sim_seconds = r.queue_wait_sim_seconds;
         qt.execute_sim_seconds = r.execute_sim_seconds;
         result_.telemetry.queries.push_back(qt);
+
+        if (obs::tracing_enabled()) {
+          const double arrival = live[i].arrival;
+          obs::TraceEvent wait_ev;
+          wait_ev.phase = obs::TraceEventPhase::kAdmissionWait;
+          wait_ev.kind = obs::TraceEventKind::kSpan;
+          wait_ev.machine = obs::TraceEvent::kAdmissionTrack;
+          wait_ev.query = static_cast<std::int64_t>(r.id);
+          wait_ev.batch = static_cast<std::int64_t>(sb.index);
+          wait_ev.sim_seconds = arrival;
+          wait_ev.sim_dur_seconds = r.queue_wait_sim_seconds;
+          obs::trace(wait_ev);
+          obs::TraceEvent q_ev;
+          q_ev.phase = obs::TraceEventPhase::kQuery;
+          q_ev.kind = obs::TraceEventKind::kSpan;
+          q_ev.machine = obs::TraceEvent::kExecutorTrack;
+          q_ev.query = static_cast<std::int64_t>(r.id);
+          q_ev.batch = static_cast<std::int64_t>(sb.index);
+          q_ev.sim_seconds = arrival;
+          q_ev.sim_dur_seconds = r.response_sim_seconds;
+          q_ev.a = static_cast<double>(r.visited);
+          q_ev.b = static_cast<double>(r.levels);
+          obs::trace(q_ev);
+          obs::TraceEvent done_ev;
+          done_ev.phase = obs::TraceEventPhase::kQueryComplete;
+          done_ev.kind = obs::TraceEventKind::kInstant;
+          done_ev.machine = obs::TraceEvent::kExecutorTrack;
+          done_ev.query = static_cast<std::int64_t>(r.id);
+          done_ev.batch = static_cast<std::int64_t>(sb.index);
+          done_ev.sim_seconds = arrival + r.response_sim_seconds;
+          done_ev.a = static_cast<double>(r.visited);
+          done_ev.b = static_cast<double>(r.levels);
+          obs::trace(done_ev);
+          if (out.reexecuted) {
+            obs::TraceEvent rx;
+            rx.phase = obs::TraceEventPhase::kQueryReexecuted;
+            rx.kind = obs::TraceEventKind::kInstant;
+            rx.machine = obs::TraceEvent::kExecutorTrack;
+            rx.query = static_cast<std::int64_t>(r.id);
+            rx.batch = static_cast<std::int64_t>(sb.index);
+            rx.sim_seconds = start;
+            obs::trace(rx);
+          }
+        }
       }
 
       obs::BatchTrace bt = std::move(out.trace);
@@ -299,6 +411,8 @@ class ServicePipeline {
   const ServiceOptions& opts_;
   BatchExecutor executor_;
   ServiceRunResult& result_;
+  obs::Gauge& queue_depth_current_;
+  obs::Gauge& queue_depth_high_water_;
 
   // Admission-thread state.
   std::vector<PendingQuery> pending_;
@@ -397,7 +511,7 @@ ServiceRunResult run_query_service(Cluster& cluster,
 
   ServiceRunResult result;
   ServicePipeline pipeline(cluster, shards, partition, arrivals, opts,
-                           result);
+                           registry, result);
   pipeline.run();
 
   run_span.finish();

@@ -10,8 +10,10 @@ namespace cgraph {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double percentile_sorted(const std::vector<double>& sorted, double p) {
-  CGRAPH_CHECK(!sorted.empty());
   CGRAPH_CHECK(p >= 0.0 && p <= 100.0);
+  // Degenerate series get defined values instead of a crash or NaN: an
+  // empty series reports 0, a single sample reports that sample.
+  if (sorted.empty()) return 0.0;
   if (sorted.size() == 1) return sorted[0];
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);

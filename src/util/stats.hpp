@@ -41,7 +41,9 @@ struct BoxplotSummary {
 };
 
 /// Exact percentile of a sample set (linear interpolation between ranks).
-/// `p` in [0, 100]. The input vector is copied and sorted.
+/// `p` in [0, 100]. The input vector is copied and sorted. Degenerate
+/// inputs return defined values: 0 for an empty set, the sample itself
+/// for a single-element set (never NaN).
 double percentile(std::vector<double> samples, double p);
 
 /// In-place variant for repeated percentile queries: sort once, query many.

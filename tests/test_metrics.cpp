@@ -5,9 +5,47 @@
 
 #include "metrics/reporter.hpp"
 #include "metrics/response.hpp"
+#include "util/stats.hpp"
 
 namespace cgraph {
 namespace {
+
+// Degenerate inputs must return defined values — 0 for empty, the sample
+// itself for a single element — never NaN and never a crash: a service run
+// where every query was shed still has to print its stats block.
+TEST(ResponseTimeSeries, EmptySeriesReturnsZeroNotNaN) {
+  ResponseTimeSeries s("empty");
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 0.0);
+}
+
+TEST(ResponseTimeSeries, SingleSampleIsEveryStatistic) {
+  ResponseTimeSeries s("one");
+  s.add(0.42);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.42);
+  EXPECT_DOUBLE_EQ(s.min(), 0.42);
+  EXPECT_DOUBLE_EQ(s.max(), 0.42);
+  EXPECT_DOUBLE_EQ(s.percentile(1), 0.42);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.42);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 0.42);
+}
+
+TEST(Percentile, EmptyAndSingleInputEdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 50.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 100.0), 7.5);
+  const std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 90.0), 3.0);
+  const std::vector<double> none;
+  EXPECT_DOUBLE_EQ(percentile_sorted(none, 90.0), 0.0);
+}
 
 TEST(ResponseTimeSeries, BasicStats) {
   ResponseTimeSeries s("cgraph");

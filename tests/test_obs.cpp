@@ -3,6 +3,8 @@
 // ConcurrentRunResult aggregates.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -364,6 +366,77 @@ TEST(Sink, WritesPrometheusAndJsonFiles) {
   jbuf << jin.rdbuf();
   EXPECT_EQ(jbuf.str(), reg.to_json());
   std::filesystem::remove_all(dir.parent_path());
+}
+
+// Prometheus exposition: label VALUES may contain quotes, backslashes, and
+// newlines; the text format requires them escaped as \" \\ \n inside the
+// quoted value (unescaped they corrupt every line that follows).
+TEST(MetricsExposition, LabelValuesAreEscaped) {
+  obs::MetricsRegistry reg;
+  reg.counter("escaped_total", "label escaping",
+              {{"path", "C:\\graphs\\\"prod\".bin"}})
+      .inc();
+  reg.counter("escaped_total", "label escaping", {{"path", "a\nb"}})
+      .inc(2.0);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(
+      text.find("escaped_total{path=\"C:\\\\graphs\\\\\\\"prod\\\".bin\"} 1"),
+      std::string::npos);
+  EXPECT_NE(text.find("escaped_total{path=\"a\\nb\"} 2"), std::string::npos);
+  // No raw newline may survive inside a label value: every exposition line
+  // must start with a comment, a metric name, or be empty.
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(line[0] == '#' || std::isalpha(line[0]) != 0)
+        << "corrupt exposition line: " << line;
+  }
+  // JSON exposition escapes the same values.
+  const std::string json = reg.to_json();
+  EXPECT_EQ(json.find("\n\""), std::string::npos);
+  EXPECT_NE(json.find("a\\nb"), std::string::npos);
+}
+
+// Histogram buckets under concurrent writers: cumulative bucket counts in
+// the exposition snapshot must be nondecreasing in `le` and capped by the
+// series count, whatever interleaving the writer threads produce.
+TEST(MetricsExposition, BucketsStayMonotoneUnderConcurrentWriters) {
+  obs::MetricsRegistry reg;
+  obs::LogHistogram& h = reg.histogram("concurrent_seconds", "monotone");
+  std::atomic<bool> stop{false};
+  constexpr int kThreads = 4;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h, &stop, t] {
+      std::uint64_t x = 88172645463325252ull + static_cast<unsigned>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        h.observe(1e-6 * static_cast<double>(x % 1000000));
+      }
+    });
+  }
+  // Snapshot the exposition repeatedly while writers hammer the buckets.
+  for (int round = 0; round < 50; ++round) {
+    std::uint64_t cumulative = 0;
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i <= h.nbins(); ++i) {
+      cumulative += h.bucket_count(i);
+      EXPECT_GE(cumulative, prev);
+      prev = cumulative;
+    }
+    const std::string text = reg.to_prometheus();
+    EXPECT_NE(text.find("concurrent_seconds_bucket"), std::string::npos);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : writers) w.join();
+  // Quiesced: the cumulative +Inf bucket equals the total count exactly.
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= h.nbins(); ++i) total += h.bucket_count(i);
+  EXPECT_EQ(total, h.count());
 }
 
 }  // namespace

@@ -262,6 +262,46 @@ TEST(Service, BoundedQueueShedsBurst) {
   expect_batches_match_offline(w, machines, arrivals, run);
 }
 
+// The queue-depth gauges track the admission loop live: high_water must
+// equal the run's peak_queue_depth stat after a burst, and the current
+// depth can never have exceeded it (or the cap).
+TEST(Service, QueueDepthGaugesTrackBurst) {
+  const PartitionId machines = 2;
+  World w(machines, /*scale=*/7);
+  const std::vector<double> stamps(20, 0.0);  // burst: all arrive at once
+  const auto arrivals = make_trace_arrivals(w.graph, stamps, /*k=*/3, 3);
+
+  Cluster cluster(machines);
+  obs::MetricsRegistry registry;
+  ServiceOptions opts;
+  opts.scheduler.batch_width = 4;
+  opts.scheduler.metrics = &registry;
+  opts.queue_cap = 6;
+  opts.linger_seconds = 1.0;
+  const auto run = run_query_service(cluster, w.shards, w.partition,
+                                     arrivals, opts);
+
+  const double high_water =
+      registry
+          .gauge("cgraph_service_queue_depth", "", {{"stat", "high_water"}})
+          .value();
+  const double current =
+      registry
+          .gauge("cgraph_service_queue_depth", "", {{"stat", "current"}})
+          .value();
+  EXPECT_GT(run.stats.peak_queue_depth, 0u);
+  EXPECT_DOUBLE_EQ(high_water,
+                   static_cast<double>(run.stats.peak_queue_depth));
+  EXPECT_LE(current, high_water);
+  EXPECT_LE(high_water, static_cast<double>(opts.queue_cap));
+  // Both series appear in the exposition output.
+  const std::string prom = registry.to_prometheus();
+  EXPECT_NE(prom.find("cgraph_service_queue_depth{stat=\"current\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("cgraph_service_queue_depth{stat=\"high_water\"}"),
+            std::string::npos);
+}
+
 // Deadline expiry: with a near-zero deadline and single-query batches,
 // only the batch that starts immediately completes; everything queued
 // behind it has already missed its deadline when it reaches the head of
