@@ -30,6 +30,9 @@
 //   --smoke          tiny graph + minimal sweep — the `bench`-labeled
 //                    ctest entry, fast enough for the sanitizer suites
 //   --scale-shift/--machines/--queries/--reps override the mode defaults.
+//   --dense-machines/--dense-alpha/--dense-beta tweak the dense-frontier
+//                    direction arm (locality / switch-threshold sweeps);
+//                    --dense-levels dumps its per-level direction choices.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -344,7 +347,7 @@ int main(int argc, char** argv) {
   CGRAPH_CHECK_MSG(all_invariant,
                    "sim results diverged between 1 and 4 compute threads");
 
-  // --- Micro set: two single-number probes that bracket the engines.
+  // --- Micro set: single-number probes that bracket the engines.
   // Both run on the simulated cluster — the single-machine msbfs_batch
   // equates sim with wall and would not be host-reproducible.
   std::vector<MicroRow> micro;
@@ -359,6 +362,87 @@ int main(int argc, char** argv) {
                      r.total_edges_scanned});
   }
   micro.push_back({"closed_loop_concurrent", probe_sim, probe_edges});
+
+  // --- Dense-frontier direction arm. The main sweep's shards are built
+  // without in-edges, so the hybrid policy degrades to push there; this
+  // arm rebuilds the same dataset with the CSC mirror and runs one
+  // saturating 64-wide deep batch under forced push and under the default
+  // hybrid policy (DESIGN.md §12). Both numbers are sim-domain, and
+  // ci/validate_bench.py gates the committed pair: hybrid must never be
+  // more than 5% slower than push. edges_scanned is expected to differ —
+  // pull levels charge parents examined, not frontier out-edges.
+  //
+  // The arm runs on a single-machine cluster by default: cross-partition
+  // edges must be pushed in every mode (the wire format is
+  // direction-agnostic), so partition locality caps the multi-machine win
+  // at the intra-partition edge fraction and the measurement would mostly
+  // reflect the partitioner. --dense-machines/--dense-alpha/--dense-beta/
+  // --dense-levels expose the locality and threshold sweeps recorded in
+  // EXPERIMENTS.md.
+  {
+    const auto dense_machines = static_cast<PartitionId>(
+        opts.get_int("dense-machines", 1));
+    const ShardedGraph dense = make_dataset_sharded(
+        "FRS-100B", cfg.scale_shift, dense_machines,
+        /*build_in_edges=*/true);
+    Cluster dense_cluster(dense_machines, paper_cost_model());
+    const Depth dense_k = 6;  // deep enough that mid-levels saturate
+    // Hot-spot batch: 64 queries over 8 hot roots (the concurrent-query
+    // sharing case the paper optimizes for). Correlated rows agree on
+    // their wanted bits, which is where the pull kernel's early exit
+    // pays off.
+    const auto hot =
+        make_random_queries(dense.graph, 8, dense_k, cfg.seed + 1);
+    std::vector<KHopQuery> dense_queries;
+    for (QueryId i = 0; i < 64; ++i) {
+      dense_queries.push_back({i, hot[i % hot.size()].source, dense_k});
+    }
+    const auto run_mode = [&](TraversalDirection mode) {
+      SchedulerOptions one_batch;
+      one_batch.batch_width = dense_queries.size();
+      one_batch.direction.mode = mode;
+      one_batch.direction.alpha = opts.get_double(
+          "dense-alpha", one_batch.direction.alpha);
+      one_batch.direction.beta = opts.get_double(
+          "dense-beta", one_batch.direction.beta);
+      return run_concurrent_queries(dense_cluster, dense.shards,
+                                    dense.partition, dense_queries,
+                                    one_batch);
+    };
+    const auto push = run_mode(TraversalDirection::kPush);
+    const auto hybrid = run_mode(TraversalDirection::kHybrid);
+    if (opts.has("dense-levels")) {
+      const auto dump = [](const char* tag, const ConcurrentRunResult& r) {
+        for (const auto& b : r.telemetry.batches) {
+          for (const auto& lv : b.levels) {
+            std::printf("  %s L%u frontier=%llu edges=%llu scout=%llu "
+                        "push=%u pull=%u\n",
+                        tag, lv.level,
+                        static_cast<unsigned long long>(lv.frontier_vertices),
+                        static_cast<unsigned long long>(lv.edges_scanned),
+                        static_cast<unsigned long long>(lv.scout_edges),
+                        lv.push_machines, lv.pull_machines);
+          }
+        }
+      };
+      dump("push", push);
+      dump("hyb ", hybrid);
+    }
+    for (std::size_t i = 0; i < push.queries.size(); ++i) {
+      CGRAPH_CHECK_MSG(push.queries[i].visited == hybrid.queries[i].visited,
+                       "hybrid direction changed a query answer");
+    }
+    micro.push_back({"dense_frontier_push", push.total_sim_seconds,
+                     push.total_edges_scanned});
+    micro.push_back({"dense_frontier_hybrid", hybrid.total_sim_seconds,
+                     hybrid.total_edges_scanned});
+    std::printf("\ndense frontier (k=%u, width %zu): push %.4fs sim / "
+                "hybrid %.4fs sim (%+.1f%%)\n",
+                static_cast<unsigned>(dense_k), dense_queries.size(),
+                push.total_sim_seconds, hybrid.total_sim_seconds,
+                (hybrid.total_sim_seconds / push.total_sim_seconds - 1.0) *
+                    100.0);
+  }
 
   // --- Trace overhead: interleaved A (off), B (off again), C (on) so
   // host drift hits every arm equally within a repetition.

@@ -11,7 +11,9 @@
 # (test_service runs its batches on a worker thread overlapped with
 # admission) all run under TSan here. The bench label adds the committed-
 # baseline smoke run, whose enabled arm drives the per-thread tracer rings
-# while four compute threads record concurrently.
+# while four compute threads record concurrently. test_hybrid (labels
+# unit+chaos+recovery) puts the bottom-up scan's single-writer pull rows
+# next to the cross-partition push's atomic ORs under the same pools.
 #
 # Usage: ci/tsan.sh [build-dir]   (default: build-tsan)
 set -eu

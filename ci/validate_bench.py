@@ -21,6 +21,12 @@ Modes (composable):
       simulated clock domain, so on an unchanged tree the diff is exactly
       zero and any drift is a behavior change, not host noise.
 
+Every fig12_open_loop file additionally carries an intra-file gate: its
+micro set must contain the dense_frontier_push / dense_frontier_hybrid
+pair, and the hybrid engine may never be more than 5% slower than forced
+push on that sweep — the "the direction heuristic does no harm" claim,
+checked on the committed artifact and on every regeneration.
+
 Exit status: 0 = all files pass, 1 = any failure (every failure printed).
 """
 
@@ -29,6 +35,7 @@ import json
 import sys
 
 STRICT_OVERHEAD_MAX_PCT = 2.0
+HYBRID_SLOWDOWN_MAX_PCT = 5.0
 
 # Sim-domain row metrics gated against the committed baseline. Counts are
 # integers and percentiles doubles, but both are pure functions of the
@@ -133,6 +140,32 @@ def compare_fig12(fresh, committed, tolerance_pct, errors):
                     f"{committed_m[metric]!r}")
 
 
+def check_hybrid_gate(data, errors):
+    """dense_frontier_hybrid must stay within 5% of dense_frontier_push.
+
+    Both rows are sim-domain numbers from the same seeded workload, so
+    this is a property of the engine, not the host. The pair is required:
+    an artifact without it predates the direction-optimizing engine and
+    must be regenerated with bench/baseline_runner.
+    """
+    micro = {m["name"]: m for m in data.get("micro", [])}
+    push = micro.get("dense_frontier_push")
+    hybrid = micro.get("dense_frontier_hybrid")
+    if push is None or hybrid is None:
+        errors.append(
+            "micro set lacks the dense_frontier_push/dense_frontier_hybrid "
+            "pair — regenerate with bench/baseline_runner")
+        return
+    limit = push["sim_seconds"] * (1.0 + HYBRID_SLOWDOWN_MAX_PCT / 100.0)
+    if hybrid["sim_seconds"] > limit:
+        errors.append(
+            f"dense_frontier_hybrid sim_seconds {hybrid['sim_seconds']!r} "
+            f"is more than {HYBRID_SLOWDOWN_MAX_PCT:g}% slower than "
+            f"dense_frontier_push {push['sim_seconds']!r}: the direction "
+            f"heuristic is mis-switching — fix the scout thresholds before "
+            f"recommitting")
+
+
 def check_file(path, schemas, args):
     errors = []
     try:
@@ -158,6 +191,8 @@ def check_file(path, schemas, args):
                 f"no longer free — rerun bench/baseline_runner on a quiet "
                 f"host, and if it reproduces, fix the hot path before "
                 f"recommitting")
+    if bench == "fig12_open_loop":
+        check_hybrid_gate(data, errors)
     if bench == "fig12_open_loop" and args.baseline:
         try:
             with open(args.baseline, encoding="utf-8") as f:

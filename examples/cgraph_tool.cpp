@@ -7,8 +7,10 @@
 //   cgraph_tool stats    --in g.bin [--machines 4] [--hop-samples 8]
 //   cgraph_tool query    --in g.bin --source 0 [--k 3] [--machines 4]
 //                        [--paths] [--target 42] [--threads N]
+//                        [--direction push|pull|hybrid] [--alpha A] [--beta B]
 //   cgraph_tool batch    --in g.bin --queries 100 [--k 3] [--machines 4]
 //                        [--threads N]
+//                        [--direction push|pull|hybrid] [--alpha A] [--beta B]
 //   cgraph_tool pagerank --in g.bin [--iterations 10] [--machines 4]
 //                        [--threads N]
 //
@@ -34,6 +36,12 @@
 // flag enables superstep checkpointing + deterministic recovery;
 // --checkpoint-interval N and --checkpoint-dir PATH tune where and how
 // often checkpoints land. A recovery summary is printed after the run.
+//
+// Direction flags (query/batch, DESIGN.md §12): --direction forces the
+// bit-parallel engine top-down (push), bottom-up (pull), or leaves the
+// per-level per-partition heuristic on (hybrid, the default); --alpha and
+// --beta tune the push->pull / pull->push thresholds. Every mode answers
+// bit-identically.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -110,6 +118,20 @@ bool configure_recovery(Cluster& cluster, const Options& opts) {
       static_cast<std::uint64_t>(opts.get_int("checkpoint-interval", 1));
   ro.checkpoint_dir = opts.get("checkpoint-dir");
   cluster.set_recovery(ro);
+  return true;
+}
+
+/// Wire --direction / --alpha / --beta into a DirectionOptions. Returns
+/// false (after printing why) on an unknown mode name.
+bool configure_direction(const Options& opts, DirectionOptions& dir) {
+  const std::string mode = opts.get("direction");
+  if (!mode.empty() && !parse_direction(mode, &dir.mode)) {
+    std::fprintf(stderr, "bad --direction '%s' (want push|pull|hybrid)\n",
+                 mode.c_str());
+    return false;
+  }
+  dir.alpha = opts.get_double("alpha", dir.alpha);
+  dir.beta = opts.get_double("beta", dir.beta);
   return true;
 }
 
@@ -240,6 +262,8 @@ int cmd_query(const Options& opts) {
         static_cast<std::size_t>(opts.get_int("threads", 1)));
   }
   if (!configure_recovery(cluster, opts)) return 2;
+  DirectionOptions dir;
+  if (!configure_direction(opts, dir)) return 2;
   const KHopQuery q{0, source, k};
 
   if (opts.has("paths")) {
@@ -265,7 +289,7 @@ int cmd_query(const Options& opts) {
     }
   } else {
     const auto r =
-        run_distributed_msbfs(cluster, shards, part, std::span(&q, 1));
+        run_distributed_msbfs(cluster, shards, part, std::span(&q, 1), dir);
     std::printf("%u-hop from %u: %llu vertices reached, %u levels, "
                 "%.4f s sim / %.4f s wall\n",
                 unsigned{k}, source,
@@ -299,6 +323,7 @@ int cmd_batch(const Options& opts) {
   if (opts.has("threads")) {
     sched.threads = static_cast<std::size_t>(opts.get_int("threads", 1));
   }
+  if (!configure_direction(opts, sched.direction)) return 2;
   const auto run =
       run_concurrent_queries(cluster, shards, part, queries, sched);
 

@@ -10,6 +10,7 @@
 //                        [--queries-per-wave 100] [--k 3] [--threads N]
 //                        [--crash m@s] [--crash-prob P] [--fault-seed S]
 //                        [--checkpoint-interval N] [--checkpoint-dir PATH]
+//                        [--direction push|pull|hybrid] [--alpha A] [--beta B]
 //
 // Open-loop mode (DESIGN.md §10): passing --arrival-rate switches from
 // closed waves to a Poisson arrival stream served by run_query_service —
@@ -90,6 +91,21 @@ bool add_crash_specs(const std::string& specs, FaultPlan& plan) {
 
 /// Open-loop serving: Poisson arrivals through the bounded-admission
 /// service layer instead of closed waves.
+/// Wire --direction / --alpha / --beta (DESIGN.md §12) into the scheduler
+/// options both serving modes share. Unknown mode names fall back to the
+/// hybrid default with a warning — the service should come up regardless.
+void configure_direction(const Options& opts, SchedulerOptions& sched) {
+  const std::string mode = opts.get("direction");
+  if (!mode.empty() && !parse_direction(mode, &sched.direction.mode)) {
+    std::fprintf(stderr,
+                 "warning: bad --direction '%s' (want push|pull|hybrid); "
+                 "using hybrid\n",
+                 mode.c_str());
+  }
+  sched.direction.alpha = opts.get_double("alpha", sched.direction.alpha);
+  sched.direction.beta = opts.get_double("beta", sched.direction.beta);
+}
+
 int run_open_loop(const Options& opts, const Graph& graph, Cluster& cluster,
                   const std::vector<SubgraphShard>& shards,
                   const RangePartition& partition, Depth k) {
@@ -107,6 +123,7 @@ int run_open_loop(const Options& opts, const Graph& graph, Cluster& cluster,
       static_cast<std::size_t>(opts.get_int("queue-cap", 1024));
   service.deadline_seconds = opts.get_double("deadline", 0.0);
   service.linger_seconds = opts.get_double("linger", 0.010);
+  configure_direction(opts, service.scheduler);
 
   std::printf("open loop: %zu arrivals at %.1f qps (k=%u), "
               "queue-cap %zu, deadline %.3fs, linger %.3fs, width %zu\n",
@@ -247,6 +264,7 @@ int main(int argc, char** argv) {
         make_random_queries(graph, per_wave, k, /*seed=*/1000 + wave);
 
     SchedulerOptions bit_parallel;  // production path (§3.5 bit ops on)
+    configure_direction(opts, bit_parallel);
     report_wave("bit-parallel",
                 run_concurrent_queries(cluster, shards, partition, queries,
                                        bit_parallel));

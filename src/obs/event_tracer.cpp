@@ -65,6 +65,8 @@ const char* to_string(TraceEventPhase phase) {
       return "query_expired";
     case TraceEventPhase::kQueryReexecuted:
       return "query_reexecuted";
+    case TraceEventPhase::kDirectionChoice:
+      return "direction_choice";
   }
   return "unknown";
 }

@@ -53,6 +53,8 @@ enum class TraceEventPhase : std::uint8_t {
   kQueryShed,        // instant: arrival rejected at admission
   kQueryExpired,     // instant: admitted query dropped for missed deadline
   kQueryReexecuted,  // instant: query re-derived after a machine crash
+  kDirectionChoice,  // instant: per machine per level push/pull decision
+                     //   (a = 1 for pull / 0 for push, b = scout edges)
 };
 
 [[nodiscard]] const char* to_string(TraceEventPhase phase);

@@ -101,6 +101,23 @@ void RunTelemetry::publish(MetricsRegistry& reg) const {
                   "compute pools per traversal level",
                   lv)
           .inc(l.steal_wait_seconds);
+      if (l.push_machines > 0) {
+        reg.counter("cgraph_msbfs_direction_total",
+                    "Per-level per-partition traversal direction choices",
+                    Labels{{"direction", "push"}})
+            .inc(static_cast<double>(l.push_machines));
+      }
+      if (l.pull_machines > 0) {
+        reg.counter("cgraph_msbfs_direction_total",
+                    "Per-level per-partition traversal direction choices",
+                    Labels{{"direction", "pull"}})
+            .inc(static_cast<double>(l.pull_machines));
+      }
+      reg.gauge("cgraph_msbfs_scout_edges",
+                "Scout count (frontier out-edges) entering the level, "
+                "summed over machines — the direction heuristic's input",
+                lv)
+          .set(static_cast<double>(l.scout_edges));
     }
 
     for (const MachineTrace& m : b.machines) {

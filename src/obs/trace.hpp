@@ -83,6 +83,15 @@ struct LevelTrace {
   /// Host seconds machine threads spent blocked waiting for their pool
   /// workers to drain this level's chunks (join-side steal wait).
   double steal_wait_seconds = 0;
+  /// Direction-optimizing traversal (DESIGN.md §12): how many partitions
+  /// expanded this level top-down (push) vs bottom-up (pull). The hybrid
+  /// heuristic decides per level per partition, so both can be non-zero
+  /// for one level. The single-machine engine reports one "machine".
+  std::uint32_t push_machines = 0;
+  std::uint32_t pull_machines = 0;
+  /// Scout count entering this level (summed over machines): out-edges of
+  /// rows with any frontier bit — the heuristic's push-cost estimate.
+  std::uint64_t scout_edges = 0;
 };
 
 /// Per-machine counters for one batch, snapshotted from the cluster and

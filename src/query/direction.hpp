@@ -1,0 +1,78 @@
+// Direction-optimizing traversal policy (Beamer et al., SC'12) for the
+// bit-parallel MS-BFS engines.
+//
+// Top-down ("push") expands the frontier over out-edges (CSR); bottom-up
+// ("pull") iterates *unvisited* vertices' in-edges (CSC) and tests parent
+// frontier planes with one AND per 64-query word, retiring a query's bit
+// as soon as any parent supplies it. On dense batched frontiers pull
+// examines a small fraction of the edges push would touch, because most
+// rows have already been discovered for most queries.
+//
+// The hybrid heuristic switches per level *per partition* from two
+// deterministic inputs produced by the previous level's commit pass
+// (FrontierOccupancy — no extra scan):
+//
+//   push -> pull  when scout_edges          > total_edges / alpha
+//   pull -> push  when active frontier rows < num_vertices / beta
+//
+// scout_edges is the classic scout count: the sum of out-degrees of rows
+// with any frontier bit, i.e. the edges the next push scan would charge.
+// Both inputs derive only from frontier planes and static degrees — never
+// from wall clocks or thread interleavings — so the chosen direction is
+// identical for every thread count and replays bit-exact through
+// checkpoint/restore (DESIGN.md §12).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cgraph {
+
+enum class TraversalDirection : std::uint8_t {
+  kPush,    ///< force top-down over out-edges (CSR) at every level
+  kPull,    ///< force bottom-up over in-edges (CSC) at every level
+  kHybrid,  ///< scout-count heuristic, per level per partition
+};
+
+struct DirectionOptions {
+  /// kHybrid falls back to push on graphs/shards built without in-edges
+  /// (the CSC side is optional); forced kPull on such a graph is a
+  /// configuration error and fails a CGRAPH_CHECK.
+  TraversalDirection mode = TraversalDirection::kHybrid;
+  /// Push->pull threshold divisor. Beamer's alpha, adapted: the reference
+  /// count stays the partition's full edge count instead of the shrinking
+  /// unvisited-edge count, which is ill-defined across a 512-query batch.
+  double alpha = 14.0;
+  /// Pull->push threshold divisor over the partition's vertex count.
+  double beta = 24.0;
+};
+
+[[nodiscard]] inline const char* to_string(TraversalDirection mode) {
+  switch (mode) {
+    case TraversalDirection::kPush:
+      return "push";
+    case TraversalDirection::kPull:
+      return "pull";
+    case TraversalDirection::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+/// Parse "push" | "pull" | "hybrid"; returns false (out untouched) on
+/// anything else.
+inline bool parse_direction(const std::string& text,
+                            TraversalDirection* out) {
+  if (text == "push") {
+    *out = TraversalDirection::kPush;
+  } else if (text == "pull") {
+    *out = TraversalDirection::kPull;
+  } else if (text == "hybrid") {
+    *out = TraversalDirection::kHybrid;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cgraph

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -23,6 +24,28 @@
 #include "util/bitops.hpp"
 
 namespace cgraph {
+
+/// Frontier density summary, the deterministic input of the
+/// direction-optimizing heuristic (see query/direction.hpp). Produced as a
+/// by-product of the commit pass — popcounts over words the commit already
+/// touches, never an extra scan and never a per-bit loop.
+struct FrontierOccupancy {
+  /// Rows (vertices) with at least one frontier bit set.
+  std::uint64_t active_rows = 0;
+  /// Total set frontier bits (row popcounts summed).
+  std::uint64_t active_bits = 0;
+  /// Sum of out-degrees over active rows: the Beamer scout count — the
+  /// edges the next top-down scan would charge. Zero when no degree table
+  /// was supplied.
+  std::uint64_t scout_edges = 0;
+
+  FrontierOccupancy& operator+=(const FrontierOccupancy& o) {
+    active_rows += o.active_rows;
+    active_bits += o.active_bits;
+    scout_edges += o.scout_edges;
+    return *this;
+  }
+};
 
 /// Per-batch traversal state over a (local) vertex range: three bit planes
 /// indexed [vertex][query].
@@ -95,15 +118,137 @@ class BatchFrontier {
   /// discover_atomic of the level has completed (a pool join provides the
   /// needed ordering).
   void commit_rows(std::size_t begin, std::size_t end, Word* nonempty_out) {
+    commit_rows(begin, end, nonempty_out, {}, nullptr);
+  }
+
+  /// commit_rows with density accounting: additionally popcounts each next
+  /// row while it is being folded (O(words) per row, no second pass) and
+  /// returns the closing level's FrontierOccupancy — after the matching
+  /// advance() this describes the *new* frontier, which is exactly what
+  /// the next level's direction decision needs. `degrees`, when non-empty,
+  /// supplies per-row out-degrees for the scout count; `active_out`, when
+  /// non-null, collects the active row ids in ascending order (the
+  /// bitmap->queue side of the sparse-frontier conversion, built while the
+  /// words are already hot instead of by rescanning the plane).
+  FrontierOccupancy commit_rows(std::size_t begin, std::size_t end,
+                                Word* nonempty_out,
+                                std::span<const EdgeIndex> degrees,
+                                std::vector<VertexId>* active_out) {
     const std::size_t W = frontier_.words_per_row();
+    FrontierOccupancy occ;
     for (std::size_t v = begin; v < end; ++v) {
       const Word* nx = next_.row(v);
       Word* vis = visited_.row(v);
+      Word any = 0;
       for (std::size_t w = 0; w < W; ++w) {
         vis[w] |= nx[w];
         nonempty_out[w] |= nx[w];
+        any |= nx[w];
+      }
+      if (any == 0) continue;
+      ++occ.active_rows;
+      occ.active_bits += popcount_words(nx, W);
+      if (!degrees.empty()) occ.scout_edges += degrees[v];
+      if (active_out != nullptr) {
+        active_out->push_back(static_cast<VertexId>(v));
       }
     }
+    return occ;
+  }
+
+  /// Recompute the current frontier plane's occupancy directly (O(rows *
+  /// words) with one popcount per word). The engines use this only where
+  /// no commit pass preceded the level — at seed time and when resuming
+  /// from a restored checkpoint — and it reproduces the commit-carried
+  /// values exactly, which is what keeps the direction heuristic's replay
+  /// bit-exact after a crash.
+  [[nodiscard]] FrontierOccupancy frontier_occupancy(
+      std::span<const EdgeIndex> degrees = {}) const {
+    const std::size_t W = frontier_.words_per_row();
+    FrontierOccupancy occ;
+    for (std::size_t v = 0; v < frontier_.rows(); ++v) {
+      const Word* row = frontier_.row(v);
+      const std::uint64_t bits = popcount_words(row, W);
+      if (bits == 0) continue;
+      ++occ.active_rows;
+      occ.active_bits += bits;
+      if (!degrees.empty()) occ.scout_edges += degrees[v];
+    }
+    return occ;
+  }
+
+  /// Bitmap -> queue conversion: collect the rows with any frontier bit,
+  /// ascending. Returns the queue length. The sparse top-down scan
+  /// iterates this queue instead of testing every row; the inverse
+  /// conversion below restores a plane from the queue.
+  std::size_t frontier_to_queue(std::vector<VertexId>& out) const {
+    out.clear();
+    for (std::size_t v = 0; v < frontier_.rows(); ++v) {
+      if (frontier_.row_any(v)) out.push_back(static_cast<VertexId>(v));
+    }
+    return out.size();
+  }
+
+  /// Queue -> bitmap conversion: rebuild the frontier plane from a queue
+  /// of active rows plus the plane the rows were captured from. Rows not
+  /// in the queue are cleared. With a queue produced by frontier_to_queue
+  /// on `src` this is an exact inverse (round-trip property-tested).
+  void frontier_from_queue(std::span<const VertexId> queue,
+                           const QueryBitRows& src) {
+    const std::size_t W = frontier_.words_per_row();
+    CGRAPH_CHECK(src.rows() == frontier_.rows() &&
+                 src.words_per_row() == W);
+    frontier_.clear_all();
+    for (VertexId v : queue) {
+      const Word* s = src.row(v);
+      Word* d = frontier_.row(v);
+      for (std::size_t w = 0; w < W; ++w) d[w] = s[w];
+    }
+  }
+
+  /// Bottom-up (pull) update for row v — the CSC word-AND kernel. want =
+  /// expand & ~visited(v); every parent in `parents` whose global id falls
+  /// in [parent_begin, parent_end) (ids sorted ascending, the CSR
+  /// invariant, so the window is found by binary search) contributes
+  /// frontier(parent - parent_begin) & want into next(v), one AND per
+  /// 64-query word; a query's bit is retired as soon as one parent
+  /// supplies it and the loop exits early once every wanted bit is found.
+  /// The row is written by exactly one thread (scans partition rows), so
+  /// the writes are plain — no atomics — and commit_rows() folds next into
+  /// visited as usual, which keeps pull bit-exact with push for any thread
+  /// count. Returns the number of parent rows examined (what the scout
+  /// heuristic charges as bottom-up work).
+  std::uint64_t pull_row(std::size_t v, const Word* expand,
+                         std::span<const VertexId> parents,
+                         VertexId parent_begin, VertexId parent_end) {
+    const std::size_t W = frontier_.words_per_row();
+    Word want[QueryBitRows::kMaxBatchWords];
+    const Word* vis = visited_.row(v);
+    Word any = 0;
+    for (std::size_t w = 0; w < W; ++w) {
+      want[w] = expand[w] & ~vis[w];
+      any |= want[w];
+    }
+    if (any == 0) return 0;
+    const auto lo =
+        std::lower_bound(parents.begin(), parents.end(), parent_begin);
+    const auto hi = std::lower_bound(lo, parents.end(), parent_end);
+    Word* nx = next_.row(v);
+    std::uint64_t examined = 0;
+    for (auto it = lo; it != hi; ++it) {
+      ++examined;
+      const Word* pf =
+          frontier_.row(static_cast<std::size_t>(*it - parent_begin));
+      Word remaining = 0;
+      for (std::size_t w = 0; w < W; ++w) {
+        const Word add = pf[w] & want[w];
+        nx[w] |= add;
+        want[w] &= ~add;
+        remaining |= want[w];
+      }
+      if (remaining == 0) break;
+    }
+    return examined;
   }
 
   /// Advance one level: frontier <- next, next <- 0. Returns true if the

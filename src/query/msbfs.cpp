@@ -19,6 +19,12 @@ constexpr std::uint32_t kRemoteDiscoverTag = 0x52444953;  // 'RDIS'
 // Depth is uint8_t, so no traversal can exceed 255 levels; +1 slack.
 constexpr std::size_t kMaxLevels = 256;
 
+// Sparse top-down scans iterate the active-row queue instead of testing
+// every row once the queue is this many times smaller than the vertex
+// count. Purely a work-saving choice: queue and full scans expand the
+// same rows, so every downstream bit and counter is identical.
+constexpr std::uint64_t kSparseQueueFactor = 8;
+
 using WordRow = std::array<Word, QueryBitRows::kMaxBatchWords>;
 
 /// Internal batch form shared by the single- and multi-source overloads:
@@ -88,14 +94,55 @@ inline void atomic_or_word(Word* word, Word bits) {
       bits, std::memory_order_relaxed);
 }
 
+/// The per-level direction decision (DESIGN.md §12). Every input is a
+/// deterministic function of the frontier planes and static degrees — the
+/// previous level's commit-pass occupancy, the partition's edge/vertex
+/// totals, and the previous decision (Beamer's hysteresis) — so the choice
+/// is identical for every thread count and replays bit-exact from a
+/// restored checkpoint.
+TraversalDirection decide_direction(const DirectionOptions& opts,
+                                    bool can_pull, bool was_pulling,
+                                    const FrontierOccupancy& occ,
+                                    std::uint64_t total_edges,
+                                    std::uint64_t nrows) {
+  if (opts.mode == TraversalDirection::kPush) return TraversalDirection::kPush;
+  if (opts.mode == TraversalDirection::kPull) return TraversalDirection::kPull;
+  if (!can_pull) return TraversalDirection::kPush;
+  if (!was_pulling) {
+    // Push -> pull when the frontier's out-edges pass total/alpha: the
+    // top-down scan is about to touch a large fraction of the graph, and
+    // most of those checks will land on already-visited rows.
+    const double scout_limit =
+        static_cast<double>(total_edges) / std::max(opts.alpha, 1e-9);
+    return static_cast<double>(occ.scout_edges) > scout_limit
+               ? TraversalDirection::kPull
+               : TraversalDirection::kPush;
+  }
+  // Pull -> push when the frontier thins out again (the tail of the
+  // traversal): bottom-up would keep scanning every unvisited row for
+  // parents that are no longer there.
+  const double rows_limit =
+      static_cast<double>(nrows) / std::max(opts.beta, 1e-9);
+  return static_cast<double>(occ.active_rows) < rows_limit
+             ? TraversalDirection::kPush
+             : TraversalDirection::kPull;
+}
+
 MsBfsBatchResult msbfs_batch_core(const Graph& graph,
                                   const SeededBatch& batch,
-                                  std::size_t threads) {
+                                  std::size_t threads,
+                                  const DirectionOptions& direction,
+                                  QueryBitRows* visited_out) {
   const std::size_t Q = batch.size();
   CGRAPH_CHECK(Q > 0);
   CGRAPH_CHECK_MSG(Q <= QueryBitRows::kMaxBatchWords * kWordBits,
                    "batch exceeds bit-parallel capacity");
   const VertexId n = graph.num_vertices();
+
+  const bool can_pull = graph.has_in_edges();
+  CGRAPH_CHECK_MSG(
+      direction.mode != TraversalDirection::kPull || can_pull,
+      "forced pull requires a graph built with in-edges (CSC)");
 
   const std::size_t nthreads = resolve_compute_threads(threads);
   std::unique_ptr<ThreadPool> owned_pool;
@@ -119,8 +166,22 @@ MsBfsBatchResult msbfs_batch_core(const Graph& graph,
     }
   }
 
+  // Scout-count inputs: per-row out-degrees (static) and the seeded
+  // frontier's occupancy; from level 1 on the occupancy is carried out of
+  // the commit pass for free.
+  std::vector<EdgeIndex> degrees(n);
+  for (VertexId v = 0; v < n; ++v) degrees[v] = graph.out_degree(v);
+  const std::uint64_t total_edges = graph.num_edges();
+  FrontierOccupancy occ = bf.frontier_occupancy(degrees);
+
+  // Active-row queue for sparse top-down levels: seeded by the
+  // bitmap->queue conversion, then maintained by the commit pass.
+  std::vector<VertexId> queue;
+  bf.frontier_to_queue(queue);
+
   std::vector<bool> done(Q, false);
   std::size_t done_count = 0;
+  bool pulling = false;
   WallTimer wall;
 
   auto mark_done = [&](std::size_t q, Depth levels_run) {
@@ -134,45 +195,122 @@ MsBfsBatchResult msbfs_batch_core(const Graph& graph,
   for (Depth level = 0; done_count < Q; ++level) {
     const WordRow expand = expand_mask_for_level(batch.ks, level);
 
+    const TraversalDirection used = decide_direction(
+        direction, can_pull, pulling, occ, total_edges, n);
+    pulling = used == TraversalDirection::kPull;
+
     obs::LevelTrace lt;
     lt.level = level;
+    lt.scout_edges = occ.scout_edges;
+    lt.push_machines = pulling ? 0 : 1;
+    lt.pull_machines = pulling ? 1 : 0;
 
-    // Scan: threads claim disjoint vertex ranges of the frontier; fresh
-    // discoveries land in the next plane via relaxed atomic OR while the
-    // visited plane stays frozen (committed once below), so any thread
-    // interleaving produces exactly the serial scan's bits.
     std::atomic<std::uint64_t> frontier_acc{0};
     std::atomic<std::uint64_t> edges_acc{0};
-    const ParallelForStats scan_stats = parallel_ranges(
-        pool, n, [&](std::size_t vb, std::size_t ve) {
-          WordRow masked;
-          std::uint64_t chunk_frontier = 0;
-          std::uint64_t chunk_edges = 0;
-          for (std::size_t v = vb; v < ve; ++v) {
-            const Word* row = bf.frontier().row(v);
-            if (!row_masked_any(row, expand, W, masked)) continue;
-            ++chunk_frontier;
-            const auto nbrs = graph.out_neighbors(static_cast<VertexId>(v));
-            for (VertexId t : nbrs) {
-              bf.discover_atomic(t, masked.data());
+    ParallelForStats scan_stats;
+    if (!pulling) {
+      // Top-down scan: threads claim disjoint vertex ranges of the
+      // frontier; fresh discoveries land in the next plane via relaxed
+      // atomic OR while the visited plane stays frozen (committed once
+      // below), so any thread interleaving produces exactly the serial
+      // scan's bits. A sparse frontier iterates the active-row queue
+      // instead of testing all n rows — same rows expand either way.
+      auto expand_row = [&](std::size_t v, WordRow& masked,
+                            std::uint64_t& chunk_frontier,
+                            std::uint64_t& chunk_edges) {
+        const Word* row = bf.frontier().row(v);
+        if (!row_masked_any(row, expand, W, masked)) return;
+        ++chunk_frontier;
+        const auto nbrs = graph.out_neighbors(static_cast<VertexId>(v));
+        for (VertexId t : nbrs) {
+          bf.discover_atomic(t, masked.data());
+        }
+        chunk_edges += nbrs.size();
+      };
+      const bool sparse =
+          queue.size() * kSparseQueueFactor < static_cast<std::size_t>(n);
+      if (sparse) {
+        scan_stats = parallel_ranges(
+            pool, queue.size(), [&](std::size_t qb, std::size_t qe) {
+              WordRow masked;
+              std::uint64_t chunk_frontier = 0;
+              std::uint64_t chunk_edges = 0;
+              for (std::size_t i = qb; i < qe; ++i) {
+                expand_row(queue[i], masked, chunk_frontier, chunk_edges);
+              }
+              frontier_acc.fetch_add(chunk_frontier,
+                                     std::memory_order_relaxed);
+              edges_acc.fetch_add(chunk_edges, std::memory_order_relaxed);
+            });
+      } else {
+        scan_stats = parallel_ranges(
+            pool, n, [&](std::size_t vb, std::size_t ve) {
+              WordRow masked;
+              std::uint64_t chunk_frontier = 0;
+              std::uint64_t chunk_edges = 0;
+              for (std::size_t v = vb; v < ve; ++v) {
+                expand_row(v, masked, chunk_frontier, chunk_edges);
+              }
+              frontier_acc.fetch_add(chunk_frontier,
+                                     std::memory_order_relaxed);
+              edges_acc.fetch_add(chunk_edges, std::memory_order_relaxed);
+            });
+      }
+    } else {
+      // Bottom-up scan: threads claim disjoint ranges of *rows to fill*;
+      // each unvisited row ANDs its parents' frontier words into its own
+      // next row (one word-AND per 64 queries), stopping as soon as every
+      // wanted bit found a parent. Each row has exactly one writer, so no
+      // atomics are needed; the frontier occupancy count rides along for
+      // telemetry parity with the push path.
+      scan_stats = parallel_ranges(
+          pool, n, [&](std::size_t vb, std::size_t ve) {
+            WordRow masked;
+            std::uint64_t chunk_frontier = 0;
+            std::uint64_t chunk_examined = 0;
+            for (std::size_t v = vb; v < ve; ++v) {
+              if (row_masked_any(bf.frontier().row(v), expand, W, masked)) {
+                ++chunk_frontier;
+              }
+              chunk_examined += bf.pull_row(
+                  v, expand.data(),
+                  graph.in_neighbors(static_cast<VertexId>(v)), 0, n);
             }
-            chunk_edges += nbrs.size();
-          }
-          frontier_acc.fetch_add(chunk_frontier, std::memory_order_relaxed);
-          edges_acc.fetch_add(chunk_edges, std::memory_order_relaxed);
-        });
+            frontier_acc.fetch_add(chunk_frontier,
+                                   std::memory_order_relaxed);
+            edges_acc.fetch_add(chunk_examined, std::memory_order_relaxed);
+          });
+    }
 
-    // Commit: fold the next plane into visited once for the whole level
-    // and collect the per-query occupancy of the next frontier.
+    // Commit: fold the next plane into visited once for the whole level,
+    // collect the per-query occupancy of the next frontier, and carry the
+    // next level's density + scout count out of the same pass.
     WordRow nonempty{};
+    FrontierOccupancy occ_next;
+    std::vector<std::pair<std::size_t, std::vector<VertexId>>> active_chunks;
     std::mutex nonempty_mu;
     const ParallelForStats commit_stats = parallel_ranges(
         pool, n, [&](std::size_t vb, std::size_t ve) {
           WordRow chunk_nonempty{};
-          bf.commit_rows(vb, ve, chunk_nonempty.data());
+          std::vector<VertexId> chunk_active;
+          const FrontierOccupancy chunk_occ = bf.commit_rows(
+              vb, ve, chunk_nonempty.data(), degrees, &chunk_active);
           std::lock_guard<std::mutex> lock(nonempty_mu);
           for (std::size_t w = 0; w < W; ++w) nonempty[w] |= chunk_nonempty[w];
+          occ_next += chunk_occ;
+          active_chunks.emplace_back(vb, std::move(chunk_active));
         });
+    // Rebuild the queue from the per-chunk pieces in row order (chunks are
+    // contiguous ranges, so sorting by range start restores the global
+    // ascending order regardless of which thread finished first).
+    std::sort(active_chunks.begin(), active_chunks.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    queue.clear();
+    for (auto& [begin_row, rows] : active_chunks) {
+      (void)begin_row;
+      queue.insert(queue.end(), rows.begin(), rows.end());
+    }
+    occ = occ_next;
 
     lt.frontier_vertices = frontier_acc.load(std::memory_order_relaxed);
     const std::uint64_t discovers =
@@ -180,9 +318,15 @@ MsBfsBatchResult msbfs_batch_core(const Graph& graph,
     lt.edges_scanned = discovers;
     result.edges_scanned += discovers;
 
-    // Bitmap words touched: frontier scan + occupancy scan of every row,
-    // plus the three word-ops per discovered neighbor row (Fig. 6 update).
-    lt.bit_ops = 2 * static_cast<std::uint64_t>(n) * W + discovers * 3 * W;
+    // Bitmap words touched. Push: frontier scan + occupancy scan of every
+    // row, plus the three word-ops per discovered neighbor row (Fig. 6
+    // update). Pull: frontier/want scans of every row plus two word-ops
+    // (AND + OR) per parent row examined, plus the commit scan.
+    lt.bit_ops = pulling
+                     ? 3 * static_cast<std::uint64_t>(n) * W +
+                           discovers * 2 * W
+                     : 2 * static_cast<std::uint64_t>(n) * W +
+                           discovers * 3 * W;
     lt.parallel_tasks = scan_stats.tasks + commit_stats.tasks;
     lt.steal_wait_seconds =
         scan_stats.join_wait_seconds + commit_stats.join_wait_seconds;
@@ -227,6 +371,7 @@ MsBfsBatchResult msbfs_batch_core(const Graph& graph,
                             ? result.visited[q] - seeds
                             : 0;
   }
+  if (visited_out != nullptr) *visited_out = bf.visited();
 
   result.wall_seconds = wall.seconds();
   result.sim_seconds = result.wall_seconds;  // no cluster: wall == sim
@@ -236,7 +381,8 @@ MsBfsBatchResult msbfs_batch_core(const Graph& graph,
 
 MsBfsBatchResult run_distributed_msbfs_core(
     Cluster& cluster, const std::vector<SubgraphShard>& shards,
-    const RangePartition& partition, const SeededBatch& batch) {
+    const RangePartition& partition, const SeededBatch& batch,
+    const DirectionOptions& direction, QueryBitRows* visited_out) {
   const std::size_t Q = batch.size();
   CGRAPH_CHECK(Q > 0);
   CGRAPH_CHECK_MSG(Q <= QueryBitRows::kMaxBatchWords * kWordBits,
@@ -245,11 +391,22 @@ MsBfsBatchResult run_distributed_msbfs_core(
   const VertexId num_vertices = shards[0].num_global_vertices();
   const std::size_t W = words_for_bits(Q);
 
+  if (direction.mode == TraversalDirection::kPull) {
+    for (const SubgraphShard& shard : shards) {
+      CGRAPH_CHECK_MSG(shard.has_in_edges(),
+                       "forced pull requires shards built with in-edges "
+                       "(ShardOptions::build_in_edges)");
+    }
+  }
+
   MsBfsBatchResult result;
   result.visited.assign(Q, 0);
   result.levels.assign(Q, 0);
   result.completion_wall_seconds.assign(Q, 0.0);
   result.completion_sim_seconds.assign(Q, 0.0);
+  if (visited_out != nullptr) {
+    *visited_out = QueryBitRows(num_vertices, Q);
+  }
 
   // Shared reduction planes, one row per level so no reset/race dance is
   // needed: machines OR their local next-frontier masks for level L into
@@ -269,12 +426,18 @@ MsBfsBatchResult run_distributed_msbfs_core(
   std::vector<std::atomic<std::uint64_t>> lvl_bitops(kMaxLevels);
   std::vector<std::atomic<std::uint64_t>> lvl_ptasks(kMaxLevels);
   std::vector<std::atomic<std::uint64_t>> lvl_stealwait_ns(kMaxLevels);
+  std::vector<std::atomic<std::uint64_t>> lvl_push(kMaxLevels);
+  std::vector<std::atomic<std::uint64_t>> lvl_pull(kMaxLevels);
+  std::vector<std::atomic<std::uint64_t>> lvl_scout(kMaxLevels);
   for (std::size_t i = 0; i < kMaxLevels; ++i) {
     lvl_frontier[i].store(0, std::memory_order_relaxed);
     lvl_edges[i].store(0, std::memory_order_relaxed);
     lvl_bitops[i].store(0, std::memory_order_relaxed);
     lvl_ptasks[i].store(0, std::memory_order_relaxed);
     lvl_stealwait_ns[i].store(0, std::memory_order_relaxed);
+    lvl_push[i].store(0, std::memory_order_relaxed);
+    lvl_pull[i].store(0, std::memory_order_relaxed);
+    lvl_scout[i].store(0, std::memory_order_relaxed);
   }
 
   cluster.reset_clocks();
@@ -301,6 +464,9 @@ MsBfsBatchResult run_distributed_msbfs_core(
       lvl_bitops[l].store(0, std::memory_order_relaxed);
       lvl_ptasks[l].store(0, std::memory_order_relaxed);
       lvl_stealwait_ns[l].store(0, std::memory_order_relaxed);
+      lvl_push[l].store(0, std::memory_order_relaxed);
+      lvl_pull[l].store(0, std::memory_order_relaxed);
+      lvl_scout[l].store(0, std::memory_order_relaxed);
     }
     for (auto& a : visited_accum) a.store(0, std::memory_order_relaxed);
     edges_total.store(0, std::memory_order_relaxed);
@@ -315,6 +481,14 @@ MsBfsBatchResult run_distributed_msbfs_core(
     // Cluster::set_compute_threads / $CGRAPH_THREADS.
     ThreadPool* pool = mc.pool();
 
+    // Direction heuristic inputs for this partition: static out-degrees
+    // (scout counts) and the partition's own edge/vertex totals — the
+    // decision is per level per partition.
+    const std::span<const EdgeIndex> degrees(shard.out_degrees());
+    std::uint64_t my_total_out_edges = 0;
+    for (EdgeIndex d : degrees) my_total_out_edges += d;
+    const bool can_pull = shard.has_in_edges();
+
     // Discover bits are OR-ed (idempotent), so duplicated packets cannot
     // corrupt state — the filter keeps delivery exactly-once so the
     // dedup-suppression counters reconcile under fault plans.
@@ -328,6 +502,7 @@ MsBfsBatchResult run_distributed_msbfs_core(
     std::size_t done_count = 0;
     std::uint64_t my_edges = 0;
     Depth start_level = 0;
+    bool pulling = false;
 
     if (auto ckpt = mc.restore_checkpoint()) {
       // Re-entering after a crash: resume from the checkpointed level
@@ -342,6 +517,7 @@ MsBfsBatchResult run_distributed_msbfs_core(
       my_edges = pr.read<std::uint64_t>();
       dedup.deserialize(pr);
       bf.deserialize(pr);
+      pulling = pr.read<std::uint8_t>() != 0;
     } else {
       for (std::size_t q = 0; q < Q; ++q) {
         for (VertexId source : batch.seeds[q]) {
@@ -353,6 +529,12 @@ MsBfsBatchResult run_distributed_msbfs_core(
       }
     }
 
+    // Occupancy entering the first (or restored) level, recomputed from
+    // the frontier plane; later levels carry it out of the commit pass.
+    // The recomputation reproduces the commit-carried values exactly, so
+    // direction decisions replay bit-exact through a restore.
+    FrontierOccupancy occ = bf.frontier_occupancy(degrees);
+
     // Remote accumulator: dense bit rows over the whole global space plus
     // a touched list, so per-destination rows are OR-combined before they
     // hit the wire (bounded by boundary vertices, not edges).
@@ -363,8 +545,8 @@ MsBfsBatchResult run_distributed_msbfs_core(
 
     for (Depth level = start_level; done_count < Q; ++level) {
       // Top of level = the consistent cut: staged mailboxes are empty and
-      // the next plane was just cleared, so (level, done, dedup, planes)
-      // is the machine's whole recoverable state.
+      // the next plane was just cleared, so (level, done, dedup, planes,
+      // direction hysteresis) is the machine's whole recoverable state.
       mc.maybe_checkpoint([&](PacketWriter& pw) {
         pw.write<std::uint32_t>(level);
         pw.write<std::uint64_t>(done_count);
@@ -374,13 +556,34 @@ MsBfsBatchResult run_distributed_msbfs_core(
         pw.write<std::uint64_t>(my_edges);
         dedup.serialize(pw);
         bf.serialize(pw);
+        pw.write<std::uint8_t>(pulling ? 1 : 0);
       });
 
       const WordRow expand = expand_mask_for_level(batch.ks, level);
 
+      const TraversalDirection used = decide_direction(
+          direction, can_pull, pulling, occ, my_total_out_edges, nlocal);
+      pulling = used == TraversalDirection::kPull;
+      (pulling ? lvl_pull : lvl_push)[level].fetch_add(
+          1, std::memory_order_relaxed);
+      lvl_scout[level].fetch_add(occ.scout_edges,
+                                 std::memory_order_relaxed);
+
       const bool tracing = obs::tracing_enabled();
       const double scan_sim_t0 = tracing ? mc.clock().seconds() : 0.0;
       WallTimer phase_wall;
+
+      if (tracing) {
+        obs::TraceEvent ev;
+        ev.phase = obs::TraceEventPhase::kDirectionChoice;
+        ev.kind = obs::TraceEventKind::kInstant;
+        ev.machine = static_cast<std::int32_t>(mc.id());
+        ev.level = static_cast<std::int32_t>(level);
+        ev.sim_seconds = scan_sim_t0;
+        ev.a = pulling ? 1.0 : 0.0;
+        ev.b = static_cast<double>(occ.scout_edges);
+        obs::trace(ev);
+      }
 
       // --- Telemetry: local frontier occupancy entering this level.
       std::atomic<std::uint64_t> frontier_acc{0};
@@ -401,36 +604,108 @@ MsBfsBatchResult run_distributed_msbfs_core(
       lvl_frontier[level].fetch_add(level_frontier,
                                     std::memory_order_relaxed);
 
-      // --- Local edge-set scan. Pool threads claim ranges of flat block
-      // indices (each block is an LLC-sized EdgeSet tile, the natural unit
-      // of intra-machine work). Local discoveries OR into the next plane
-      // atomically with visited frozen; remote discoveries OR into the
-      // dense accumulator words atomically, with first-touch claimed via
-      // the touched bitmap and chunk-local touch lists merged (then sorted
-      // below) so shipped packets stay byte-identical to the serial scan.
+      const EdgeSetGrid& grid = shard.out_sets();
       std::atomic<std::uint64_t> edges_acc{0};
       std::atomic<std::uint64_t> rows_acc{0};
+      std::atomic<std::uint64_t> pull_examined_acc{0};
       std::mutex touched_mu;
-      const EdgeSetGrid& grid = shard.out_sets();
-      const ParallelForStats scan_stats = parallel_ranges(
-          pool, grid.num_sets(), [&](std::size_t bb, std::size_t be) {
-            WordRow masked;
-            std::uint64_t chunk_edges = 0;
-            std::uint64_t chunk_rows = 0;
-            std::vector<VertexId> chunk_touched;
-            for (std::size_t b = bb; b < be; ++b) {
-              const EdgeSet& es = grid.set_at(b);
-              const VertexRange rr = grid.row_range(grid.row_of_set(b));
-              for (VertexId v = rr.begin; v < rr.end; ++v) {
-                const Word* row = bf.frontier().row(v - range.begin);
-                ++chunk_rows;
-                if (!row_masked_any(row, expand, W, masked)) continue;
-                const auto nbrs = es.neighbors(v);
-                chunk_edges += nbrs.size();
-                for (VertexId t : nbrs) {
-                  if (range.contains(t)) {
-                    bf.discover_atomic(t - range.begin, masked.data());
-                  } else {
+      ParallelForStats scan_stats;
+      ParallelForStats pull_stats;
+
+      if (!pulling) {
+        // --- Top-down local edge-set scan. Pool threads claim ranges of
+        // flat block indices (each block is an LLC-sized EdgeSet tile, the
+        // natural unit of intra-machine work). Local discoveries OR into
+        // the next plane atomically with visited frozen; remote
+        // discoveries OR into the dense accumulator words atomically, with
+        // first-touch claimed via the touched bitmap and chunk-local touch
+        // lists merged (then sorted below) so shipped packets stay
+        // byte-identical to the serial scan.
+        scan_stats = parallel_ranges(
+            pool, grid.num_sets(), [&](std::size_t bb, std::size_t be) {
+              WordRow masked;
+              std::uint64_t chunk_edges = 0;
+              std::uint64_t chunk_rows = 0;
+              std::vector<VertexId> chunk_touched;
+              for (std::size_t b = bb; b < be; ++b) {
+                const EdgeSet& es = grid.set_at(b);
+                const VertexRange rr = grid.row_range(grid.row_of_set(b));
+                for (VertexId v = rr.begin; v < rr.end; ++v) {
+                  const Word* row = bf.frontier().row(v - range.begin);
+                  ++chunk_rows;
+                  if (!row_masked_any(row, expand, W, masked)) continue;
+                  const auto nbrs = es.neighbors(v);
+                  chunk_edges += nbrs.size();
+                  for (VertexId t : nbrs) {
+                    if (range.contains(t)) {
+                      bf.discover_atomic(t - range.begin, masked.data());
+                    } else {
+                      Word* acc = remote_acc.data() +
+                                  static_cast<std::size_t>(t) * W;
+                      for (std::size_t w = 0; w < W; ++w) {
+                        if (masked[w] != 0) atomic_or_word(&acc[w], masked[w]);
+                      }
+                      if (touched_bm.atomic_test_and_set(t)) {
+                        chunk_touched.push_back(t);
+                      }
+                    }
+                  }
+                }
+              }
+              edges_acc.fetch_add(chunk_edges, std::memory_order_relaxed);
+              rows_acc.fetch_add(chunk_rows, std::memory_order_relaxed);
+              if (!chunk_touched.empty()) {
+                std::lock_guard<std::mutex> lock(touched_mu);
+                touched.insert(touched.end(), chunk_touched.begin(),
+                               chunk_touched.end());
+              }
+            });
+      } else {
+        // --- Bottom-up local scan over the partition's CSC: each thread
+        // owns a disjoint range of unvisited rows and ANDs local parents'
+        // frontier words into them (plain writes — one writer per row).
+        // Parents outside the local range are skipped; their contributions
+        // arrive through the cross-partition push below, exactly as in
+        // push mode.
+        pull_stats = parallel_ranges(
+            pool, nlocal, [&](std::size_t vb, std::size_t ve) {
+              std::uint64_t chunk_examined = 0;
+              for (std::size_t v = vb; v < ve; ++v) {
+                chunk_examined +=
+                    bf.pull_row(v, expand.data(), shard.in_csr().neighbors(v),
+                                range.begin, range.end);
+              }
+              pull_examined_acc.fetch_add(chunk_examined,
+                                          std::memory_order_relaxed);
+            });
+        // --- Cross-partition push: boundary rows still push their masked
+        // frontier bits into the remote accumulator, so the shipped
+        // packets (and therefore every fault-plan decision, barrier count,
+        // and checkpoint cut downstream) are byte-identical to push mode.
+        // Blocks whose destination range is entirely local carry no
+        // boundary edges and are skipped — that skip is the pull-side
+        // saving on the local partition.
+        scan_stats = parallel_ranges(
+            pool, grid.num_sets(), [&](std::size_t bb, std::size_t be) {
+              WordRow masked;
+              std::uint64_t chunk_edges = 0;
+              std::uint64_t chunk_rows = 0;
+              std::vector<VertexId> chunk_touched;
+              for (std::size_t b = bb; b < be; ++b) {
+                const EdgeSet& es = grid.set_at(b);
+                if (es.dst_range().begin >= range.begin &&
+                    es.dst_range().end <= range.end) {
+                  continue;  // fully local destinations: pull covered them
+                }
+                const VertexRange rr = grid.row_range(grid.row_of_set(b));
+                for (VertexId v = rr.begin; v < rr.end; ++v) {
+                  const Word* row = bf.frontier().row(v - range.begin);
+                  ++chunk_rows;
+                  if (!row_masked_any(row, expand, W, masked)) continue;
+                  const auto nbrs = es.neighbors(v);
+                  chunk_edges += nbrs.size();
+                  for (VertexId t : nbrs) {
+                    if (range.contains(t)) continue;  // pull covered it
                     Word* acc = remote_acc.data() +
                                 static_cast<std::size_t>(t) * W;
                     for (std::size_t w = 0; w < W; ++w) {
@@ -442,33 +717,41 @@ MsBfsBatchResult run_distributed_msbfs_core(
                   }
                 }
               }
-            }
-            edges_acc.fetch_add(chunk_edges, std::memory_order_relaxed);
-            rows_acc.fetch_add(chunk_rows, std::memory_order_relaxed);
-            if (!chunk_touched.empty()) {
-              std::lock_guard<std::mutex> lock(touched_mu);
-              touched.insert(touched.end(), chunk_touched.begin(),
-                             chunk_touched.end());
-            }
-          });
+              edges_acc.fetch_add(chunk_edges, std::memory_order_relaxed);
+              rows_acc.fetch_add(chunk_rows, std::memory_order_relaxed);
+              if (!chunk_touched.empty()) {
+                std::lock_guard<std::mutex> lock(touched_mu);
+                touched.insert(touched.end(), chunk_touched.begin(),
+                               chunk_touched.end());
+              }
+            });
+      }
+      const std::uint64_t pull_examined =
+          pull_examined_acc.load(std::memory_order_relaxed);
       const std::uint64_t level_edges =
-          edges_acc.load(std::memory_order_relaxed);
+          edges_acc.load(std::memory_order_relaxed) + pull_examined;
       const std::uint64_t level_rows =
           rows_acc.load(std::memory_order_relaxed);
       my_edges += level_edges;
       lvl_edges[level].fetch_add(level_edges, std::memory_order_relaxed);
-      // Bitmap words touched this level: occupancy pre-scan + per-row
-      // frontier masks + three word-ops per discovered neighbor row, plus
-      // the occupancy publish scan below.
+      // Bitmap words touched this level. Push: occupancy pre-scan +
+      // per-row frontier masks + three word-ops per discovered neighbor
+      // row, plus the occupancy publish scan below. Pull: the same
+      // pre/publish scans, the per-row want computation, two word-ops per
+      // parent examined, and the boundary rows' masks + remote ORs.
       lvl_bitops[level].fetch_add(
-          (static_cast<std::uint64_t>(nlocal) * 2 + level_rows +
-           level_edges * 3) *
-              W,
+          pulling ? (static_cast<std::uint64_t>(nlocal) * 3 + level_rows +
+                     pull_examined * 2 +
+                     (level_edges - pull_examined) * 3) *
+                        W
+                  : (static_cast<std::uint64_t>(nlocal) * 2 + level_rows +
+                     level_edges * 3) *
+                        W,
           std::memory_order_relaxed);
       mc.charge_compute(level_edges, /*vertices=*/0);
 
       if (tracing) {
-        // Scan span: occupancy pre-scan + edge-set scan + compute charge.
+        // Scan span: occupancy pre-scan + edge scan + compute charge.
         // Sim duration is exactly this level's charged compute time.
         obs::TraceEvent ev;
         ev.phase = obs::TraceEventPhase::kSuperstepScan;
@@ -537,19 +820,24 @@ MsBfsBatchResult run_distributed_msbfs_core(
         }
       }
 
-      // --- Commit the level (visited |= next, once) and publish local
-      // next-frontier occupancy for this level.
+      // --- Commit the level (visited |= next, once), publish local
+      // next-frontier occupancy for this level, and carry the next
+      // level's density/scout inputs out of the same pass.
       WordRow nonempty{};
+      FrontierOccupancy occ_next;
       std::mutex nonempty_mu;
       const ParallelForStats commit_stats = parallel_ranges(
           pool, nlocal, [&](std::size_t vb, std::size_t ve) {
             WordRow chunk_nonempty{};
-            bf.commit_rows(vb, ve, chunk_nonempty.data());
+            const FrontierOccupancy chunk_occ = bf.commit_rows(
+                vb, ve, chunk_nonempty.data(), degrees, nullptr);
             std::lock_guard<std::mutex> lock(nonempty_mu);
             for (std::size_t w = 0; w < W; ++w) {
               nonempty[w] |= chunk_nonempty[w];
             }
+            occ_next += chunk_occ;
           });
+      occ = occ_next;
       for (std::size_t w = 0; w < W; ++w) {
         if (nonempty[w] != 0) {
           nonempty_planes[static_cast<std::size_t>(level) * W + w]
@@ -557,11 +845,13 @@ MsBfsBatchResult run_distributed_msbfs_core(
         }
       }
       lvl_ptasks[level].fetch_add(
-          occ_stats.tasks + scan_stats.tasks + commit_stats.tasks,
+          occ_stats.tasks + scan_stats.tasks + pull_stats.tasks +
+              commit_stats.tasks,
           std::memory_order_relaxed);
       lvl_stealwait_ns[level].fetch_add(
           static_cast<std::uint64_t>(
               (occ_stats.join_wait_seconds + scan_stats.join_wait_seconds +
+               pull_stats.join_wait_seconds +
                commit_stats.join_wait_seconds) *
               1e9),
           std::memory_order_relaxed);
@@ -630,6 +920,16 @@ MsBfsBatchResult run_distributed_msbfs_core(
         }
       }
     });
+    if (visited_out != nullptr) {
+      // Machines own disjoint global row ranges, so the plane assembles
+      // without synchronization; a crashed machine only reaches this point
+      // on its final (successful) attempt.
+      for (std::size_t v = 0; v < static_cast<std::size_t>(nlocal); ++v) {
+        const Word* src = bf.visited().row(v);
+        Word* dst = visited_out->row(range.begin + v);
+        for (std::size_t w = 0; w < W; ++w) dst[w] = src[w];
+      }
+    }
     edges_total.fetch_add(my_edges, std::memory_order_relaxed);
   }, hooks);
 
@@ -660,6 +960,11 @@ MsBfsBatchResult run_distributed_msbfs_core(
         static_cast<double>(
             lvl_stealwait_ns[l].load(std::memory_order_relaxed)) *
         1e-9;
+    lt.push_machines = static_cast<std::uint32_t>(
+        lvl_push[l].load(std::memory_order_relaxed));
+    lt.pull_machines = static_cast<std::uint32_t>(
+        lvl_pull[l].load(std::memory_order_relaxed));
+    lt.scout_edges = lvl_scout[l].load(std::memory_order_relaxed);
     for (std::size_t s = 2 * l; s < 2 * l + 2 && s < steps.size(); ++s) {
       lt.barrier_wait_sim_seconds += steps[s].barrier_wait_sim_seconds;
     }
@@ -672,29 +977,38 @@ MsBfsBatchResult run_distributed_msbfs_core(
 
 MsBfsBatchResult msbfs_batch(const Graph& graph,
                              std::span<const KHopQuery> batch,
-                             std::size_t threads) {
-  return msbfs_batch_core(graph, to_seeded(batch), threads);
+                             std::size_t threads,
+                             const DirectionOptions& direction,
+                             QueryBitRows* visited_out) {
+  return msbfs_batch_core(graph, to_seeded(batch), threads, direction,
+                          visited_out);
 }
 
 MsBfsBatchResult msbfs_batch(const Graph& graph,
                              std::span<const MultiKHopQuery> batch,
-                             std::size_t threads) {
-  return msbfs_batch_core(graph, to_seeded(batch), threads);
+                             std::size_t threads,
+                             const DirectionOptions& direction,
+                             QueryBitRows* visited_out) {
+  return msbfs_batch_core(graph, to_seeded(batch), threads, direction,
+                          visited_out);
 }
 
 MsBfsBatchResult run_distributed_msbfs(
     Cluster& cluster, const std::vector<SubgraphShard>& shards,
-    const RangePartition& partition, std::span<const KHopQuery> batch) {
+    const RangePartition& partition, std::span<const KHopQuery> batch,
+    const DirectionOptions& direction, QueryBitRows* visited_out) {
   return run_distributed_msbfs_core(cluster, shards, partition,
-                                    to_seeded(batch));
+                                    to_seeded(batch), direction,
+                                    visited_out);
 }
 
 MsBfsBatchResult run_distributed_msbfs(
     Cluster& cluster, const std::vector<SubgraphShard>& shards,
-    const RangePartition& partition,
-    std::span<const MultiKHopQuery> batch) {
+    const RangePartition& partition, std::span<const MultiKHopQuery> batch,
+    const DirectionOptions& direction, QueryBitRows* visited_out) {
   return run_distributed_msbfs_core(cluster, shards, partition,
-                                    to_seeded(batch));
+                                    to_seeded(batch), direction,
+                                    visited_out);
 }
 
 }  // namespace cgraph

@@ -32,7 +32,9 @@
 #include "graph/shard.hpp"
 #include "net/cluster.hpp"
 #include "obs/trace.hpp"
+#include "query/direction.hpp"
 #include "query/query.hpp"
+#include "util/bitops.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cgraph {
@@ -64,30 +66,52 @@ struct MsBfsBatchResult {
 ///                thread per hardware core, 1 runs serially. The default
 ///                honours $CGRAPH_THREADS (unset -> serial). Results are
 ///                bit-exact for every value.
+/// \param direction Traversal direction policy (DESIGN.md §12). The
+///                default hybrid heuristic degrades to push on graphs
+///                built without in-edges; every mode is bit-exact with
+///                every other.
+/// \param visited_out When non-null, receives a copy of the final visited
+///                plane (rows = vertices, bits = queries) — the
+///                differential test harness compares planes across modes
+///                and thread counts, not just aggregate counts.
 MsBfsBatchResult msbfs_batch(const Graph& graph,
                              std::span<const KHopQuery> batch,
-                             std::size_t threads = default_compute_threads());
+                             std::size_t threads = default_compute_threads(),
+                             const DirectionOptions& direction = {},
+                             QueryBitRows* visited_out = nullptr);
 
 /// Multi-source variant: each query's bit column is seeded at every one of
 /// its sources, answering union reachability (visited counts exclude the
 /// distinct sources themselves).
 MsBfsBatchResult msbfs_batch(const Graph& graph,
                              std::span<const MultiKHopQuery> batch,
-                             std::size_t threads = default_compute_threads());
+                             std::size_t threads = default_compute_threads(),
+                             const DirectionOptions& direction = {},
+                             QueryBitRows* visited_out = nullptr);
 
 /// Distributed bit-parallel batch over sharded edge-sets. Remote frontier
 /// discoveries travel as (vertex, bit-row) records; per-destination rows
 /// are OR-combined before sending so wire volume is bounded by boundary
 /// vertices, not by edges.
-MsBfsBatchResult run_distributed_msbfs(Cluster& cluster,
-                                       const std::vector<SubgraphShard>& shards,
-                                       const RangePartition& partition,
-                                       std::span<const KHopQuery> batch);
+///
+/// Direction policy is applied per level *per partition*: a machine in
+/// pull mode pulls its local in-edges (CSC) and still pushes masked
+/// frontier rows across partition boundaries, so the shipped packets are
+/// byte-identical to push mode — fault plans, checkpoint cuts, and
+/// recovery replay compose with either direction unchanged. visited_out
+/// (when non-null) is assembled from every machine's local rows at global
+/// offsets.
+MsBfsBatchResult run_distributed_msbfs(
+    Cluster& cluster, const std::vector<SubgraphShard>& shards,
+    const RangePartition& partition, std::span<const KHopQuery> batch,
+    const DirectionOptions& direction = {},
+    QueryBitRows* visited_out = nullptr);
 
 /// Multi-source distributed variant (see the single-machine overload).
-MsBfsBatchResult run_distributed_msbfs(Cluster& cluster,
-                                       const std::vector<SubgraphShard>& shards,
-                                       const RangePartition& partition,
-                                       std::span<const MultiKHopQuery> batch);
+MsBfsBatchResult run_distributed_msbfs(
+    Cluster& cluster, const std::vector<SubgraphShard>& shards,
+    const RangePartition& partition, std::span<const MultiKHopQuery> batch,
+    const DirectionOptions& direction = {},
+    QueryBitRows* visited_out = nullptr);
 
 }  // namespace cgraph

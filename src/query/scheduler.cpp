@@ -68,7 +68,7 @@ BatchExecutor::Outcome BatchExecutor::execute(
   const std::uint64_t crashes_before = cluster_.recovery_stats().crashes;
   out.result = opts_.use_bit_parallel
                    ? run_distributed_msbfs(cluster_, shards_, partition_,
-                                           batch)
+                                           batch, opts_.direction)
                    : run_distributed_khop(cluster_, shards_, partition_,
                                           batch);
   if (cluster_.recovery_stats().crashes > crashes_before) {

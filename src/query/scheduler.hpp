@@ -56,6 +56,11 @@ struct SchedulerOptions {
   /// Root-degree lookup for kDegreeSorted (e.g. [&](VertexId v) { return
   /// graph.out_degree(v); }). Policy falls back to FIFO when unset.
   std::function<EdgeIndex(VertexId)> degree_of;
+  /// Traversal direction policy for the bit-parallel engine (DESIGN.md
+  /// §12): forced push/pull or the per-level per-partition hybrid
+  /// heuristic (the default; degrades to push on shards built without
+  /// in-edges). Every mode answers bit-identically.
+  DirectionOptions direction;
   /// Intra-machine compute threads for the per-level scans: 0 selects one
   /// thread per hardware core, 1 runs serially. Unset leaves the Cluster's
   /// current setting (which itself defaults to $CGRAPH_THREADS, or serial).

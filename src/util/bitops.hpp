@@ -32,6 +32,19 @@ inline void for_each_set_bit(Word word, std::size_t base, Fn&& fn) {
   }
 }
 
+/// Population count over a word row: one hardware popcount per 64 bits,
+/// never a per-bit loop. This is the primitive behind the frontier-density
+/// (scout-count) accessors the direction-optimizing heuristic reads every
+/// level, so its cost must stay O(words).
+[[nodiscard]] inline std::uint64_t popcount_words(const Word* words,
+                                                  std::size_t count) {
+  std::uint64_t total = 0;
+  for (std::size_t w = 0; w < count; ++w) {
+    total += static_cast<std::uint64_t>(std::popcount(words[w]));
+  }
+  return total;
+}
+
 /// Fixed-size bitmap over a contiguous word array. Single-writer unless the
 /// atomic_* methods are used. This is the storage behind per-query frontier
 /// and visited state in the bit-parallel engine.

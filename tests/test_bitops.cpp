@@ -170,6 +170,47 @@ TEST(QueryBitRows, WordEdgeQueryCounts) {
   }
 }
 
+TEST(PopcountWords, EmptyAndZero) {
+  EXPECT_EQ(popcount_words(nullptr, 0), 0u);
+  const Word zeros[3] = {0, 0, 0};
+  EXPECT_EQ(popcount_words(zeros, 3), 0u);
+}
+
+TEST(PopcountWords, WordBoundaryPatterns) {
+  // Row widths straddling the word boundary, as a 63/64/65-query batch
+  // row would lay them out.
+  const Word w63 = ~Word{0} >> 1;  // 63 bits
+  EXPECT_EQ(popcount_words(&w63, 1), 63u);
+  const Word w64 = ~Word{0};
+  EXPECT_EQ(popcount_words(&w64, 1), 64u);
+  const Word w65[2] = {~Word{0}, Word{1}};  // 65 bits across two words
+  EXPECT_EQ(popcount_words(w65, 2), 65u);
+}
+
+TEST(PopcountWords, MatchesPerBitLoop) {
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  Word words[8];
+  for (auto& w : words) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    w = x;
+  }
+  std::uint64_t expected = 0;
+  for (const Word w : words) {
+    for (std::size_t b = 0; b < kWordBits; ++b) {
+      expected += (w >> b) & 1u;
+    }
+  }
+  EXPECT_EQ(popcount_words(words, 8), expected);
+  // Prefix sums agree too (the per-row accounting slices the same array).
+  std::uint64_t prefix = 0;
+  for (std::size_t c = 0; c <= 8; ++c) {
+    EXPECT_EQ(popcount_words(words, c), prefix);
+    if (c < 8) prefix += popcount_words(&words[c], 1);
+  }
+}
+
 TEST(QueryBitRowsDeathTest, OversizedBatchAborts) {
   EXPECT_DEATH(QueryBitRows(4, QueryBitRows::kMaxBatchWords * 64 + 1),
                "query batch exceeds");

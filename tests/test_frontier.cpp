@@ -2,7 +2,10 @@
 // and LevelValueStore (dynamic per-level allocation, paper §3.3).
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "query/frontier.hpp"
+#include "util/rng.hpp"
 
 namespace cgraph {
 namespace {
@@ -301,6 +304,218 @@ TEST(LevelValueStore, MemoryIsBoundedByWidestTwoLevels) {
     store.advance_level();
   }
   EXPECT_EQ(peak, 150u);  // 100 + 50, not 166 (the dense total)
+}
+
+// ---------------------------------------------------------------------------
+// Bottom-up (pull) kernel and the frontier density/queue machinery backing
+// the direction-optimizing heuristic (DESIGN.md §12).
+
+/// Random plane seeding shared by the pull/occupancy/queue property tests:
+/// roughly `fill` of the rows get a random frontier pattern.
+void seed_random_frontier(BatchFrontier& bf, Xoshiro256& rng, double fill) {
+  for (std::size_t v = 0; v < bf.num_vertices(); ++v) {
+    if (rng.next_double() >= fill) continue;
+    for (std::size_t q = 0; q < bf.num_queries(); ++q) {
+      if (rng.next_bounded(3) == 0) bf.frontier().set(v, q);
+    }
+  }
+}
+
+TEST(PullRow, MatchesPushDiscoverAtWordBoundaryWidths) {
+  // The CSC word-AND kernel must produce exactly the bits push's discover
+  // would, for batch widths straddling the 64-bit word boundary.
+  for (const std::size_t Q : {std::size_t{63}, std::size_t{64},
+                              std::size_t{65}, std::size_t{512}}) {
+    SCOPED_TRACE("Q=" + std::to_string(Q));
+    Xoshiro256 rng(Q * 7 + 1);
+    const std::size_t n = 16;
+    const std::vector<VertexId> parents{2, 5, 7, 11};
+
+    BatchFrontier pull(n, Q);
+    seed_random_frontier(pull, rng, 0.8);
+    // Some pre-visited bits on the target row so want != expand.
+    for (std::size_t q = 0; q < Q; q += 3) pull.visited().set(0, q);
+    BatchFrontier push(n, Q);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (std::size_t q = 0; q < Q; ++q) {
+        if (pull.frontier().test(v, q)) push.frontier().set(v, q);
+        if (pull.visited().test(v, q)) push.visited().set(v, q);
+      }
+    }
+
+    const std::size_t W = pull.words_per_row();
+    std::vector<Word> expand(W, ~Word{0});
+    pull.pull_row(0, expand.data(), parents, 0,
+                  static_cast<VertexId>(n));
+    // Push reference: each parent in the frontier discovers row 0 with its
+    // own frontier bits (out-edge parent -> 0).
+    for (VertexId p : parents) {
+      push.discover(0, push.frontier().row(p));
+    }
+    for (std::size_t w = 0; w < W; ++w) {
+      EXPECT_EQ(pull.next().row(0)[w], push.next().row(0)[w])
+          << "word " << w;
+    }
+  }
+}
+
+TEST(PullRow, EmptyFrontierFindsNothing) {
+  BatchFrontier bf(8, 64);
+  const std::vector<VertexId> parents{1, 2, 3};
+  std::vector<Word> expand(bf.words_per_row(), ~Word{0});
+  // No parent is in the frontier: every parent is examined (nothing ever
+  // retires a wanted bit) and the next row stays empty.
+  EXPECT_EQ(bf.pull_row(0, expand.data(), parents, 0, 8), parents.size());
+  EXPECT_FALSE(bf.next().row_any(0));
+}
+
+TEST(PullRow, FullyVisitedRowExaminesNoParents) {
+  BatchFrontier bf(8, 64);
+  for (std::size_t q = 0; q < 64; ++q) bf.visited().set(0, q);
+  const std::vector<VertexId> parents{1, 2, 3};
+  std::vector<Word> expand(bf.words_per_row(), ~Word{0});
+  EXPECT_EQ(bf.pull_row(0, expand.data(), parents, 0, 8), 0u);
+  EXPECT_FALSE(bf.next().row_any(0));
+}
+
+TEST(PullRow, EarlyExitOnceEveryWantedBitFound) {
+  BatchFrontier bf(8, 64);
+  // Parent 1 supplies every query; parents 2..4 must never be examined.
+  for (std::size_t q = 0; q < 64; ++q) bf.frontier().set(1, q);
+  const std::vector<VertexId> parents{1, 2, 3, 4};
+  std::vector<Word> expand(bf.words_per_row(), ~Word{0});
+  EXPECT_EQ(bf.pull_row(0, expand.data(), parents, 0, 8), 1u);
+  for (std::size_t q = 0; q < 64; ++q) EXPECT_TRUE(bf.next().test(0, q));
+}
+
+TEST(PullRow, ParentWindowRestrictsToLocalRange) {
+  // Distributed pull passes the local vertex range: parents outside it are
+  // someone else's partition and must be skipped (their contribution
+  // arrives via the cross-partition push instead).
+  BatchFrontier bf(4, 8);  // local rows 4..7 of a 12-vertex global space
+  bf.frontier().set(1, 3);  // global vertex 5
+  const std::vector<VertexId> parents{0, 2, 5, 9, 11};  // global ids, sorted
+  std::vector<Word> expand(bf.words_per_row(), ~Word{0});
+  // Only parent 5 falls in [4, 8); rows are locally indexed (5 - 4 = 1).
+  EXPECT_EQ(bf.pull_row(2, expand.data(), parents, 4, 8), 1u);
+  EXPECT_TRUE(bf.next().test(2, 3));
+  EXPECT_FALSE(bf.next().test(2, 0));
+}
+
+TEST(PullRow, ExpandMaskGatesExhaustedQueries) {
+  BatchFrontier bf(8, 64);
+  for (std::size_t q = 0; q < 64; ++q) bf.frontier().set(1, q);
+  const std::vector<VertexId> parents{1};
+  // Only even queries still have hops left.
+  std::vector<Word> expand(bf.words_per_row(), 0);
+  for (std::size_t q = 0; q < 64; q += 2) {
+    expand[q / kWordBits] |= Word{1} << (q % kWordBits);
+  }
+  bf.pull_row(0, expand.data(), parents, 0, 8);
+  for (std::size_t q = 0; q < 64; ++q) {
+    EXPECT_EQ(bf.next().test(0, q), q % 2 == 0) << "query " << q;
+  }
+}
+
+TEST(FrontierQueue, RoundTripIsExactInverse) {
+  // Property: bitmap -> queue -> bitmap reproduces the original frontier
+  // plane bit-for-bit, and the queue lists exactly the active rows
+  // ascending (the push<->pull frontier conversion contract).
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Xoshiro256 rng(seed);
+    const std::size_t n = 1 + rng.next_bounded(200);
+    const std::size_t Q = 1 + rng.next_bounded(512);
+    BatchFrontier src(n, Q);
+    seed_random_frontier(src, rng, 0.4);
+
+    std::vector<VertexId> queue;
+    const std::size_t returned = src.frontier_to_queue(queue);
+    ASSERT_EQ(returned, queue.size());
+    for (std::size_t i = 0; i + 1 < queue.size(); ++i) {
+      ASSERT_LT(queue[i], queue[i + 1]) << "queue must ascend";
+    }
+    for (VertexId v : queue) ASSERT_TRUE(src.frontier().row_any(v));
+    std::size_t active = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (src.frontier().row_any(v)) ++active;
+    }
+    ASSERT_EQ(queue.size(), active);
+
+    BatchFrontier dst(n, Q);
+    dst.frontier_from_queue(queue, src.frontier());
+    for (std::size_t v = 0; v < n; ++v) {
+      for (std::size_t w = 0; w < src.words_per_row(); ++w) {
+        ASSERT_EQ(dst.frontier().row(v)[w], src.frontier().row(v)[w])
+            << "seed " << seed << " row " << v;
+      }
+    }
+  }
+}
+
+TEST(FrontierOccupancyTest, RecomputeMatchesPerBitCount) {
+  // Regression for the density accessor: the popcount-based occupancy must
+  // equal a naive per-bit recount, including the degree-weighted scout sum.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Xoshiro256 rng(seed * 13);
+    const std::size_t n = 1 + rng.next_bounded(150);
+    const std::size_t Q = 1 + rng.next_bounded(200);
+    BatchFrontier bf(n, Q);
+    seed_random_frontier(bf, rng, 0.5);
+    std::vector<EdgeIndex> degrees(n);
+    for (auto& d : degrees) d = static_cast<EdgeIndex>(rng.next_bounded(40));
+
+    std::uint64_t rows = 0, bits = 0, scout = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      std::uint64_t row_bits = 0;
+      for (std::size_t q = 0; q < Q; ++q) {
+        if (bf.frontier().test(v, q)) ++row_bits;
+      }
+      if (row_bits == 0) continue;
+      ++rows;
+      bits += row_bits;
+      scout += degrees[v];
+    }
+
+    const FrontierOccupancy occ = bf.frontier_occupancy(degrees);
+    EXPECT_EQ(occ.active_rows, rows) << "seed " << seed;
+    EXPECT_EQ(occ.active_bits, bits) << "seed " << seed;
+    EXPECT_EQ(occ.scout_edges, scout) << "seed " << seed;
+  }
+}
+
+TEST(FrontierOccupancyTest, CommitCarriedEqualsRecomputed) {
+  // The engines trust commit_rows' by-product occupancy instead of
+  // rescanning; after advance() it must describe the new frontier exactly
+  // as frontier_occupancy() would (this equality is what makes the
+  // direction decision replay bit-exact from a restored checkpoint, where
+  // only the recompute is available).
+  Xoshiro256 rng(99);
+  const std::size_t n = 120;
+  const std::size_t Q = 96;
+  BatchFrontier bf(n, Q);
+  std::vector<EdgeIndex> degrees(n);
+  for (auto& d : degrees) d = static_cast<EdgeIndex>(rng.next_bounded(17));
+  // Random discoveries into the next plane.
+  std::vector<Word> bits(bf.words_per_row());
+  for (std::size_t v = 0; v < n; v += 1 + rng.next_bounded(4)) {
+    for (auto& w : bits) w = rng.next();
+    bf.discover(v, bits.data());
+  }
+
+  std::vector<Word> nonempty(bf.words_per_row(), 0);
+  std::vector<VertexId> active;
+  const FrontierOccupancy carried =
+      bf.commit_rows(0, n, nonempty.data(), degrees, &active);
+  bf.advance(nonempty.data());
+
+  const FrontierOccupancy recomputed = bf.frontier_occupancy(degrees);
+  EXPECT_EQ(carried.active_rows, recomputed.active_rows);
+  EXPECT_EQ(carried.active_bits, recomputed.active_bits);
+  EXPECT_EQ(carried.scout_edges, recomputed.scout_edges);
+  // And the collected active rows are the queue the next push level uses.
+  std::vector<VertexId> queue;
+  bf.frontier_to_queue(queue);
+  EXPECT_EQ(active, queue);
 }
 
 }  // namespace

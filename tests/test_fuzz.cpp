@@ -186,7 +186,30 @@ TEST_P(ChaosFuzz, EnginesMatchReferenceUnderRandomFaults) {
     expected.push_back(khop_reach_count(g, q.source, q.k));
   }
 
-  const auto bits = run_distributed_msbfs(cluster, shards, part, queries);
+  // Direction policy is fuzzed along with the fault plan: a random forced
+  // mode or the hybrid heuristic with randomized alpha/beta thresholds
+  // (spanning always-push through eager-pull), all of which must answer
+  // identically under any fault mix.
+  DirectionOptions direction;
+  switch (rng.next_bounded(4)) {
+    case 0:
+      direction.mode = TraversalDirection::kPush;
+      break;
+    case 1:
+      direction.mode = TraversalDirection::kPull;
+      break;
+    default:
+      direction.mode = TraversalDirection::kHybrid;
+      direction.alpha = 0.25 * (1u << rng.next_bounded(16));
+      direction.beta = 0.25 * (1u << rng.next_bounded(16));
+      break;
+  }
+  SCOPED_TRACE(std::string("direction=") + to_string(direction.mode) +
+               " alpha=" + std::to_string(direction.alpha) + " beta=" +
+               std::to_string(direction.beta));
+
+  const auto bits =
+      run_distributed_msbfs(cluster, shards, part, queries, direction);
   EXPECT_EQ(bits.visited, expected) << "msbfs, seed " << GetParam();
 
   const auto queue = run_distributed_khop(cluster, shards, part, queries);

@@ -82,13 +82,19 @@ TEST(MsBfsSingle, DuplicateSourcesAgree) {
 
 TEST(MsBfsSingle, SharedScanCheaperThanIndependent) {
   // The §3.5 claim: a batch of Q queries scans far fewer edges than Q
-  // independent traversals when subgraphs overlap.
+  // independent traversals when subgraphs overlap. Direction is pinned to
+  // push so edges_scanned means the same thing in both measurements (pull
+  // levels report parents examined, a different unit).
+  DirectionOptions push;
+  push.mode = TraversalDirection::kPush;
   const Graph g = make_test_graph(10, 10, 21);
   const auto queries = spread_queries(g, 64, 3);
-  const MsBfsBatchResult batch = msbfs_batch(g, queries);
+  const MsBfsBatchResult batch =
+      msbfs_batch(g, queries, default_compute_threads(), push);
   std::uint64_t independent_edges = 0;
   for (const auto& q : queries) {
-    const MsBfsBatchResult solo = msbfs_batch(g, std::span(&q, 1));
+    const MsBfsBatchResult solo =
+        msbfs_batch(g, std::span(&q, 1), default_compute_threads(), push);
     independent_edges += solo.edges_scanned;
   }
   EXPECT_LT(batch.edges_scanned, independent_edges / 4);
