@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "util/rng.hpp"
 
 using namespace cgraph;
 using namespace cgraph::bench;
@@ -442,6 +443,49 @@ int main(int argc, char** argv) {
                 push.total_sim_seconds, hybrid.total_sim_seconds,
                 (hybrid.total_sim_seconds / push.total_sim_seconds - 1.0) *
                     100.0);
+  }
+
+  // --- Index arm (DESIGN.md §13): the same point reachability question
+  // answered twice — once by a reachability-index probe (index_hit: the
+  // modeled O(labels + gate words) cost of one conclusive probe) and once
+  // by the distributed MS-BFS engine (index_traversal). Both numbers are
+  // sim-domain, and ci/validate_bench.py gates the committed pair:
+  // index_hit must cost at most 5% of index_traversal (>= 20x speedup).
+  // The pair is found by scanning seeded random (s, t) pairs for one the
+  // index answers conclusively, then differentially checked against the
+  // traversal's visited plane.
+  {
+    const ReachIndex index = ReachIndex::build(sg.graph, {});
+    Xoshiro256 pair_rng(cfg.seed + 2);
+    VertexId ps = 0, pt = 0;
+    IndexVerdict verdict = IndexVerdict::kUnknown;
+    for (int attempt = 0;
+         attempt < 4096 && verdict == IndexVerdict::kUnknown; ++attempt) {
+      ps = static_cast<VertexId>(pair_rng.next_bounded(
+          sg.graph.num_vertices()));
+      pt = static_cast<VertexId>(pair_rng.next_bounded(
+          sg.graph.num_vertices()));
+      if (ps == pt) continue;  // zero-hop answers would flatter the index
+      verdict = index.query(ps, pt);
+    }
+    CGRAPH_CHECK_MSG(verdict != IndexVerdict::kUnknown,
+                     "no conclusively index-answerable pair in 4096 draws");
+    const KHopQuery point{0, ps, kUnvisitedDepth, pt};
+    QueryBitRows visited_plane;
+    const auto trav = run_distributed_msbfs(cluster, sg.shards, sg.partition,
+                                            std::span(&point, 1), {},
+                                            &visited_plane);
+    const bool reached = visited_plane.test(pt, 0);
+    CGRAPH_CHECK_MSG(reached == (verdict == IndexVerdict::kReachable),
+                     "index verdict disagrees with the traversal engine");
+    micro.push_back({"index_hit", index.probe_sim_seconds(), 0});
+    micro.push_back({"index_traversal", trav.sim_seconds,
+                     trav.edges_scanned});
+    std::printf("\nindex arm: %u -> %u is %s; probe %.3g s sim vs "
+                "traversal %.3g s sim (%.0fx)\n",
+                ps, pt, to_string(verdict), index.probe_sim_seconds(),
+                trav.sim_seconds,
+                trav.sim_seconds / index.probe_sim_seconds());
   }
 
   // --- Trace overhead: interleaved A (off), B (off again), C (on) so

@@ -14,6 +14,9 @@
 # while four compute threads record concurrently. test_hybrid (labels
 # unit+chaos+recovery) puts the bottom-up scan's single-writer pull rows
 # next to the cross-partition push's atomic ORs under the same pools.
+# test_index (same labels) shares the immutable ReachIndex across the
+# admission thread's bypass probes and the executor's fallback resolution
+# while the service pipeline overlaps them.
 #
 # Usage: ci/tsan.sh [build-dir]   (default: build-tsan)
 set -eu

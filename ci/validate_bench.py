@@ -21,11 +21,17 @@ Modes (composable):
       simulated clock domain, so on an unchanged tree the diff is exactly
       zero and any drift is a behavior change, not host noise.
 
-Every fig12_open_loop file additionally carries an intra-file gate: its
-micro set must contain the dense_frontier_push / dense_frontier_hybrid
-pair, and the hybrid engine may never be more than 5% slower than forced
-push on that sweep — the "the direction heuristic does no harm" claim,
-checked on the committed artifact and on every regeneration.
+Every fig12_open_loop file additionally carries two intra-file gates:
+
+  * its micro set must contain the dense_frontier_push /
+    dense_frontier_hybrid pair, and the hybrid engine may never be more
+    than 5% slower than forced push on that sweep — the "the direction
+    heuristic does no harm" claim, checked on the committed artifact and
+    on every regeneration;
+  * its micro set must contain the index_hit / index_traversal pair, and
+    an index-answered point query must cost at most 5% of the traversal
+    that answers the same question (>= 20x speedup) — the "the index tier
+    makes hot queries O(1)" claim of DESIGN.md §13.
 
 Exit status: 0 = all files pass, 1 = any failure (every failure printed).
 """
@@ -36,6 +42,7 @@ import sys
 
 STRICT_OVERHEAD_MAX_PCT = 2.0
 HYBRID_SLOWDOWN_MAX_PCT = 5.0
+INDEX_HIT_MAX_FRACTION = 0.05  # index probe <= 5% of the traversal (20x)
 
 # Sim-domain row metrics gated against the committed baseline. Counts are
 # integers and percentiles doubles, but both are pure functions of the
@@ -166,6 +173,33 @@ def check_hybrid_gate(data, errors):
             f"recommitting")
 
 
+def check_index_gate(data, errors):
+    """index_hit must cost at most 5% of index_traversal (>= 20x speedup).
+
+    Both rows answer the same seeded point query in the simulated clock
+    domain: index_hit is the modeled cost of one conclusive index probe,
+    index_traversal the distributed MS-BFS run that proves the same
+    answer. The pair is required: an artifact without it predates the
+    index tier and must be regenerated with bench/baseline_runner.
+    """
+    micro = {m["name"]: m for m in data.get("micro", [])}
+    hit = micro.get("index_hit")
+    traversal = micro.get("index_traversal")
+    if hit is None or traversal is None:
+        errors.append(
+            "micro set lacks the index_hit/index_traversal pair — "
+            "regenerate with bench/baseline_runner")
+        return
+    limit = traversal["sim_seconds"] * INDEX_HIT_MAX_FRACTION
+    if hit["sim_seconds"] > limit:
+        errors.append(
+            f"index_hit sim_seconds {hit['sim_seconds']!r} exceeds "
+            f"{INDEX_HIT_MAX_FRACTION:g}x of index_traversal "
+            f"{traversal['sim_seconds']!r}: an index-answered query is no "
+            f"longer ~free — check ReachIndex::probe_sim_seconds and the "
+            f"gate/label sizing before recommitting")
+
+
 def check_file(path, schemas, args):
     errors = []
     try:
@@ -193,6 +227,7 @@ def check_file(path, schemas, args):
                 f"recommitting")
     if bench == "fig12_open_loop":
         check_hybrid_gate(data, errors)
+        check_index_gate(data, errors)
     if bench == "fig12_open_loop" and args.baseline:
         try:
             with open(args.baseline, encoding="utf-8") as f:

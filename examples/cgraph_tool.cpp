@@ -8,6 +8,8 @@
 //   cgraph_tool query    --in g.bin --source 0 [--k 3] [--machines 4]
 //                        [--paths] [--target 42] [--threads N]
 //                        [--direction push|pull|hybrid] [--alpha A] [--beta B]
+//                        [--index off|grail|gates|full] [--labels L]
+//                        [--gates G] [--index-seed S]
 //   cgraph_tool batch    --in g.bin --queries 100 [--k 3] [--machines 4]
 //                        [--threads N]
 //                        [--direction push|pull|hybrid] [--alpha A] [--beta B]
@@ -42,6 +44,13 @@
 // per-level per-partition heuristic on (hybrid, the default); --alpha and
 // --beta tune the push->pull / pull->push thresholds. Every mode answers
 // bit-identically.
+//
+// Index flags (query, DESIGN.md §13): --index builds the reachability
+// index tier (GRAIL interval labels and/or backbone gates) before a point
+// query (--source + --target, no --paths) and probes it first. A
+// conclusive verdict skips the traversal entirely; kUnknown falls back to
+// the MS-BFS engine and the answer is resolved from its visited plane.
+// --labels, --gates, and --index-seed tune construction.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -132,6 +141,30 @@ bool configure_direction(const Options& opts, DirectionOptions& dir) {
   }
   dir.alpha = opts.get_double("alpha", dir.alpha);
   dir.beta = opts.get_double("beta", dir.beta);
+  return true;
+}
+
+/// Wire --index / --labels / --gates / --index-seed into IndexOptions.
+/// Returns false (after printing why) on an unknown mode name; `enabled`
+/// is set when a mode other than off was requested.
+bool configure_index(const Options& opts, IndexOptions& io, bool& enabled) {
+  enabled = false;
+  const std::string mode = opts.get("index");
+  if (mode.empty()) return true;
+  const auto parsed = parse_index_mode(mode);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "bad --index '%s' (want off|grail|gates|full)\n",
+                 mode.c_str());
+    return false;
+  }
+  io.mode = *parsed;
+  io.num_labels = static_cast<std::uint32_t>(
+      opts.get_int("labels", static_cast<int>(io.num_labels)));
+  io.num_gates = static_cast<std::uint32_t>(
+      opts.get_int("gates", static_cast<int>(io.num_gates)));
+  io.seed = static_cast<std::uint64_t>(
+      opts.get_int("index-seed", static_cast<int>(io.seed)));
+  enabled = io.mode != IndexMode::kOff;
   return true;
 }
 
@@ -264,7 +297,46 @@ int cmd_query(const Options& opts) {
   if (!configure_recovery(cluster, opts)) return 2;
   DirectionOptions dir;
   if (!configure_direction(opts, dir)) return 2;
+  IndexOptions index_opts;
+  bool use_index = false;
+  if (!configure_index(opts, index_opts, use_index)) return 2;
+  const bool have_target = opts.has("target");
+  const auto target = static_cast<VertexId>(opts.get_int("target", 0));
+  if (have_target && target >= g.num_vertices()) {
+    std::fprintf(stderr, "target %u out of range (V=%u)\n", target,
+                 g.num_vertices());
+    return 1;
+  }
   const KHopQuery q{0, source, k};
+
+  // Point query through the index tier (DESIGN.md §13): probe first, and
+  // only fall back to the traversal when the verdict is unknown.
+  if (use_index && have_target && !opts.has("paths")) {
+    const ReachIndex index = ReachIndex::build(g, index_opts);
+    publish_index_metrics(obs::MetricsRegistry::global(), index);
+    const IndexBuildStats& bs = index.stats();
+    std::printf("index (%s): %u components (largest %u), %llu DAG edges, "
+                "%u labels + %u gates, %s, built in %.4fs sim\n",
+                to_string(index.mode()), bs.num_components,
+                bs.largest_component,
+                static_cast<unsigned long long>(bs.dag_edges), bs.num_labels,
+                bs.num_gates,
+                AsciiTable::humanize(index.memory_bytes()).c_str(),
+                bs.build_sim_seconds);
+    const IndexVerdict verdict = index.query(source, target, k);
+    std::printf("index probe %u -> %u (k=%u): %s (%.2e s sim)\n", source,
+                target, unsigned{k}, to_string(verdict),
+                index.probe_sim_seconds());
+    if (verdict != IndexVerdict::kUnknown) {
+      std::printf("target %u is %sreachable from %u%s — answered by the "
+                  "index, no traversal\n",
+                  target, verdict == IndexVerdict::kReachable ? "" : "NOT ",
+                  source,
+                  k == kUnvisitedDepth ? "" : " within the hop bound");
+      return 0;
+    }
+    std::printf("index inconclusive; falling back to MS-BFS\n");
+  }
 
   if (opts.has("paths")) {
     const auto r = run_distributed_khop_paths(cluster, shards, part,
@@ -275,8 +347,7 @@ int cmd_query(const Options& opts) {
                 static_cast<unsigned long long>(r.base.visited[0]),
                 r.base.sim_seconds,
                 AsciiTable::humanize(r.result_bytes()).c_str());
-    if (opts.has("target")) {
-      const auto target = static_cast<VertexId>(opts.get_int("target", 0));
+    if (have_target) {
       const auto path = reconstruct_path(r.parents[0], source, target);
       if (path.empty()) {
         std::printf("target %u not reachable within %u hops\n", target,
@@ -288,13 +359,23 @@ int cmd_query(const Options& opts) {
       }
     }
   } else {
-    const auto r =
-        run_distributed_msbfs(cluster, shards, part, std::span(&q, 1), dir);
+    QueryBitRows visited_plane;
+    const auto r = run_distributed_msbfs(cluster, shards, part,
+                                         std::span(&q, 1), dir,
+                                         have_target ? &visited_plane
+                                                     : nullptr);
     std::printf("%u-hop from %u: %llu vertices reached, %u levels, "
                 "%.4f s sim / %.4f s wall\n",
                 unsigned{k}, source,
                 static_cast<unsigned long long>(r.visited[0]),
                 unsigned{r.levels[0]}, r.sim_seconds, r.wall_seconds);
+    if (have_target) {
+      const bool reached =
+          source == target || visited_plane.test(target, 0);
+      std::printf("target %u is %sreachable from %u within %u hops "
+                  "(traversal)\n",
+                  target, reached ? "" : "NOT ", source, unsigned{k});
+    }
   }
   print_recovery_report(cluster);
   // Single-query commands bypass the scheduler, so surface the cluster's

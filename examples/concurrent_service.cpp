@@ -19,10 +19,22 @@
 //   ./concurrent_service --arrival-rate 500 [--queries 1000]
 //                        [--deadline 0.5] [--queue-cap 1024]
 //                        [--linger 0.01] [--batch-width 64]
+//                        [--index off|grail|gates|full] [--labels L]
+//                        [--gates G] [--index-seed S]
+//                        [--point-fraction F]
 //                        [--metrics-out service.prom]
 //
 // It prints p50/p95/p99 end-to-end latency plus shed/expired counts, and
 // --metrics-out dumps the cgraph_service_* series for scraping.
+//
+// Index flags (open-loop only, DESIGN.md §13): --index builds the
+// reachability index tier before serving and installs it as the service's
+// admission bypass lane; --point-fraction F turns that fraction of the
+// Poisson arrivals into point reachability queries (source -> random
+// target, unbounded hop count), the workload the index can answer in O(1)
+// without consuming a batch slot. The run report then includes the
+// index-answered / miss / fallback counts (also exported as
+// cgraph_index_* metrics).
 //
 // --trace-out PATH records the whole run under the event tracer and
 // exports it afterwards: Chrome trace_event JSON (Perfetto-loadable, one
@@ -114,7 +126,33 @@ int run_open_loop(const Options& opts, const Graph& graph, Cluster& cluster,
   ap.count = static_cast<std::size_t>(opts.get_int("queries", 1000));
   ap.k = k;
   ap.seed = static_cast<std::uint64_t>(opts.get_int("seed", 42));
+  ap.point_fraction = opts.get_double("point-fraction", 0.0);
   const auto arrivals = make_poisson_arrivals(graph, ap);
+
+  // Optional reachability index (DESIGN.md §13): built up front, installed
+  // as the service's admission bypass lane. Must outlive the run.
+  IndexOptions index_opts;
+  const std::string index_mode = opts.get("index");
+  ReachIndex index;
+  if (!index_mode.empty()) {
+    const auto parsed = parse_index_mode(index_mode);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr,
+                   "bad --index '%s' (want off|grail|gates|full)\n",
+                   index_mode.c_str());
+      return 2;
+    }
+    index_opts.mode = *parsed;
+    index_opts.num_labels =
+        static_cast<std::uint32_t>(opts.get_int("labels", 2));
+    index_opts.num_gates =
+        static_cast<std::uint32_t>(opts.get_int("gates", 16));
+    index_opts.seed =
+        static_cast<std::uint64_t>(opts.get_int("index-seed", 42));
+    if (index_opts.mode != IndexMode::kOff) {
+      index = ReachIndex::build(graph, index_opts);
+    }
+  }
 
   ServiceOptions service;
   service.scheduler.batch_width =
@@ -123,7 +161,18 @@ int run_open_loop(const Options& opts, const Graph& graph, Cluster& cluster,
       static_cast<std::size_t>(opts.get_int("queue-cap", 1024));
   service.deadline_seconds = opts.get_double("deadline", 0.0);
   service.linger_seconds = opts.get_double("linger", 0.010);
+  if (index.mode() != IndexMode::kOff) service.index = &index;
   configure_direction(opts, service.scheduler);
+
+  if (index.mode() != IndexMode::kOff) {
+    const IndexBuildStats& bs = index.stats();
+    std::printf("index (%s): %u components, %u labels + %u gates, %s, "
+                "built in %.4fs sim; %.0f%% of arrivals are point queries\n",
+                to_string(index.mode()), bs.num_components, bs.num_labels,
+                bs.num_gates,
+                AsciiTable::humanize(index.memory_bytes()).c_str(),
+                bs.build_sim_seconds, ap.point_fraction * 100.0);
+  }
 
   std::printf("open loop: %zu arrivals at %.1f qps (k=%u), "
               "queue-cap %zu, deadline %.3fs, linger %.3fs, width %zu\n",
@@ -135,19 +184,29 @@ int run_open_loop(const Options& opts, const Graph& graph, Cluster& cluster,
       run_query_service(cluster, shards, partition, arrivals, service);
 
   const ServiceStats& s = run.stats;
-  std::printf("\nsubmitted %llu = admitted %llu + shed %llu; "
-              "admitted = completed %llu + expired %llu\n",
+  std::printf("\nsubmitted %llu = admitted %llu + shed %llu + "
+              "index-answered %llu; admitted = completed %llu + "
+              "expired %llu\n",
               static_cast<unsigned long long>(s.submitted),
               static_cast<unsigned long long>(s.admitted),
               static_cast<unsigned long long>(s.shed),
+              static_cast<unsigned long long>(s.index_answered),
               static_cast<unsigned long long>(s.completed),
               static_cast<unsigned long long>(s.expired));
+  if (service.index != nullptr) {
+    std::printf("index: answered %llu, misses %llu, fallbacks %llu "
+                "(probe %.2e s sim each)\n",
+                static_cast<unsigned long long>(s.index_answered),
+                static_cast<unsigned long long>(s.index_misses),
+                static_cast<unsigned long long>(s.index_fallbacks),
+                index.probe_sim_seconds());
+  }
   std::printf("%llu batches, peak queue depth %zu, makespan %.4fs, "
               "peak memory %.1f MiB\n",
               static_cast<unsigned long long>(s.batches),
               s.peak_queue_depth, run.makespan_sim_seconds,
               static_cast<double>(run.peak_memory_bytes) / (1024.0 * 1024.0));
-  if (s.completed > 0) {
+  if (s.completed + s.index_answered > 0) {
     const double p50 = run.response_percentile(50);
     const double p95 = run.response_percentile(95);
     const double p99 = run.response_percentile(99);

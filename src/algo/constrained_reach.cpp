@@ -38,9 +38,26 @@ ConstrainedReachResult summarize(std::vector<double> dist,
 
 }  // namespace
 
+namespace {
+
+/// Constrained queries must never be answered by the reachability index:
+/// the labels/gates know nothing about weight budgets, so even the
+/// trivially-reachable probe (source -> source) is forced through the
+/// constrained entry point, which is unconditionally kUnknown.
+IndexVerdict probe_index_constrained(const ReachIndex* index, VertexId source,
+                                     Depth max_hops) {
+  if (index == nullptr) return IndexVerdict::kUnknown;
+  return index->query(source, source, max_hops, /*constrained=*/true);
+}
+
+}  // namespace
+
 ConstrainedReachResult constrained_reach(const Graph& graph, VertexId source,
-                                         Depth max_hops, double budget) {
+                                         Depth max_hops, double budget,
+                                         const ReachIndex* index) {
   CGRAPH_CHECK(source < graph.num_vertices());
+  const IndexVerdict index_verdict =
+      probe_index_constrained(index, source, max_hops);
   const VertexId n = graph.num_vertices();
   std::vector<double> dist(n, kInf);
   dist[source] = 0.0;
@@ -85,16 +102,21 @@ ConstrainedReachResult constrained_reach(const Graph& graph, VertexId source,
   for (VertexId v = 0; v < n; ++v) {
     hop_reached[v] = depth[v] != kUnvisitedDepth ? 1 : 0;
   }
-  return summarize(std::move(dist), hop_reached, source, budget);
+  ConstrainedReachResult result =
+      summarize(std::move(dist), hop_reached, source, budget);
+  result.index_verdict = index_verdict;
+  return result;
 }
 
 ConstrainedReachResult run_constrained_reach(
     Cluster& cluster, const std::vector<SubgraphShard>& shards,
     const RangePartition& partition, VertexId source, Depth max_hops,
-    double budget) {
+    double budget, const ReachIndex* index) {
   CGRAPH_CHECK(shards.size() == cluster.num_machines());
   const VertexId n = shards[0].num_global_vertices();
   CGRAPH_CHECK(source < n);
+  const IndexVerdict index_verdict =
+      probe_index_constrained(index, source, max_hops);
 
   std::vector<double> global_dist(n, kInf);
   std::vector<char> global_hop(n, 0);
@@ -227,7 +249,10 @@ ConstrainedReachResult run_constrained_reach(
     }
   });
 
-  return summarize(std::move(global_dist), global_hop, source, budget);
+  ConstrainedReachResult result =
+      summarize(std::move(global_dist), global_hop, source, budget);
+  result.index_verdict = index_verdict;
+  return result;
 }
 
 }  // namespace cgraph

@@ -14,6 +14,7 @@
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
 #include "graph/shard.hpp"
+#include "index/reach_index.hpp"
 #include "net/cluster.hpp"
 
 namespace cgraph {
@@ -24,17 +25,28 @@ struct ConstrainedReachResult {
   std::uint64_t admitted = 0;        // vertices within both constraints
   std::uint64_t hop_reachable = 0;   // vertices within max_hops, any cost
   double worst_admitted = 0;         // max admitted distance
+  /// Verdict of the (optional) index probe issued through the constrained
+  /// entry point. The index has no notion of weight budgets, so this is
+  /// ALWAYS kUnknown — constrained queries are routed around the fast
+  /// path by construction (DESIGN.md §13), and the regression test in
+  /// tests/test_index.cpp pins it.
+  IndexVerdict index_verdict = IndexVerdict::kUnknown;
 };
 
-/// Serial engine over the weighted CSR.
+/// Serial engine over the weighted CSR. When `index` is non-null it is
+/// probed through the constrained entry point (never answering — see
+/// ConstrainedReachResult::index_verdict); results are identical with or
+/// without an index.
 ConstrainedReachResult constrained_reach(const Graph& graph, VertexId source,
-                                         Depth max_hops, double budget);
+                                         Depth max_hops, double budget,
+                                         const ReachIndex* index = nullptr);
 
 /// Distributed engine over weighted shards: level-synchronous relaxation
-/// with boundary pushes, mirroring the k-hop engines' structure.
+/// with boundary pushes, mirroring the k-hop engines' structure. `index`
+/// behaves as in the serial engine: probed constrained, never conclusive.
 ConstrainedReachResult run_constrained_reach(
     Cluster& cluster, const std::vector<SubgraphShard>& shards,
     const RangePartition& partition, VertexId source, Depth max_hops,
-    double budget);
+    double budget, const ReachIndex* index = nullptr);
 
 }  // namespace cgraph

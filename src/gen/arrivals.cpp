@@ -45,8 +45,13 @@ std::vector<TimedQuery> make_poisson_arrivals(const Graph& graph,
     // Exponential(rate) gap; 1 - u in (0, 1] keeps log() finite.
     const double u = rng.next_double();
     t += -std::log1p(-u) / p.rate_qps;
-    arrivals.push_back(
-        {{static_cast<QueryId>(i), roots[i], p.k}, t});
+    KHopQuery q{static_cast<QueryId>(i), roots[i], p.k};
+    if (p.point_fraction > 0 && rng.next_double() < p.point_fraction) {
+      q.target =
+          static_cast<VertexId>(rng.next_bounded(graph.num_vertices()));
+      q.k = p.point_k;
+    }
+    arrivals.push_back({q, t});
   }
   return arrivals;
 }

@@ -28,6 +28,13 @@ struct PoissonArrivalParams {
   EdgeIndex min_degree = 1;
   /// Offset added to every arrival (first arrival lands one gap later).
   double start_sim_seconds = 0;
+  /// Fraction of arrivals issued as point reachability queries (a target
+  /// vertex drawn uniformly, hop bound point_k) instead of k-hop
+  /// aggregates — the workload the index tier (src/index/) fast-paths.
+  double point_fraction = 0;
+  /// Hop bound stamped on point queries. Defaults to unbounded so the
+  /// index's positive verdicts apply (DESIGN.md §13 contract).
+  Depth point_k = kUnvisitedDepth;
 };
 
 /// Poisson arrival stream: `count` k-hop queries whose inter-arrival gaps

@@ -1,0 +1,99 @@
+#include "index/backbone.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace cgraph {
+
+void GateIndex::build(const SccCondensation& scc,
+                      const BackboneOptions& opts) {
+  const VertexId n = scc.num_components;
+  num_gates_ = 0;
+  words_ = 0;
+  build_edges_walked_ = 0;
+  gates_.clear();
+  out_gates_.clear();
+  in_gates_.clear();
+  gate_closure_.clear();
+  if (n == 0 || opts.num_gates == 0) return;
+
+  // Score = (out_deg + 1)(in_deg + 1) * |SCC| — components that both
+  // absorb and emit many DAG edges (and stand for many raw vertices) are
+  // the likeliest path waypoints. Deterministic tie-break on id.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  auto score = [&](VertexId c) -> std::uint64_t {
+    const std::uint64_t out_deg = scc.dag_offsets[c + 1] - scc.dag_offsets[c];
+    const std::uint64_t in_deg = scc.rev_offsets[c + 1] - scc.rev_offsets[c];
+    return (out_deg + 1) * (in_deg + 1) *
+           static_cast<std::uint64_t>(scc.component_size[c]);
+  };
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    const std::uint64_t sa = score(a), sb = score(b);
+    return sa != sb ? sa > sb : a < b;
+  });
+
+  num_gates_ = std::min<std::uint32_t>(opts.num_gates, n);
+  gates_.assign(order.begin(), order.begin() + num_gates_);
+  words_ = words_for_bits(num_gates_);
+  out_gates_.assign(static_cast<std::size_t>(n) * words_, 0);
+  in_gates_.assign(static_cast<std::size_t>(n) * words_, 0);
+
+  std::vector<bool> seen(n);
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+
+  for (std::uint32_t i = 0; i < num_gates_; ++i) {
+    const VertexId g = gates_[i];
+    const Word bit = Word{1} << (i % kWordBits);
+    const std::size_t word = i / kWordBits;
+
+    // Backward BFS: every component that reaches g gets out-gate bit i.
+    std::fill(seen.begin(), seen.end(), false);
+    queue.clear();
+    queue.push_back(g);
+    seen[g] = true;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId c = queue[head];
+      out_gates_[static_cast<std::size_t>(c) * words_ + word] |= bit;
+      for (const VertexId p : scc.dag_in(c)) {
+        ++build_edges_walked_;
+        if (!seen[p]) {
+          seen[p] = true;
+          queue.push_back(p);
+        }
+      }
+    }
+
+    // Forward BFS: every component g reaches gets in-gate bit i.
+    std::fill(seen.begin(), seen.end(), false);
+    queue.clear();
+    queue.push_back(g);
+    seen[g] = true;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId c = queue[head];
+      in_gates_[static_cast<std::size_t>(c) * words_ + word] |= bit;
+      for (const VertexId s : scc.dag_out(c)) {
+        ++build_edges_walked_;
+        if (!seen[s]) {
+          seen[s] = true;
+          queue.push_back(s);
+        }
+      }
+    }
+  }
+
+  // Gate-to-gate closure: gate i's row is just its component's out-gate
+  // row (which gates i reaches, itself included).
+  gate_closure_.resize(static_cast<std::size_t>(num_gates_) * words_);
+  for (std::uint32_t i = 0; i < num_gates_; ++i) {
+    const Word* src = out_gates_.data() +
+                      static_cast<std::size_t>(gates_[i]) * words_;
+    std::copy(src, src + words_,
+              gate_closure_.data() + static_cast<std::size_t>(i) * words_);
+  }
+}
+
+}  // namespace cgraph

@@ -1,0 +1,83 @@
+// ReachBackbone-style gate index over the condensation DAG — the index
+// tier's positive oracle (DESIGN.md §13).
+//
+// A small set of high-centrality components ("gates", chosen by a degree
+// product × component size score — the cheap betweenness proxy) is fully
+// resolved: one backward and one forward BFS per gate mark, for every
+// component, which gates it reaches (out-gates) and which gates reach it
+// (in-gates), as G-bit rows. The gate-to-gate transitive closure is
+// materialized as the gate rows of that table. A probe is then one AND
+// sweep: out-gates(s) ∩ in-gates(t) ≠ ∅ exhibits a witness path
+// s →* g →* t, proving reachability. Empty intersection proves nothing —
+// the pair may be reachable via non-gate vertices only.
+//
+// Construction is BFS order-independent (bit OR is commutative) and
+// seed-free, so the gate table is a pure function of the DAG.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/scc.hpp"
+#include "util/bitops.hpp"
+
+namespace cgraph {
+
+struct BackboneOptions {
+  /// Gates to select (clamped to the component count). More gates widen
+  /// positive coverage at G bits per component per direction.
+  std::uint32_t num_gates = 16;
+};
+
+class GateIndex {
+ public:
+  void build(const SccCondensation& scc, const BackboneOptions& opts);
+
+  [[nodiscard]] bool empty() const { return num_gates_ == 0; }
+  [[nodiscard]] std::uint32_t num_gates() const { return num_gates_; }
+  [[nodiscard]] std::size_t words_per_row() const { return words_; }
+  [[nodiscard]] const std::vector<VertexId>& gates() const { return gates_; }
+  [[nodiscard]] std::uint64_t build_edges_walked() const {
+    return build_edges_walked_;
+  }
+
+  /// True => comp u provably reaches comp v through some gate. False =>
+  /// inconclusive.
+  [[nodiscard]] bool proves_reachable(VertexId u, VertexId v) const {
+    const Word* out = out_gates_.data() + u * words_;
+    const Word* in = in_gates_.data() + v * words_;
+    for (std::size_t w = 0; w < words_; ++w) {
+      if ((out[w] & in[w]) != 0) return true;
+    }
+    return false;
+  }
+
+  /// Gate-to-gate transitive closure rows (gate ordinal -> G-bit row of
+  /// gate ordinals it reaches, itself included).
+  [[nodiscard]] const std::vector<Word>& gate_closure() const {
+    return gate_closure_;
+  }
+  [[nodiscard]] const std::vector<Word>& out_gate_rows() const {
+    return out_gates_;
+  }
+  [[nodiscard]] const std::vector<Word>& in_gate_rows() const {
+    return in_gates_;
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return (out_gates_.size() + in_gates_.size() + gate_closure_.size()) *
+               sizeof(Word) +
+           gates_.size() * sizeof(VertexId);
+  }
+
+ private:
+  std::uint32_t num_gates_ = 0;
+  std::size_t words_ = 0;
+  std::uint64_t build_edges_walked_ = 0;
+  std::vector<VertexId> gates_;      // component ids, score-descending
+  std::vector<Word> out_gates_;      // [component][gate bit]: c reaches g
+  std::vector<Word> in_gates_;       // [component][gate bit]: g reaches c
+  std::vector<Word> gate_closure_;   // [gate ordinal][gate bit]
+};
+
+}  // namespace cgraph

@@ -1,0 +1,105 @@
+#include "index/grail.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace cgraph {
+
+namespace {
+
+struct Frame {
+  VertexId c = 0;
+  std::size_t child = 0;  // next entry in the label's sorted adjacency
+};
+
+}  // namespace
+
+void GrailLabels::build(const SccCondensation& scc, const GrailOptions& opts) {
+  num_components_ = scc.num_components;
+  num_labels_ = std::max<std::uint32_t>(1, opts.num_labels);
+  begin_.assign(static_cast<std::size_t>(num_labels_) * num_components_, 0);
+  post_.assign(static_cast<std::size_t>(num_labels_) * num_components_, 0);
+  build_edges_walked_ = 0;
+  const VertexId n = num_components_;
+  if (n == 0) return;
+
+  std::vector<std::uint64_t> prio(n);
+  std::vector<VertexId> order(n);
+  std::vector<VertexId> children(scc.dag_targets.size());
+  std::vector<bool> visited(n);
+  std::vector<Frame> frames;
+
+  for (std::uint32_t l = 0; l < num_labels_; ++l) {
+    std::uint32_t* b = begin_.data() + static_cast<std::size_t>(l) * n;
+    std::uint32_t* e = post_.data() + static_cast<std::size_t>(l) * n;
+
+    // Per-label random priorities drive both root and child visit order;
+    // seeded, so the whole labelling is a pure function of (DAG, seed, l).
+    SplitMix64 sm(opts.seed + 0x9e3779b97f4a7c15ULL * (l + 1));
+    for (VertexId c = 0; c < n; ++c) prio[c] = sm.next();
+
+    std::iota(order.begin(), order.end(), VertexId{0});
+    std::sort(order.begin(), order.end(), [&](VertexId a, VertexId c) {
+      return prio[a] != prio[c] ? prio[a] < prio[c] : a < c;
+    });
+
+    // One sorted adjacency copy per label (child visit order), reused by
+    // every DFS of this label.
+    std::copy(scc.dag_targets.begin(), scc.dag_targets.end(),
+              children.begin());
+    for (VertexId c = 0; c < n; ++c) {
+      std::sort(children.begin() + static_cast<std::ptrdiff_t>(
+                                       scc.dag_offsets[c]),
+                children.begin() + static_cast<std::ptrdiff_t>(
+                                       scc.dag_offsets[c + 1]),
+                [&](VertexId a, VertexId d) {
+                  return prio[a] != prio[d] ? prio[a] < prio[d] : a < d;
+                });
+    }
+
+    std::fill(visited.begin(), visited.end(), false);
+    std::uint32_t post_counter = 0;
+
+    for (const VertexId root : order) {
+      if (visited[root]) continue;
+      frames.push_back({root, static_cast<std::size_t>(
+                                  scc.dag_offsets[root])});
+      visited[root] = true;
+      while (!frames.empty()) {
+        Frame& f = frames.back();
+        const VertexId c = f.c;
+        const std::size_t end =
+            static_cast<std::size_t>(scc.dag_offsets[c + 1]);
+        bool descended = false;
+        while (f.child < end) {
+          const VertexId w = children[f.child++];
+          ++build_edges_walked_;
+          if (!visited[w]) {
+            visited[w] = true;
+            frames.push_back(
+                {w, static_cast<std::size_t>(scc.dag_offsets[w])});
+            descended = true;
+            break;
+          }
+        }
+        if (descended) continue;
+
+        // Finish c: every out-neighbor is already finished (the DAG has no
+        // back edges), so their begins are final.
+        e[c] = post_counter++;
+        std::uint32_t lo = e[c];
+        for (const VertexId w : scc.dag_out(c)) {
+          lo = std::min(lo, b[w]);
+        }
+        b[c] = lo;
+        frames.pop_back();
+      }
+    }
+    CGRAPH_CHECK(post_counter == n);
+  }
+}
+
+}  // namespace cgraph

@@ -1,0 +1,76 @@
+// GRAIL-style randomized interval labels over the condensation DAG —
+// the index tier's O(k) negative filter (DESIGN.md §13).
+//
+// One label set is one randomized DFS of the DAG: every component gets an
+// interval [begin, post] where post is its DFS post-order rank and begin
+// is the minimum begin over all its out-neighbors (its reachable-set
+// floor). If u reaches v then interval(v) ⊆ interval(u) in EVERY label
+// set, so a single non-containment proves unreachability; containment in
+// all k sets proves nothing (false positives shrink as k grows, they never
+// become unsound). Randomizing root and child visit order across label
+// sets decorrelates the false-positive regions.
+//
+// Determinism: all randomness flows from (seed, label ordinal) through
+// SplitMix64, so identical inputs produce byte-identical labels on every
+// machine, thread count, and replay — the property the crash-recovery
+// differential suite pins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/scc.hpp"
+
+namespace cgraph {
+
+struct GrailOptions {
+  /// Independent randomized label sets (the paper-standard k; word-boundary
+  /// values 1/2/5 are covered by tests).
+  std::uint32_t num_labels = 2;
+  std::uint64_t seed = 42;
+};
+
+class GrailLabels {
+ public:
+  /// Build labels over the condensation. Records the DAG edges walked so
+  /// the caller can charge construction to the simulated cost model.
+  void build(const SccCondensation& scc, const GrailOptions& opts);
+
+  [[nodiscard]] bool empty() const { return num_components_ == 0; }
+  [[nodiscard]] std::uint32_t num_labels() const { return num_labels_; }
+  [[nodiscard]] std::uint64_t build_edges_walked() const {
+    return build_edges_walked_;
+  }
+
+  /// False => comp u provably does NOT reach comp v (some label set's
+  /// interval containment fails). True => inconclusive.
+  [[nodiscard]] bool maybe_reaches(VertexId u, VertexId v) const {
+    for (std::uint32_t l = 0; l < num_labels_; ++l) {
+      const std::uint32_t* b = begin_.data() + l * num_components_;
+      const std::uint32_t* e = post_.data() + l * num_components_;
+      if (!(b[u] <= b[v] && e[v] <= e[u])) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return (begin_.size() + post_.size()) * sizeof(std::uint32_t);
+  }
+
+  /// Raw label arrays (label-major), for fingerprinting.
+  [[nodiscard]] const std::vector<std::uint32_t>& begins() const {
+    return begin_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& posts() const {
+    return post_;
+  }
+
+ private:
+  std::uint32_t num_labels_ = 0;
+  VertexId num_components_ = 0;
+  std::uint64_t build_edges_walked_ = 0;
+  std::vector<std::uint32_t> begin_;  // [label][component]
+  std::vector<std::uint32_t> post_;   // [label][component]
+};
+
+}  // namespace cgraph

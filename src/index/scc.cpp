@@ -1,0 +1,120 @@
+#include "index/scc.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace cgraph {
+
+namespace {
+
+constexpr std::uint32_t kUnset = ~std::uint32_t{0};
+
+struct Frame {
+  VertexId v = 0;
+  std::size_t edge = 0;  // next out-neighbor to examine
+};
+
+}  // namespace
+
+SccCondensation condense(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  SccCondensation scc;
+  scc.num_vertices = n;
+  scc.component.assign(n, kInvalidVertex);
+
+  std::vector<std::uint32_t> index(n, kUnset);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<VertexId> stack;
+  std::vector<Frame> frames;
+  std::uint32_t next_index = 0;
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (index[root] != kUnset) continue;
+    frames.push_back({root, 0});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const VertexId v = f.v;
+      if (f.edge == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      const auto nbrs = graph.out_neighbors(v);
+      bool descended = false;
+      while (f.edge < nbrs.size()) {
+        const VertexId w = nbrs[f.edge++];
+        if (index[w] == kUnset) {
+          frames.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+
+      if (lowlink[v] == index[v]) {
+        const VertexId cid = scc.num_components++;
+        VertexId members = 0;
+        while (true) {
+          const VertexId u = stack.back();
+          stack.pop_back();
+          on_stack[u] = false;
+          scc.component[u] = cid;
+          ++members;
+          if (u == v) break;
+        }
+        scc.component_size.push_back(members);
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().v] =
+            std::min(lowlink[frames.back().v], lowlink[v]);
+      }
+    }
+  }
+  CGRAPH_CHECK(stack.empty());
+
+  // Condensation DAG: project every cross-component edge, then dedup.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    const VertexId cu = scc.component[u];
+    for (const VertexId w : graph.out_neighbors(u)) {
+      const VertexId cw = scc.component[w];
+      if (cu != cw) edges.emplace_back(cu, cw);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  const VertexId c = scc.num_components;
+  scc.dag_offsets.assign(c + 1, 0);
+  scc.dag_targets.reserve(edges.size());
+  for (const auto& [from, to] : edges) ++scc.dag_offsets[from + 1];
+  for (VertexId i = 0; i < c; ++i) {
+    scc.dag_offsets[i + 1] += scc.dag_offsets[i];
+  }
+  for (const auto& [from, to] : edges) {
+    // Tarjan pop order is reverse topological: successors pop first.
+    CGRAPH_DCHECK(to < from);
+    scc.dag_targets.push_back(to);
+  }
+
+  scc.rev_offsets.assign(c + 1, 0);
+  for (const auto& [from, to] : edges) ++scc.rev_offsets[to + 1];
+  for (VertexId i = 0; i < c; ++i) {
+    scc.rev_offsets[i + 1] += scc.rev_offsets[i];
+  }
+  std::vector<EdgeIndex> cursor(scc.rev_offsets.begin(),
+                                scc.rev_offsets.end() - 1);
+  scc.rev_sources.resize(edges.size());
+  for (const auto& [from, to] : edges) {
+    scc.rev_sources[cursor[to]++] = from;
+  }
+  return scc;
+}
+
+}  // namespace cgraph

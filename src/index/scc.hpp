@@ -1,0 +1,68 @@
+// Strongly-connected-component condensation — the substrate of the
+// reachability index tier (DESIGN.md §13).
+//
+// Reachability is invariant under SCC contraction: s reaches t in G iff
+// comp(s) reaches comp(t) in the condensation DAG. Both index structures
+// (GRAIL interval labels, backbone gates) are therefore built over the
+// condensation, which is typically far smaller than the raw graph and —
+// being acyclic — admits interval labelling at all.
+//
+// Component ids are assigned in Tarjan pop order, which is a *reverse
+// topological order* of the condensation: every DAG edge c -> d satisfies
+// d < c. The index query layer exploits this as a free O(1) negative
+// filter (comp(t) > comp(s) proves unreachability) and the tests assert it
+// as a structural invariant.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace cgraph {
+
+/// Condensation of a directed graph: vertex -> component map plus the
+/// component DAG in CSR (out-edges) and CSC (in-edges) form, deduplicated
+/// and self-loop-free.
+struct SccCondensation {
+  VertexId num_vertices = 0;
+  VertexId num_components = 0;
+  /// Per-vertex component id, in reverse topological order (see header).
+  std::vector<VertexId> component;
+  /// Per-component member count.
+  std::vector<VertexId> component_size;
+
+  // Condensation DAG, forward (CSR) and reverse (CSC).
+  std::vector<EdgeIndex> dag_offsets;  // num_components + 1
+  std::vector<VertexId> dag_targets;
+  std::vector<EdgeIndex> rev_offsets;  // num_components + 1
+  std::vector<VertexId> rev_sources;
+
+  [[nodiscard]] std::span<const VertexId> dag_out(VertexId c) const {
+    return {dag_targets.data() + dag_offsets[c],
+            static_cast<std::size_t>(dag_offsets[c + 1] - dag_offsets[c])};
+  }
+  [[nodiscard]] std::span<const VertexId> dag_in(VertexId c) const {
+    return {rev_sources.data() + rev_offsets[c],
+            static_cast<std::size_t>(rev_offsets[c + 1] - rev_offsets[c])};
+  }
+  [[nodiscard]] EdgeIndex num_dag_edges() const {
+    return static_cast<EdgeIndex>(dag_targets.size());
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return component.size() * sizeof(VertexId) +
+           component_size.size() * sizeof(VertexId) +
+           (dag_offsets.size() + rev_offsets.size()) * sizeof(EdgeIndex) +
+           (dag_targets.size() + rev_sources.size()) * sizeof(VertexId);
+  }
+};
+
+/// Compute the condensation with an iterative Tarjan pass (explicit frame
+/// stack — no recursion, so deep chains cannot overflow the C++ stack).
+/// Deterministic: the result depends only on the graph, never on seeds or
+/// thread counts.
+SccCondensation condense(const Graph& graph);
+
+}  // namespace cgraph

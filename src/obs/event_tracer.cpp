@@ -67,6 +67,8 @@ const char* to_string(TraceEventPhase phase) {
       return "query_reexecuted";
     case TraceEventPhase::kDirectionChoice:
       return "direction_choice";
+    case TraceEventPhase::kIndexProbe:
+      return "index_probe";
   }
   return "unknown";
 }

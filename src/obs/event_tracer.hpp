@@ -55,6 +55,9 @@ enum class TraceEventPhase : std::uint8_t {
   kQueryReexecuted,  // instant: query re-derived after a machine crash
   kDirectionChoice,  // instant: per machine per level push/pull decision
                      //   (a = 1 for pull / 0 for push, b = scout edges)
+  kIndexProbe,       // instant: reachability-index probe at admission
+                     //   (a = verdict: 0 unreachable / 1 reachable /
+                     //   2 unknown, b = probe sim seconds)
 };
 
 [[nodiscard]] const char* to_string(TraceEventPhase phase);

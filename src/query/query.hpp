@@ -14,6 +14,14 @@ struct KHopQuery {
   QueryId id = 0;
   VertexId source = 0;
   Depth k = 3;
+  /// Point-reachability target: when set (!= kInvalidVertex) the query
+  /// asks "does source reach target within k hops?" and becomes eligible
+  /// for the index fast path (src/index/, DESIGN.md §13). The traversal
+  /// engines ignore this field — they still expand from source — and the
+  /// service resolves the answer from the final visited plane.
+  VertexId target = kInvalidVertex;
+
+  [[nodiscard]] bool is_point() const { return target != kInvalidVertex; }
 };
 
 /// A multi-source k-hop query: visit everything within k hops of ANY of

@@ -53,9 +53,11 @@ BatchExecutor::BatchExecutor(Cluster& cluster,
 }
 
 BatchExecutor::Outcome BatchExecutor::execute(
-    std::span<const KHopQuery> batch) {
+    std::span<const KHopQuery> batch, QueryBitRows* visited_out) {
   CGRAPH_CHECK(!batch.empty());
   CGRAPH_CHECK(batch.size() <= opts_.batch_width);
+  CGRAPH_CHECK_MSG(visited_out == nullptr || opts_.use_bit_parallel,
+                   "visited-plane capture requires the bit-parallel engine");
 
   Outcome out;
   out.trace.index = batches_executed_;
@@ -68,7 +70,8 @@ BatchExecutor::Outcome BatchExecutor::execute(
   const std::uint64_t crashes_before = cluster_.recovery_stats().crashes;
   out.result = opts_.use_bit_parallel
                    ? run_distributed_msbfs(cluster_, shards_, partition_,
-                                           batch, opts_.direction)
+                                           batch, opts_.direction,
+                                           visited_out)
                    : run_distributed_khop(cluster_, shards_, partition_,
                                           batch);
   if (cluster_.recovery_stats().crashes > crashes_before) {

@@ -107,7 +107,12 @@ class BatchExecutor {
   };
 
   /// Execute one admitted batch (non-empty, <= batch_width queries).
-  Outcome execute(std::span<const KHopQuery> batch);
+  /// `visited_out`, when non-null, receives the final visited plane
+  /// (rows = vertices, bits = batch slots) — how the service resolves
+  /// point-query fallbacks (DESIGN.md §13). Requires the bit-parallel
+  /// engine; the task-queue ablation path has no plane to expose.
+  Outcome execute(std::span<const KHopQuery> batch,
+                  QueryBitRows* visited_out = nullptr);
 
   [[nodiscard]] const SchedulerOptions& options() const { return opts_; }
   [[nodiscard]] BatchPolicy policy() const { return policy_; }

@@ -20,6 +20,8 @@ const char* to_string(ServiceOutcome outcome) {
       return "expired";
     case ServiceOutcome::kCompleted:
       return "completed";
+    case ServiceOutcome::kIndexAnswered:
+      return "index_answered";
   }
   return "unknown";
 }
@@ -59,13 +61,25 @@ class ServicePipeline {
         queue_depth_high_water_(registry.gauge(
             "cgraph_service_queue_depth",
             "Admitted-but-unstarted queries in the service queue",
-            {{"stat", "high_water"}})) {
+            {{"stat", "high_water"}})),
+        index_hits_(registry.counter(
+            "cgraph_index_hit_total",
+            "Point queries answered conclusively by the reachability "
+            "index bypass lane")),
+        index_misses_(registry.counter(
+            "cgraph_index_miss_total",
+            "Point-query index probes that returned unknown")),
+        index_fallbacks_(registry.counter(
+            "cgraph_index_fallback_total",
+            "Point queries resolved by the traversal engine after an "
+            "unknown index probe")) {
     result_.queries.resize(arrivals.size());
     for (std::size_t i = 0; i < arrivals.size(); ++i) {
       ServiceQueryRecord& r = result_.queries[i];
       r.id = arrivals[i].query.id;
       r.arrival_sim_seconds = arrivals[i].arrival_sim_seconds;
       r.outcome = ServiceOutcome::kShed;  // overwritten once admitted
+      r.target = arrivals[i].query.target;
     }
     result_.telemetry.effective_policy = to_string(executor_.policy());
   }
@@ -103,6 +117,44 @@ class ServicePipeline {
       if (!pending_.empty() && opts_.linger_seconds > 0 &&
           pending_.front().arrival + opts_.linger_seconds <= t) {
         seal(pending_.front().arrival + opts_.linger_seconds);
+      }
+
+      // Index bypass lane: a point query the index can conclude is
+      // answered here — it never occupies a queue slot, so it can neither
+      // be shed nor delay a batch seal. The probe is a pure function of
+      // immutable index state, keeping the admission timeline
+      // deterministic.
+      const KHopQuery& arrival_query = arrivals_[i].query;
+      if (opts_.index != nullptr && arrival_query.is_point()) {
+        const IndexVerdict verdict = opts_.index->query(
+            arrival_query.source, arrival_query.target, arrival_query.k);
+        const double probe_sim = opts_.index->probe_sim_seconds();
+        if (obs::tracing_enabled()) {
+          obs::TraceEvent ev;
+          ev.phase = obs::TraceEventPhase::kIndexProbe;
+          ev.kind = obs::TraceEventKind::kInstant;
+          ev.machine = obs::TraceEvent::kAdmissionTrack;
+          ev.query = static_cast<std::int64_t>(arrival_query.id);
+          ev.sim_seconds = t;
+          ev.a = verdict == IndexVerdict::kUnreachable ? 0.0
+                 : verdict == IndexVerdict::kReachable ? 1.0
+                                                       : 2.0;
+          ev.b = probe_sim;
+          obs::trace(ev);
+        }
+        if (verdict != IndexVerdict::kUnknown) {
+          ServiceQueryRecord& r = result_.queries[i];
+          r.outcome = ServiceOutcome::kIndexAnswered;
+          r.index_verdict = verdict;
+          r.reachable = verdict == IndexVerdict::kReachable ? 1 : 0;
+          r.queue_wait_sim_seconds = 0;
+          r.execute_sim_seconds = probe_sim;
+          r.response_sim_seconds = probe_sim;
+          index_hits_.inc();
+          continue;
+        }
+        index_misses_.inc();
+        ++index_miss_tally_;
       }
 
       // Backpressure: shed when the admitted-but-unstarted population at
@@ -271,7 +323,21 @@ class ServicePipeline {
       if (tracer != nullptr) {
         tracer->set_batch_context(static_cast<std::int64_t>(sb.index), start);
       }
-      BatchExecutor::Outcome out = executor_.execute(batch);
+      // Point-query fallbacks (index probe returned unknown) are resolved
+      // from the batch's final visited plane: target row, this query's bit
+      // column. Only the bit-parallel engine exposes a plane.
+      bool want_visited = false;
+      if (opts_.scheduler.use_bit_parallel) {
+        for (const KHopQuery& q : batch) {
+          if (q.is_point()) {
+            want_visited = true;
+            break;
+          }
+        }
+      }
+      QueryBitRows visited_plane;
+      BatchExecutor::Outcome out = executor_.execute(
+          batch, want_visited ? &visited_plane : nullptr);
       if (tracer != nullptr) tracer->clear_batch_context();
       const double makespan = out.result.sim_seconds * out.slowdown;
       finish = start + makespan;
@@ -303,6 +369,14 @@ class ServicePipeline {
             r.queue_wait_sim_seconds + r.execute_sim_seconds;
         r.visited = out.result.visited[i];
         r.levels = out.result.levels[i];
+        if (batch[i].is_point() && want_visited) {
+          r.reachable =
+              visited_plane.test(batch[i].target, i) ? 1 : 0;
+          if (opts_.index != nullptr) {
+            index_fallbacks_.inc();
+            ++index_fallback_tally_;
+          }
+        }
 
         obs::QueryTrace qt;
         qt.id = batch[i].id;
@@ -395,9 +469,14 @@ class ServicePipeline {
         case ServiceOutcome::kCompleted:
           ++s.completed;
           break;
+        case ServiceOutcome::kIndexAnswered:
+          ++s.index_answered;
+          break;
       }
     }
     s.admitted = s.completed + s.expired;
+    s.index_misses = index_miss_tally_;
+    s.index_fallbacks = index_fallback_tally_;
     s.batches = result_.batches.size();
 
     double last_arrival = arrivals_.empty()
@@ -413,14 +492,19 @@ class ServicePipeline {
   ServiceRunResult& result_;
   obs::Gauge& queue_depth_current_;
   obs::Gauge& queue_depth_high_water_;
+  obs::Counter& index_hits_;
+  obs::Counter& index_misses_;
+  obs::Counter& index_fallbacks_;
 
   // Admission-thread state.
   std::vector<PendingQuery> pending_;
   std::size_t sealed_total_ = 0;
+  std::uint64_t index_miss_tally_ = 0;
 
   // Execution-thread state.
   double server_free_ = 0;
   double last_finish_ = 0;
+  std::uint64_t index_fallback_tally_ = 0;
 
   // Shared handoff state (guarded by mu_).
   std::mutex mu_;
@@ -473,6 +557,13 @@ void publish_service_metrics(obs::MetricsRegistry& reg,
       "queries");
   for (const ServiceQueryRecord& r : result.queries) {
     if (r.outcome == ServiceOutcome::kShed) continue;
+    if (r.outcome == ServiceOutcome::kIndexAnswered) {
+      // Index answers are end-to-end responses (the probe time) but never
+      // waited in the queue nor executed on the cluster, so only the
+      // response series sees them.
+      response.observe(r.response_sim_seconds);
+      continue;
+    }
     wait.observe(r.queue_wait_sim_seconds);
     if (r.outcome == ServiceOutcome::kCompleted) {
       response.observe(r.response_sim_seconds);
@@ -488,7 +579,8 @@ double ServiceRunResult::response_percentile(double p) const {
   std::vector<double> responses;
   responses.reserve(queries.size());
   for (const ServiceQueryRecord& r : queries) {
-    if (r.outcome == ServiceOutcome::kCompleted) {
+    if (r.outcome == ServiceOutcome::kCompleted ||
+        r.outcome == ServiceOutcome::kIndexAnswered) {
       responses.push_back(r.response_sim_seconds);
     }
   }
@@ -517,6 +609,9 @@ ServiceRunResult run_query_service(Cluster& cluster,
   run_span.finish();
   result.telemetry.publish(registry);
   publish_service_metrics(registry, result);
+  if (opts.index != nullptr && opts.index->mode() != IndexMode::kOff) {
+    publish_index_metrics(registry, *opts.index);
+  }
   return result;
 }
 

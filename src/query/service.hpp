@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "index/reach_index.hpp"
 #include "query/scheduler.hpp"
 
 namespace cgraph {
@@ -42,6 +43,10 @@ enum class ServiceOutcome : std::uint8_t {
   kExpired,
   /// Executed and answered.
   kCompleted,
+  /// Point query answered conclusively by the reachability index at
+  /// admission — bypassed the queue, consumed no batch slot (DESIGN.md
+  /// §13).
+  kIndexAnswered,
 };
 
 [[nodiscard]] const char* to_string(ServiceOutcome outcome);
@@ -63,6 +68,12 @@ struct ServiceOptions {
   /// shape and the TSAN target); false runs both phases on the caller
   /// thread — results are identical either way.
   bool pipeline = true;
+  /// Reachability index consulted for point queries (target set) before
+  /// admission. Conclusive probes are answered in place (kIndexAnswered);
+  /// inconclusive ones fall back to the traversal path, and their answer
+  /// is resolved from the batch's visited plane (bit-parallel engine
+  /// only). nullptr disables the fast path entirely.
+  const ReachIndex* index = nullptr;
 };
 
 struct ServiceQueryRecord {
@@ -80,6 +91,16 @@ struct ServiceQueryRecord {
   double response_sim_seconds = 0;
   std::uint64_t visited = 0;
   Depth levels = 0;
+  /// Point-query bookkeeping (kInvalidVertex target = aggregate query).
+  VertexId target = kInvalidVertex;
+  /// Verdict of the admission-time index probe (kUnknown when no index
+  /// was configured, the query was not a point query, or the probe was
+  /// inconclusive and the query fell back to traversal).
+  IndexVerdict index_verdict = IndexVerdict::kUnknown;
+  /// Resolved point answer: 1 reachable, 0 unreachable, -1 unresolved
+  /// (aggregate query, or a fallback under the non-bit-parallel engine,
+  /// which has no visited plane to read the target bit from).
+  std::int8_t reachable = -1;
 };
 
 struct ServiceBatchRecord {
@@ -100,13 +121,22 @@ struct ServiceStats {
   std::uint64_t shed = 0;
   std::uint64_t expired = 0;
   std::uint64_t completed = 0;
+  /// Point queries answered by the index bypass lane (cgraph_index_hit).
+  std::uint64_t index_answered = 0;
+  /// Point queries whose index probe was inconclusive (cgraph_index_miss);
+  /// they proceeded into normal admission.
+  std::uint64_t index_misses = 0;
+  /// Point queries resolved by the traversal engine after an inconclusive
+  /// probe (cgraph_index_fallback) — a subset of `completed`.
+  std::uint64_t index_fallbacks = 0;
   std::uint64_t batches = 0;
   std::size_t peak_queue_depth = 0;
 
   /// The counter identities the service must keep:
-  ///   submitted = admitted + shed;  admitted = completed + expired.
+  ///   submitted = admitted + shed + index_answered;
+  ///   admitted  = completed + expired.
   [[nodiscard]] bool identities_hold() const {
-    return submitted == admitted + shed &&
+    return submitted == admitted + shed + index_answered &&
            admitted == completed + expired;
   }
 };
@@ -123,9 +153,10 @@ struct ServiceRunResult {
   /// with the cgraph_service_* series.
   obs::RunTelemetry telemetry;
 
-  /// Exact end-to-end latency percentile over completed queries, p in
-  /// (0, 100] (the cgraph_service_response_seconds histogram is the
-  /// scrape-able approximation). 0 when nothing completed.
+  /// Exact end-to-end latency percentile over answered queries (completed
+  /// + index-answered), p in (0, 100] (the
+  /// cgraph_service_response_seconds histogram is the scrape-able
+  /// approximation). 0 when nothing was answered.
   [[nodiscard]] double response_percentile(double p) const;
 };
 
