@@ -109,6 +109,20 @@ struct MicroRow {
   std::uint64_t edges_scanned = 0;
 };
 
+/// Steady-state vs under-replica-kill latency (DESIGN.md §14). Both arms
+/// run the same arrival stream through a 2-replica router; the kill arm
+/// halts the replica that owns the first batch mid-execution, so every
+/// recorded percentile includes the failover + checkpoint-adoption cost.
+struct FailoverArm {
+  double rate_qps = 0;
+  std::size_t replicas = 2;
+  std::size_t kill_replica = 0;
+  std::uint64_t kill_superstep = 0;
+  SweepRow steady;
+  SweepRow under_kill;
+  std::uint64_t failovers = 0;
+};
+
 bool rows_equal(const SweepRow& a, const SweepRow& b) {
   return a.shed == b.shed && a.expired == b.expired &&
          a.completed == b.completed && a.batches == b.batches &&
@@ -149,6 +163,78 @@ SweepRow run_rate(const BaselineConfig& cfg, const ShardedGraph& sg,
   return row;
 }
 
+/// One open-loop run against a fresh 2-replica set. The arm isolates
+/// failover latency from admission effects: unbounded queue, no deadline,
+/// so every query completes on some replica and the percentile delta is
+/// purely the replica-loss recovery cost. When `kill` is set the replica
+/// that batch 0 routes to is halted at `kill_superstep` (guaranteeing the
+/// death lands mid-batch on the hot path).
+SweepRow run_failover_rate(const BaselineConfig& cfg, const ShardedGraph& sg,
+                           std::uint64_t budget, double rate, bool kill,
+                           std::uint64_t kill_superstep,
+                           std::size_t* kill_replica,
+                           std::uint64_t* failovers) {
+  PoissonArrivalParams ap;
+  ap.rate_qps = rate;
+  ap.count = cfg.queries;
+  ap.k = cfg.k;
+  ap.seed = cfg.seed;
+  const auto arrivals = make_poisson_arrivals(sg.graph, ap);
+
+  std::vector<std::unique_ptr<Cluster>> storage;
+  std::vector<Cluster*> replicas;
+  for (std::size_t r = 0; r < 2; ++r) {
+    storage.push_back(
+        std::make_unique<Cluster>(cfg.machines, paper_cost_model()));
+    storage.back()->set_recovery(RecoveryOptions{});
+    replicas.push_back(storage.back().get());
+  }
+
+  ServiceOptions service;
+  service.scheduler.memory_budget_bytes = budget;
+  service.queue_cap = 0;
+  service.deadline_seconds = 0;
+  service.linger_seconds = cfg.linger_seconds;
+  ReplicaRouterOptions ro;
+  ro.route_seed = cfg.seed;
+  ReplicaRouter router(replicas, sg.shards, sg.partition, service.scheduler,
+                       ro);
+  service.router = &router;
+
+  if (kill) {
+    const std::size_t victim =
+        router.route_batch(0, arrivals.front().query.source);
+    HaltSpec halt;
+    halt.at_superstep = kill_superstep;
+    replicas[victim]->arm_halt(halt);
+    if (kill_replica != nullptr) *kill_replica = victim;
+  }
+
+  const auto run = run_query_service(*replicas[0], sg.shards, sg.partition,
+                                     arrivals, service);
+  CGRAPH_CHECK_MSG(run.stats.identities_hold(),
+                   "failover arm broke the service counter identities");
+  CGRAPH_CHECK_MSG(run.stats.completed == arrivals.size(),
+                   "failover arm lost admitted queries");
+  if (kill) {
+    CGRAPH_CHECK_MSG(run.stats.failovers >= 1,
+                     "failover arm's replica kill never fired");
+  }
+  if (failovers != nullptr) *failovers = run.stats.failovers;
+
+  SweepRow row;
+  row.rate_qps = rate;
+  row.shed = run.stats.shed;
+  row.expired = run.stats.expired;
+  row.completed = run.stats.completed;
+  row.batches = run.stats.batches;
+  row.p50 = run.response_percentile(50);
+  row.p95 = run.response_percentile(95);
+  row.p99 = run.response_percentile(99);
+  row.makespan_sim = run.makespan_sim_seconds;
+  return row;
+}
+
 double median(std::vector<double> xs) {
   if (xs.empty()) return 0;
   std::sort(xs.begin(), xs.end());
@@ -164,8 +250,21 @@ void json_doubles(std::FILE* f, const char* key, double v,
   std::fprintf(f, "\"%s\": %.17g%s", key, v, suffix);
 }
 
+void json_failover_row(std::FILE* f, const char* key, const SweepRow& r,
+                       const char* suffix) {
+  std::fprintf(f, "    \"%s\": {\"completed\": %llu, \"batches\": %llu, ",
+               key, static_cast<unsigned long long>(r.completed),
+               static_cast<unsigned long long>(r.batches));
+  json_doubles(f, "p50_sim_seconds", r.p50, ", ");
+  json_doubles(f, "p95_sim_seconds", r.p95, ", ");
+  json_doubles(f, "p99_sim_seconds", r.p99, ", ");
+  json_doubles(f, "makespan_sim_seconds", r.makespan_sim, "");
+  std::fprintf(f, "}%s\n", suffix);
+}
+
 bool write_fig12_json(const std::string& path, const BaselineConfig& cfg,
                       std::uint64_t budget, const std::vector<SweepRow>& rows,
+                      const FailoverArm& failover,
                       const std::vector<MicroRow>& micro) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
@@ -212,6 +311,18 @@ bool write_fig12_json(const std::string& path, const BaselineConfig& cfg,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"failover\": {\n");
+  std::fprintf(f, "    ");
+  json_doubles(f, "rate_qps", failover.rate_qps, ",\n");
+  std::fprintf(f, "    \"replicas\": %zu,\n", failover.replicas);
+  std::fprintf(f, "    \"kill_replica\": %zu,\n", failover.kill_replica);
+  std::fprintf(f, "    \"kill_superstep\": %llu,\n",
+               static_cast<unsigned long long>(failover.kill_superstep));
+  std::fprintf(f, "    \"failovers\": %llu,\n",
+               static_cast<unsigned long long>(failover.failovers));
+  json_failover_row(f, "steady", failover.steady, ",");
+  json_failover_row(f, "under_kill", failover.under_kill, "");
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"micro\": [\n");
   for (std::size_t i = 0; i < micro.size(); ++i) {
     std::fprintf(f, "    {\"name\": \"%s\", ", micro[i].name.c_str());
@@ -488,6 +599,32 @@ int main(int argc, char** argv) {
                 trav.sim_seconds / index.probe_sim_seconds());
   }
 
+  // --- Failover arm (DESIGN.md §14): the same open-loop stream served by
+  // a 2-replica router, steady vs with the first batch's replica killed
+  // mid-execution. Both runs are sim-domain and seeded, so the pair is
+  // bit-reproducible; ci/validate_bench.py gates under_kill p99 at <= 3x
+  // steady p99 — the "replica loss degrades latency, never correctness"
+  // claim (run_failover_rate CHECKs that every query still completes).
+  FailoverArm failover;
+  failover.rate_qps = cfg.rates[cfg.rates.size() / 2];
+  failover.kill_superstep = 2;
+  failover.steady = run_failover_rate(cfg, sg, budget, failover.rate_qps,
+                                      /*kill=*/false, failover.kill_superstep,
+                                      nullptr, nullptr);
+  failover.under_kill = run_failover_rate(
+      cfg, sg, budget, failover.rate_qps, /*kill=*/true,
+      failover.kill_superstep, &failover.kill_replica, &failover.failovers);
+  std::printf("\nfailover arm (rate %.0f qps, kill replica %zu @ superstep "
+              "%llu): steady p99 %.4fs sim / under-kill p99 %.4fs sim "
+              "(%.2fx), %llu failover(s)\n",
+              failover.rate_qps, failover.kill_replica,
+              static_cast<unsigned long long>(failover.kill_superstep),
+              failover.steady.p99, failover.under_kill.p99,
+              failover.steady.p99 > 0
+                  ? failover.under_kill.p99 / failover.steady.p99
+                  : 0.0,
+              static_cast<unsigned long long>(failover.failovers));
+
   // --- Trace overhead: interleaved A (off), B (off again), C (on) so
   // host drift hits every arm equally within a repetition.
   std::printf("\ntrace overhead: %zu reps x 3 arms, %zu queries each\n",
@@ -526,7 +663,7 @@ int main(int argc, char** argv) {
 
   const std::string fig12_path = out_dir + "/BENCH_fig12.json";
   const std::string overhead_path = out_dir + "/BENCH_trace_overhead.json";
-  if (!write_fig12_json(fig12_path, cfg, budget, rows, micro)) {
+  if (!write_fig12_json(fig12_path, cfg, budget, rows, failover, micro)) {
     std::fprintf(stderr, "cannot write %s\n", fig12_path.c_str());
     return 1;
   }

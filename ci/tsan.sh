@@ -16,7 +16,10 @@
 # next to the cross-partition push's atomic ORs under the same pools.
 # test_index (same labels) shares the immutable ReachIndex across the
 # admission thread's bypass probes and the executor's fallback resolution
-# while the service pipeline overlaps them.
+# while the service pipeline overlaps them. The replica label runs the
+# replicated-serving suite: router failovers resume the dead replica's
+# checkpoint cut on a survivor while that survivor's own compute pools
+# and the service pipeline are live.
 #
 # Usage: ci/tsan.sh [build-dir]   (default: build-tsan)
 set -eu
@@ -27,4 +30,4 @@ SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DCGRAPH_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 CGRAPH_THREADS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -L 'unit|chaos|recovery|service|bench'
+  -L 'unit|chaos|recovery|service|replica|bench'

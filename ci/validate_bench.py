@@ -21,7 +21,7 @@ Modes (composable):
       simulated clock domain, so on an unchanged tree the diff is exactly
       zero and any drift is a behavior change, not host noise.
 
-Every fig12_open_loop file additionally carries two intra-file gates:
+Every fig12_open_loop file additionally carries three intra-file gates:
 
   * its micro set must contain the dense_frontier_push /
     dense_frontier_hybrid pair, and the hybrid engine may never be more
@@ -31,7 +31,11 @@ Every fig12_open_loop file additionally carries two intra-file gates:
   * its micro set must contain the index_hit / index_traversal pair, and
     an index-answered point query must cost at most 5% of the traversal
     that answers the same question (>= 20x speedup) — the "the index tier
-    makes hot queries O(1)" claim of DESIGN.md §13.
+    makes hot queries O(1)" claim of DESIGN.md §13;
+  * it must carry a failover arm (steady vs under-replica-kill service
+    percentiles), and the under-kill p99 may be at most 3x the
+    steady-state p99 — the "replica loss is a bounded latency hit, never
+    a correctness event" claim of DESIGN.md §14.
 
 Exit status: 0 = all files pass, 1 = any failure (every failure printed).
 """
@@ -43,6 +47,7 @@ import sys
 STRICT_OVERHEAD_MAX_PCT = 2.0
 HYBRID_SLOWDOWN_MAX_PCT = 5.0
 INDEX_HIT_MAX_FRACTION = 0.05  # index probe <= 5% of the traversal (20x)
+FAILOVER_P99_MAX_RATIO = 3.0  # replica-kill p99 <= 3x steady-state p99
 
 # Sim-domain row metrics gated against the committed baseline. Counts are
 # integers and percentiles doubles, but both are pure functions of the
@@ -53,6 +58,11 @@ ROW_METRICS = [
     "makespan_sim_seconds",
 ]
 MICRO_METRICS = ["sim_seconds", "edges_scanned"]
+FAILOVER_METRICS = [
+    "completed", "batches",
+    "p50_sim_seconds", "p95_sim_seconds", "p99_sim_seconds",
+    "makespan_sim_seconds",
+]
 
 
 def _type_ok(value, expected):
@@ -130,6 +140,20 @@ def compare_fig12(fresh, committed, tolerance_pct, errors):
                     f"rows[rate={rate:g}].{metric}: {fresh_row[metric]!r} "
                     f"drifted >{tolerance_pct:g}% from committed "
                     f"{committed_row[metric]!r}")
+    fresh_failover = fresh.get("failover", {})
+    committed_failover = committed.get("failover", {})
+    for arm in ["steady", "under_kill"]:
+        fresh_arm = fresh_failover.get(arm, {})
+        committed_arm = committed_failover.get(arm, {})
+        for metric in FAILOVER_METRICS:
+            if metric not in committed_arm:
+                continue
+            if not _within(fresh_arm.get(metric, 0), committed_arm[metric],
+                           tolerance_pct):
+                errors.append(
+                    f"failover.{arm}.{metric}: {fresh_arm.get(metric)!r} "
+                    f"drifted >{tolerance_pct:g}% from committed "
+                    f"{committed_arm[metric]!r}")
     fresh_micro = {m["name"]: m for m in fresh.get("micro", [])}
     committed_micro = {m["name"]: m for m in committed.get("micro", [])}
     if sorted(fresh_micro) != sorted(committed_micro):
@@ -200,6 +224,38 @@ def check_index_gate(data, errors):
             f"gate/label sizing before recommitting")
 
 
+def check_failover_gate(data, errors):
+    """under_kill p99 must stay within 3x of steady p99.
+
+    Both arms serve the identical seeded arrival stream through a
+    2-replica router in the simulated clock domain; the under_kill arm
+    additionally absorbs one replica death mid-batch. The bound is the
+    "replica loss degrades latency boundedly, never correctness" claim of
+    DESIGN.md §14 (correctness — every query completing bit-exact — is
+    CHECKed inside bench/baseline_runner itself). The arm is required: an
+    artifact without it predates the replication layer and must be
+    regenerated with bench/baseline_runner.
+    """
+    failover = data.get("failover")
+    if not isinstance(failover, dict):
+        errors.append(
+            "artifact lacks the failover arm — regenerate with "
+            "bench/baseline_runner")
+        return
+    steady = failover.get("steady", {}).get("p99_sim_seconds", 0)
+    under_kill = failover.get("under_kill", {}).get("p99_sim_seconds", 0)
+    if steady <= 0:
+        errors.append("failover.steady.p99_sim_seconds is not positive")
+        return
+    if under_kill > steady * FAILOVER_P99_MAX_RATIO:
+        errors.append(
+            f"failover.under_kill.p99_sim_seconds {under_kill!r} exceeds "
+            f"{FAILOVER_P99_MAX_RATIO:g}x steady-state p99 {steady!r}: "
+            f"replica failover is no longer a bounded latency hit — check "
+            f"the checkpoint-adoption path (ReplicaRouter::adopt and the "
+            f"cut-step selection) before recommitting")
+
+
 def check_file(path, schemas, args):
     errors = []
     try:
@@ -228,6 +284,7 @@ def check_file(path, schemas, args):
     if bench == "fig12_open_loop":
         check_hybrid_gate(data, errors)
         check_index_gate(data, errors)
+        check_failover_gate(data, errors)
     if bench == "fig12_open_loop" and args.baseline:
         try:
             with open(args.baseline, encoding="utf-8") as f:

@@ -13,6 +13,7 @@
 //   cgraph_tool batch    --in g.bin --queries 100 [--k 3] [--machines 4]
 //                        [--threads N]
 //                        [--direction push|pull|hybrid] [--alpha A] [--beta B]
+//                        [--replicas N] [--replica-kill r@s] [--route-seed S]
 //   cgraph_tool pagerank --in g.bin [--iterations 10] [--machines 4]
 //                        [--threads N]
 //
@@ -51,6 +52,15 @@
 // conclusive verdict skips the traversal entirely; kUnknown falls back to
 // the MS-BFS engine and the answer is resolved from its visited plane.
 // --labels, --gates, and --index-seed tune construction.
+//
+// Replication flags (batch, DESIGN.md §14): --replicas N runs the batch
+// through the replicated service path — N replica clusters behind a
+// health-checked router — and --replica-kill r@s fail-stops replica r at
+// superstep s (comma lists allowed) to exercise cross-replica failover.
+// Answers stay bit-exact; a replication summary is printed. On a
+// degraded-mode shutdown (any replica dead) the tool flushes metrics even
+// without --metrics-out (cgraph_tool_degraded.prom) and, with --trace-out,
+// a service-level flight record of the failover events.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -94,17 +104,25 @@ bool parse_crash_spec(const std::string& spec, FaultPlan& plan) {
 }
 
 /// Wire --crash / --crash-prob / --checkpoint-* into the cluster. Returns
-/// false (after printing why) on a malformed spec.
-bool configure_recovery(Cluster& cluster, const Options& opts) {
+/// false (after printing why) on a malformed spec. `seed_offset` /
+/// `dir_suffix` give each replica of a replicated run its own
+/// deterministic chaos schedule and checkpoint directory; `force` enables
+/// recovery even without fault flags (replicated serving needs checkpoints
+/// so a survivor can adopt a dead replica's cut).
+bool configure_recovery(Cluster& cluster, const Options& opts,
+                        std::uint64_t seed_offset = 0,
+                        const std::string& dir_suffix = "",
+                        bool force = false) {
   const std::string crash = opts.get("crash");
   const double crash_prob = opts.get_double("crash-prob", 0.0);
   const bool any = !crash.empty() || crash_prob > 0.0 ||
                    opts.has("checkpoint-dir") ||
-                   opts.has("checkpoint-interval");
+                   opts.has("checkpoint-interval") || force;
   if (!any) return true;
 
   FaultPlan plan(
-      static_cast<std::uint64_t>(opts.get_int("fault-seed", 1)));
+      static_cast<std::uint64_t>(opts.get_int("fault-seed", 1)) +
+      seed_offset);
   if (crash_prob > 0.0) plan.set_crash_probability(crash_prob);
   std::size_t pos = 0;
   while (pos < crash.size()) {
@@ -126,9 +144,16 @@ bool configure_recovery(Cluster& cluster, const Options& opts) {
   ro.checkpoint_interval =
       static_cast<std::uint64_t>(opts.get_int("checkpoint-interval", 1));
   ro.checkpoint_dir = opts.get("checkpoint-dir");
+  if (!ro.checkpoint_dir.empty() && !dir_suffix.empty()) {
+    ro.checkpoint_dir += dir_suffix;
+  }
   cluster.set_recovery(ro);
   return true;
 }
+
+/// Set when a replicated run shut down with at least one replica dead;
+/// main() then flushes metrics + a service-level flight record.
+bool g_degraded_shutdown = false;
 
 /// Wire --direction / --alpha / --beta into a DirectionOptions. Returns
 /// false (after printing why) on an unknown mode name.
@@ -384,6 +409,108 @@ int cmd_query(const Options& opts) {
   return 0;
 }
 
+/// Replicated batch: the same closed workload pushed through the service
+/// path (all arrivals at t=0) with N replica clusters behind a
+/// health-checked router, so --replica-kill can exercise failover from
+/// the command line.
+int cmd_batch_replicated(const Options& opts, const Graph& g,
+                         const RangePartition& part,
+                         const std::vector<SubgraphShard>& shards,
+                         const std::vector<KHopQuery>& queries,
+                         const SchedulerOptions& sched,
+                         std::size_t num_replicas) {
+  const auto machines = static_cast<PartitionId>(opts.get_int("machines", 4));
+  std::vector<std::unique_ptr<Cluster>> storage;
+  std::vector<Cluster*> replicas;
+  for (std::size_t r = 0; r < num_replicas; ++r) {
+    storage.push_back(std::make_unique<Cluster>(machines));
+    Cluster& c = *storage.back();
+    if (!configure_recovery(c, opts, /*seed_offset=*/r,
+                            "/replica" + std::to_string(r),
+                            /*force=*/true)) {
+      return 2;
+    }
+    replicas.push_back(&c);
+  }
+
+  const std::string kill = opts.get("replica-kill");
+  std::size_t pos = 0;
+  while (pos < kill.size()) {
+    std::size_t comma = kill.find(',', pos);
+    if (comma == std::string::npos) comma = kill.size();
+    const std::string spec = kill.substr(pos, comma - pos);
+    const std::size_t at = spec.find('@');
+    char* end = nullptr;
+    const unsigned long r =
+        at == std::string::npos ? num_replicas
+                                : std::strtoul(spec.c_str(), &end, 10);
+    if (at == std::string::npos || at == 0 || at + 1 >= spec.size() ||
+        end != spec.c_str() + at || r >= num_replicas) {
+      std::fprintf(stderr,
+                   "bad --replica-kill spec '%s' (want replica@superstep, "
+                   "replica < %zu)\n",
+                   spec.c_str(), num_replicas);
+      return 2;
+    }
+    HaltSpec halt;
+    halt.at_superstep = std::strtoull(spec.c_str() + at + 1, &end, 10);
+    if (end == nullptr || *end != '\0') {
+      std::fprintf(stderr, "bad --replica-kill spec '%s'\n", spec.c_str());
+      return 2;
+    }
+    replicas[r]->arm_halt(halt);
+    pos = comma + 1;
+  }
+
+  ReplicaRouterOptions ro;
+  ro.route_seed = static_cast<std::uint64_t>(opts.get_int("route-seed", 1));
+  ReplicaRouter router(replicas, shards, part, sched, ro);
+  ServiceOptions service;
+  service.scheduler = sched;
+  service.queue_cap = 0;  // closed workload: admit everything
+  service.router = &router;
+
+  std::vector<TimedQuery> arrivals;
+  arrivals.reserve(queries.size());
+  for (const KHopQuery& q : queries) arrivals.push_back({q, 0.0});
+  const auto run =
+      run_query_service(*replicas[0], shards, part, arrivals, service);
+
+  ResponseTimeSeries times("batch");
+  for (const auto& qr : run.queries) {
+    if (qr.outcome == ServiceOutcome::kCompleted) {
+      times.add(qr.response_sim_seconds);
+    }
+  }
+  std::printf("%zu concurrent %u-hop queries on %u machines x %zu "
+              "replicas: mean %.4fs p50 %.4fs p90 %.4fs max %.4fs "
+              "(%llu batches, %s peak memory)\n",
+              queries.size(), static_cast<unsigned>(opts.get_int("k", 3)),
+              machines,
+              num_replicas, times.mean(), times.percentile(50),
+              times.percentile(90), times.max(),
+              static_cast<unsigned long long>(run.stats.batches),
+              AsciiTable::humanize(run.peak_memory_bytes).c_str());
+  g_degraded_shutdown = router.degraded();
+  std::printf("replication: %zu/%zu replicas healthy, %llu failovers, "
+              "%llu failover-shed%s\n",
+              router.healthy_count(), router.num_replicas(),
+              static_cast<unsigned long long>(router.failovers()),
+              static_cast<unsigned long long>(run.stats.failover_shed),
+              g_degraded_shutdown ? " -> degraded-mode shutdown" : "");
+  const auto rstats = router.stats();
+  for (std::size_t r = 0; r < rstats.size(); ++r) {
+    std::printf("  replica %zu: %s, %llu batches, %llu heartbeat misses\n",
+                r, to_string(rstats[r].health),
+                static_cast<unsigned long long>(rstats[r].batches_executed),
+                static_cast<unsigned long long>(
+                    rstats[r].heartbeat_misses_total));
+  }
+  for (Cluster* c : replicas) print_recovery_report(*c);
+  replicas[0]->publish_metrics(obs::MetricsRegistry::global());
+  return 0;
+}
+
 int cmd_batch(const Options& opts) {
   const std::string in = opts.get("in");
   if (in.empty()) return usage();
@@ -396,8 +523,6 @@ int cmd_batch(const Options& opts) {
 
   const auto part = RangePartition::balanced_by_edges(g, machines);
   const auto shards = build_shards(g, part);
-  Cluster cluster(machines);
-  if (!configure_recovery(cluster, opts)) return 2;
   const auto queries = make_random_queries(
       g, count, k, static_cast<std::uint64_t>(opts.get_int("seed", 1)));
   SchedulerOptions sched;
@@ -405,6 +530,20 @@ int cmd_batch(const Options& opts) {
     sched.threads = static_cast<std::size_t>(opts.get_int("threads", 1));
   }
   if (!configure_direction(opts, sched.direction)) return 2;
+
+  const auto num_replicas =
+      static_cast<std::size_t>(opts.get_int("replicas", 1));
+  if (num_replicas > 1 || opts.has("replica-kill")) {
+    if (num_replicas < 2) {
+      std::fprintf(stderr, "--replica-kill needs --replicas >= 2\n");
+      return 2;
+    }
+    return cmd_batch_replicated(opts, g, part, shards, queries, sched,
+                                num_replicas);
+  }
+
+  Cluster cluster(machines);
+  if (!configure_recovery(cluster, opts)) return 2;
   const auto run =
       run_concurrent_queries(cluster, shards, part, queries, sched);
 
@@ -510,6 +649,25 @@ int main(int argc, char** argv) {
     fr_opts.config = "cgraph_tool " + cmd;
     obs::FlightRecorder recorder(fr_opts);
     recorder.ingest(*tracer);
+    if (g_degraded_shutdown) {
+      // Degraded-mode shutdown: per-query dumps only fire for queries
+      // that individually tripped, so flush the replica-phase events as a
+      // service-level record too — the failover post-mortem.
+      std::vector<obs::TraceEvent> replica_events;
+      for (const obs::TraceEvent& ev : tracer->snapshot()) {
+        switch (ev.phase) {
+          case obs::TraceEventPhase::kReplicaRoute:
+          case obs::TraceEventPhase::kHeartbeatMiss:
+          case obs::TraceEventPhase::kReplicaFailover:
+          case obs::TraceEventPhase::kQueryFailedOver:
+            replica_events.push_back(ev);
+            break;
+          default:
+            break;
+        }
+      }
+      recorder.add_service_record("degraded", std::move(replica_events));
+    }
     if (!recorder.anomalies().empty()) {
       const std::size_t dumps = recorder.write_dumps(trace_out + ".flight");
       std::printf("flight recorder: %zu anomalies, %zu dumps in %s.flight/\n",
@@ -517,7 +675,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::string metrics_out = opts.get("metrics-out");
+  std::string metrics_out = opts.get("metrics-out");
+  if (metrics_out.empty() && g_degraded_shutdown) {
+    // Degraded-mode shutdown always flushes metrics: the replica health
+    // gauges and failover counters are the post-mortem.
+    metrics_out = "cgraph_tool_degraded.prom";
+  }
   if (!metrics_out.empty()) {
     if (!obs::write_metrics_file(metrics_out)) rc = rc == 0 ? 1 : rc;
   } else {

@@ -23,6 +23,18 @@
 //                        [--gates G] [--index-seed S]
 //                        [--point-fraction F]
 //                        [--metrics-out service.prom]
+//                        [--replicas N] [--replica-kill r@s]
+//                        [--route-seed S]
+//
+// Replicated serving (DESIGN.md §14, open-loop only): --replicas N fronts
+// the service with N replica clusters behind a health-checked router;
+// --replica-kill r@s fail-stops replica r at superstep s (comma lists
+// allowed), exercising cross-replica batch failover. Admitted queries
+// still complete bit-exact; the run report adds replica health and
+// failover counts. On a degraded-mode shutdown (at least one replica
+// dead) the tool always flushes metrics (service_degraded.prom when no
+// --metrics-out is given) and, under --trace-out, a service-level flight
+// record of the failover events.
 //
 // It prints p50/p95/p99 end-to-end latency plus shed/expired counts, and
 // --metrics-out dumps the cgraph_service_* series for scraping.
@@ -101,6 +113,31 @@ bool add_crash_specs(const std::string& specs, FaultPlan& plan) {
   return true;
 }
 
+/// Parse "replica@superstep" (comma lists allowed in --replica-kill).
+bool parse_replica_kills(
+    const std::string& specs,
+    std::vector<std::pair<std::size_t, std::uint64_t>>& kills) {
+  std::size_t pos = 0;
+  while (pos < specs.size()) {
+    std::size_t comma = specs.find(',', pos);
+    if (comma == std::string::npos) comma = specs.size();
+    const std::string spec = specs.substr(pos, comma - pos);
+    const std::size_t at = spec.find('@');
+    if (at == std::string::npos || at == 0 || at + 1 >= spec.size()) {
+      return false;
+    }
+    char* end = nullptr;
+    const unsigned long r = std::strtoul(spec.c_str(), &end, 10);
+    if (end != spec.c_str() + at) return false;
+    const unsigned long long s =
+        std::strtoull(spec.c_str() + at + 1, &end, 10);
+    if (end == nullptr || *end != '\0') return false;
+    kills.emplace_back(static_cast<std::size_t>(r), s);
+    pos = comma + 1;
+  }
+  return true;
+}
+
 /// Open-loop serving: Poisson arrivals through the bounded-admission
 /// service layer instead of closed waves.
 /// Wire --direction / --alpha / --beta (DESIGN.md §12) into the scheduler
@@ -120,7 +157,9 @@ void configure_direction(const Options& opts, SchedulerOptions& sched) {
 
 int run_open_loop(const Options& opts, const Graph& graph, Cluster& cluster,
                   const std::vector<SubgraphShard>& shards,
-                  const RangePartition& partition, Depth k) {
+                  const RangePartition& partition, Depth k,
+                  const std::vector<Cluster*>& replicas,
+                  bool& degraded_shutdown) {
   PoissonArrivalParams ap;
   ap.rate_qps = opts.get_double("arrival-rate", 500.0);
   ap.count = static_cast<std::size_t>(opts.get_int("queries", 1000));
@@ -163,6 +202,22 @@ int run_open_loop(const Options& opts, const Graph& graph, Cluster& cluster,
   service.linger_seconds = opts.get_double("linger", 0.010);
   if (index.mode() != IndexMode::kOff) service.index = &index;
   configure_direction(opts, service.scheduler);
+
+  // Replicated serving: front the service with a health-checked router
+  // over the replica clusters (replica 0 is `cluster` itself).
+  std::unique_ptr<ReplicaRouter> router;
+  if (replicas.size() > 1) {
+    ReplicaRouterOptions ro;
+    ro.route_seed = static_cast<std::uint64_t>(opts.get_int("route-seed", 1));
+    router = std::make_unique<ReplicaRouter>(replicas, shards, partition,
+                                             service.scheduler, ro);
+    service.router = router.get();
+    std::printf("replication: %zu replicas, route seed %llu, heartbeat "
+                "miss threshold %u\n",
+                router->num_replicas(),
+                static_cast<unsigned long long>(ro.route_seed),
+                router->options().heartbeat_miss_threshold);
+  }
 
   if (index.mode() != IndexMode::kOff) {
     const IndexBuildStats& bs = index.stats();
@@ -215,13 +270,40 @@ int run_open_loop(const Options& opts, const Graph& graph, Cluster& cluster,
                 p50, p95, p99, experience_bucket(p99));
   }
 
+  if (router != nullptr) {
+    degraded_shutdown = router->degraded();
+    std::printf("replication: %zu/%zu replicas healthy, %llu failovers, "
+                "%llu failover-shed%s\n",
+                router->healthy_count(), router->num_replicas(),
+                static_cast<unsigned long long>(router->failovers()),
+                static_cast<unsigned long long>(s.failover_shed),
+                degraded_shutdown ? " -> degraded-mode shutdown" : "");
+    const auto rstats = router->stats();
+    for (std::size_t r = 0; r < rstats.size(); ++r) {
+      std::printf("  replica %zu: %s, %llu batches, %llu point queries, "
+                  "%llu heartbeat misses\n",
+                  r, to_string(rstats[r].health),
+                  static_cast<unsigned long long>(rstats[r].batches_executed),
+                  static_cast<unsigned long long>(
+                      rstats[r].point_queries_routed),
+                  static_cast<unsigned long long>(
+                      rstats[r].heartbeat_misses_total));
+    }
+  }
+
   if (cluster.recovery_enabled()) {
     const RecoveryStats& rs = cluster.recovery_stats();
     std::printf("recovery: crashes=%llu queries_reexecuted=%llu\n",
                 static_cast<unsigned long long>(rs.crashes),
                 static_cast<unsigned long long>(rs.queries_reexecuted));
   }
-  const std::string metrics_out = opts.get("metrics-out");
+  // Degraded-mode shutdown must still flush observability state: fall
+  // back to a default metrics path when the user gave none, so the
+  // post-mortem (replica health gauges, failover counters) survives.
+  std::string metrics_out = opts.get("metrics-out");
+  if (metrics_out.empty() && degraded_shutdown) {
+    metrics_out = "service_degraded.prom";
+  }
   if (!metrics_out.empty() && obs::write_metrics_file(metrics_out)) {
     std::printf("metrics written to %s\n", metrics_out.c_str());
   }
@@ -252,6 +334,33 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(opts.get_int("threads", 1)));
   }
 
+  // Replica set: replica 0 is `cluster`; extras are identical clusters
+  // over the same shards (replication is for availability, not capacity).
+  const auto num_replicas =
+      static_cast<std::size_t>(opts.get_int("replicas", 1));
+  const std::string replica_kill = opts.get("replica-kill");
+  if (num_replicas < 1) {
+    std::fprintf(stderr, "--replicas must be >= 1\n");
+    return 2;
+  }
+  if ((num_replicas > 1 || !replica_kill.empty()) &&
+      !opts.has("arrival-rate")) {
+    std::fprintf(stderr,
+                 "--replicas / --replica-kill need open-loop mode "
+                 "(--arrival-rate)\n");
+    return 2;
+  }
+  std::vector<std::unique_ptr<Cluster>> replica_storage;
+  std::vector<Cluster*> replicas{&cluster};
+  for (std::size_t r = 1; r < num_replicas; ++r) {
+    replica_storage.push_back(std::make_unique<Cluster>(machines));
+    if (opts.has("threads")) {
+      replica_storage.back()->set_compute_threads(
+          static_cast<std::size_t>(opts.get_int("threads", 1)));
+    }
+    replicas.push_back(replica_storage.back().get());
+  }
+
   // Install the event tracer before any query work so the whole run —
   // admission decisions included — lands in the trace.
   const std::string trace_out = opts.get("trace-out");
@@ -261,6 +370,7 @@ int main(int argc, char** argv) {
     tracer = std::make_unique<obs::EventTracer>();
     trace_scope = std::make_unique<obs::EventTracer::Scope>(*tracer);
   }
+  bool degraded = false;  // set by the open-loop run, read at flush time
   auto finish_trace = [&] {
     if (tracer == nullptr) return;
     trace_scope.reset();  // stop recording before exporting
@@ -275,6 +385,26 @@ int main(int argc, char** argv) {
     fr_opts.config = cfg;
     obs::FlightRecorder recorder(fr_opts);
     recorder.ingest(*tracer);
+    if (degraded) {
+      // Degraded-mode shutdown: per-query anomaly dumps only fire for
+      // queries that individually tripped (shed/expired/re-executed), so
+      // a clean failover would otherwise leave no post-mortem. Flush the
+      // replica-phase events as one service-level flight record.
+      std::vector<obs::TraceEvent> replica_events;
+      for (const obs::TraceEvent& ev : tracer->snapshot()) {
+        switch (ev.phase) {
+          case obs::TraceEventPhase::kReplicaRoute:
+          case obs::TraceEventPhase::kHeartbeatMiss:
+          case obs::TraceEventPhase::kReplicaFailover:
+          case obs::TraceEventPhase::kQueryFailedOver:
+            replica_events.push_back(ev);
+            break;
+          default:
+            break;
+        }
+      }
+      recorder.add_service_record("degraded", std::move(replica_events));
+    }
     if (!recorder.anomalies().empty()) {
       const std::size_t dumps = recorder.write_dumps(trace_out + ".flight");
       std::printf("flight recorder: %zu anomalies, %zu dumps in "
@@ -285,28 +415,62 @@ int main(int argc, char** argv) {
 
   const std::string crash = opts.get("crash");
   const double crash_prob = opts.get_double("crash-prob", 0.0);
+  const bool replicated = replicas.size() > 1;
   if (!crash.empty() || crash_prob > 0.0 || opts.has("checkpoint-dir") ||
-      opts.has("checkpoint-interval")) {
-    FaultPlan plan(
-        static_cast<std::uint64_t>(opts.get_int("fault-seed", 1)));
-    if (crash_prob > 0.0) plan.set_crash_probability(crash_prob);
-    if (!add_crash_specs(crash, plan)) {
+      opts.has("checkpoint-interval") || replicated) {
+    // Per-replica fault plans: each replica gets its own deterministic
+    // chaos schedule (seed + replica id), and replicated mode forces
+    // recovery on so a survivor can adopt a dead replica's checkpoints.
+    const auto fault_seed =
+        static_cast<std::uint64_t>(opts.get_int("fault-seed", 1));
+    for (std::size_t r = 0; r < replicas.size(); ++r) {
+      FaultPlan plan(fault_seed + r);
+      if (crash_prob > 0.0) plan.set_crash_probability(crash_prob);
+      if (!add_crash_specs(crash, plan)) {
+        std::fprintf(stderr,
+                     "bad --crash spec '%s' (want machine@superstep)\n",
+                     crash.c_str());
+        return 2;
+      }
+      replicas[r]->fabric().install_fault_plan(
+          std::make_shared<FaultPlan>(std::move(plan)));
+      RecoveryOptions ro;
+      ro.checkpoint_interval =
+          static_cast<std::uint64_t>(opts.get_int("checkpoint-interval", 1));
+      ro.checkpoint_dir = opts.get("checkpoint-dir");
+      if (!ro.checkpoint_dir.empty() && replicated) {
+        ro.checkpoint_dir += "/replica" + std::to_string(r);
+      }
+      replicas[r]->set_recovery(ro);
+    }
+  }
+
+  if (!replica_kill.empty()) {
+    std::vector<std::pair<std::size_t, std::uint64_t>> kills;
+    if (!parse_replica_kills(replica_kill, kills)) {
       std::fprintf(stderr,
-                   "bad --crash spec '%s' (want machine@superstep)\n",
-                   crash.c_str());
+                   "bad --replica-kill spec '%s' (want replica@superstep)\n",
+                   replica_kill.c_str());
       return 2;
     }
-    cluster.fabric().install_fault_plan(
-        std::make_shared<FaultPlan>(std::move(plan)));
-    RecoveryOptions ro;
-    ro.checkpoint_interval =
-        static_cast<std::uint64_t>(opts.get_int("checkpoint-interval", 1));
-    ro.checkpoint_dir = opts.get("checkpoint-dir");
-    cluster.set_recovery(ro);
+    for (const auto& [r, s] : kills) {
+      if (r >= replicas.size()) {
+        std::fprintf(stderr,
+                     "--replica-kill replica %zu out of range (have %zu)\n",
+                     r, replicas.size());
+        return 2;
+      }
+      HaltSpec halt;
+      halt.at_superstep = s;
+      replicas[r]->arm_halt(halt);
+    }
   }
 
   if (opts.has("arrival-rate")) {
-    const int rc = run_open_loop(opts, graph, cluster, shards, partition, k);
+    bool degraded_shutdown = false;
+    const int rc = run_open_loop(opts, graph, cluster, shards, partition, k,
+                                 replicas, degraded_shutdown);
+    degraded = degraded_shutdown;
     finish_trace();
     return rc;
   }

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -17,7 +18,7 @@ constexpr char kCkptMagic[8] = {'C', 'G', 'C', 'K', 'P', 'T', '0', '1'};
 
 void CheckpointStore::reset(PartitionId n) {
   std::lock_guard<std::mutex> lk(mu_);
-  machines_.assign(n, std::nullopt);
+  machines_.assign(n, {});
   snapshots_.clear();
   baseline_ = ClusterSnapshot{};
 }
@@ -36,7 +37,7 @@ void CheckpointStore::save_cluster_snapshot(std::uint64_t step,
                                             ClusterSnapshot snap) {
   std::lock_guard<std::mutex> lk(mu_);
   snapshots_[step] = std::move(snap);
-  prune_snapshots_locked();
+  prune_locked();
 }
 
 std::optional<ClusterSnapshot> CheckpointStore::cluster_snapshot(
@@ -52,8 +53,10 @@ std::size_t CheckpointStore::save_machine(PartitionId id,
   std::lock_guard<std::mutex> lk(mu_);
   CGRAPH_DCHECK(id < machines_.size());
   const std::size_t bytes = ckpt.state.size();
-  machines_[id] = std::move(ckpt);
-  if (!dir_.empty()) write_file_locked(id, *machines_[id]);
+  const std::uint64_t step = ckpt.step;
+  machines_[id][step] = std::move(ckpt);
+  if (!dir_.empty()) write_file_locked(id, machines_[id][step]);
+  prune_locked();
   return bytes;
 }
 
@@ -61,24 +64,72 @@ std::optional<MachineCheckpoint> CheckpointStore::machine(
     PartitionId id) const {
   std::lock_guard<std::mutex> lk(mu_);
   CGRAPH_DCHECK(id < machines_.size());
-  return machines_[id];
+  if (machines_[id].empty()) return std::nullopt;
+  return machines_[id].rbegin()->second;
+}
+
+std::optional<MachineCheckpoint> CheckpointStore::machine_at(
+    PartitionId id, std::uint64_t step) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  CGRAPH_DCHECK(id < machines_.size());
+  const auto it = machines_[id].find(step);
+  if (it == machines_[id].end()) return std::nullopt;
+  return it->second;
 }
 
 std::optional<std::uint64_t> CheckpointStore::last_saved(PartitionId id) const {
   std::lock_guard<std::mutex> lk(mu_);
   CGRAPH_DCHECK(id < machines_.size());
-  if (!machines_[id]) return std::nullopt;
-  return machines_[id]->step;
+  if (machines_[id].empty()) return std::nullopt;
+  return machines_[id].rbegin()->first;
 }
 
-std::uint64_t CheckpointStore::latest_common_step() const {
+std::uint64_t CheckpointStore::latest_complete_step() const {
   std::lock_guard<std::mutex> lk(mu_);
-  std::uint64_t common = ~std::uint64_t{0};
-  for (const auto& m : machines_) {
-    if (!m) return 0;
-    common = std::min(common, m->step);
+  return latest_complete_step_locked();
+}
+
+std::uint64_t CheckpointStore::latest_complete_step_locked() const {
+  if (machines_.empty()) return 0;
+  // Candidate steps are those in machine 0's history (a step absent there
+  // cannot be complete); walk them newest-first and return the first one
+  // present in every other machine's history.
+  for (auto it = machines_[0].rbegin(); it != machines_[0].rend(); ++it) {
+    const std::uint64_t step = it->first;
+    bool complete = true;
+    for (std::size_t m = 1; m < machines_.size(); ++m) {
+      if (machines_[m].find(step) == machines_[m].end()) {
+        complete = false;
+        break;
+      }
+    }
+    if (complete) return step;
   }
-  return machines_.empty() ? 0 : common;
+  return 0;
+}
+
+void CheckpointStore::discard_after(std::uint64_t step) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& history : machines_) {
+    history.erase(history.upper_bound(step), history.end());
+  }
+  snapshots_.erase(snapshots_.upper_bound(step), snapshots_.end());
+}
+
+CheckpointStore::Contents CheckpointStore::export_contents() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Contents c;
+  c.machines = machines_;
+  c.snapshots = snapshots_;
+  c.baseline = baseline_;
+  return c;
+}
+
+void CheckpointStore::import_contents(Contents contents) {
+  std::lock_guard<std::mutex> lk(mu_);
+  machines_ = std::move(contents.machines);
+  snapshots_ = std::move(contents.snapshots);
+  baseline_ = std::move(contents.baseline);
 }
 
 std::optional<MachineCheckpoint> CheckpointStore::read_file(
@@ -129,16 +180,17 @@ std::size_t CheckpointStore::write_file_locked(PartitionId id,
   return sizeof(kCkptMagic) + 3 * sizeof(std::uint64_t) + 8 + c.state.size();
 }
 
-void CheckpointStore::prune_snapshots_locked() {
-  // Snapshots older than the latest common machine blob can never be a
-  // restore target again (restores go to latest_common_step or baseline 0).
-  std::uint64_t common = ~std::uint64_t{0};
-  for (const auto& m : machines_) {
-    if (!m) return;  // baseline restarts still possible; keep everything
-    common = std::min(common, m->step);
+void CheckpointStore::prune_locked() {
+  // Blobs and snapshots older than the latest complete cut can never be a
+  // restore target again (restores go to latest_complete_step or baseline
+  // 0); newer-than-complete entries are the partial tail and must be kept
+  // until the cut they belong to completes or a survivor discards them.
+  const std::uint64_t complete = latest_complete_step_locked();
+  if (complete == 0) return;  // baseline restarts still possible
+  for (auto& history : machines_) {
+    history.erase(history.begin(), history.lower_bound(complete));
   }
-  if (machines_.empty()) return;
-  snapshots_.erase(snapshots_.begin(), snapshots_.lower_bound(common));
+  snapshots_.erase(snapshots_.begin(), snapshots_.lower_bound(complete));
 }
 
 }  // namespace cgraph

@@ -8,12 +8,17 @@
 // and each machine serializes its partition state into a MachineCheckpoint
 // blob at the top of its engine loop (MachineContext::maybe_checkpoint).
 //
-// On a crash the cluster rolls every machine back to the latest common
+// On a crash the cluster rolls every machine back to the latest *complete*
 // checkpointed step and re-runs the engine body; the seeded FaultPlan plus
 // the restored link attempt counters make the replay bit-exact (see
-// DESIGN.md "Recovery model"). Blobs live in memory; an optional directory
-// mirrors them to disk (machine_<id>.ckpt) so a real deployment's
-// stable-storage story can be exercised and round-tripped in tests.
+// DESIGN.md "Recovery model"). The store keeps a short per-machine history
+// of blobs rather than just the newest one: a replica that dies in the
+// middle of a checkpoint write leaves some machines one step ahead of the
+// others, and the surviving replica must be able to discard that partial
+// tail and adopt the last cut at which *every* machine has a blob. Blobs
+// live in memory; an optional directory mirrors the newest blob to disk
+// (machine_<id>.ckpt) so a real deployment's stable-storage story can be
+// exercised and round-tripped in tests.
 #pragma once
 
 #include <cstdint>
@@ -48,12 +53,22 @@ struct MachineCheckpoint {
 
 class CheckpointStore {
  public:
+  /// Everything one replica's store holds, as a movable value: the
+  /// replication layer exports this from a dead replica (after discarding
+  /// the partial tail) and imports it into the survivor so the adopted run
+  /// resumes from the donor's last complete cut.
+  struct Contents {
+    std::vector<std::map<std::uint64_t, MachineCheckpoint>> machines;
+    std::map<std::uint64_t, ClusterSnapshot> snapshots;
+    ClusterSnapshot baseline;
+  };
+
   /// Forget everything and size for `n` machines. Called at run start; the
   /// step-0 baseline snapshot is installed separately via set_baseline.
   void reset(PartitionId n);
 
   /// Enable the on-disk mirror: every save_machine also writes
-  /// `<dir>/machine_<id>.ckpt`. Empty string disables.
+  /// `<dir>/machine_<id>.ckpt` (newest blob only). Empty string disables.
   void set_dir(std::string dir) { dir_ = std::move(dir); }
 
   /// Snapshot of cluster state at run entry (before any barrier). Restoring
@@ -65,18 +80,43 @@ class CheckpointStore {
   [[nodiscard]] std::optional<ClusterSnapshot> cluster_snapshot(
       std::uint64_t step) const;
 
-  /// Store machine `id`'s checkpoint (replacing any older one) and mirror
-  /// it to disk when a directory is configured. Returns blob bytes written.
+  /// Store machine `id`'s checkpoint in its history (pruning entries that
+  /// can no longer be a restore target) and mirror the newest blob to disk
+  /// when a directory is configured. Returns blob bytes written.
   std::size_t save_machine(PartitionId id, MachineCheckpoint ckpt);
+
+  /// Machine `id`'s newest blob (may be part of a partial, not-yet-complete
+  /// cut), or nullopt if it never saved one.
   [[nodiscard]] std::optional<MachineCheckpoint> machine(PartitionId id) const;
 
-  /// Step of machine `id`'s latest blob, or nullopt if it never saved one.
+  /// Machine `id`'s blob at exactly `step`, or nullopt.
+  [[nodiscard]] std::optional<MachineCheckpoint> machine_at(
+      PartitionId id, std::uint64_t step) const;
+
+  /// Step of machine `id`'s newest blob, or nullopt if it never saved one.
   [[nodiscard]] std::optional<std::uint64_t> last_saved(PartitionId id) const;
 
-  /// Latest step S such that every machine has a blob at exactly S (the
-  /// deterministic checkpoint gate means machines always agree), or 0 —
-  /// the baseline — when any machine has no blob yet.
-  [[nodiscard]] std::uint64_t latest_common_step() const;
+  /// Latest step S such that *every* machine has a blob at exactly S — the
+  /// last complete barrier cut — or 0 (the baseline) when no such step
+  /// exists. Blobs newer than S form a partial cut (a checkpoint write that
+  /// was interrupted) and are never restore targets.
+  [[nodiscard]] std::uint64_t latest_complete_step() const;
+
+  /// Historic alias for latest_complete_step(): with the deterministic
+  /// interval gate all machines save at the same steps, so on an intact
+  /// replica "common" and "complete" coincide.
+  [[nodiscard]] std::uint64_t latest_common_step() const {
+    return latest_complete_step();
+  }
+
+  /// Drop every machine blob and cluster snapshot with step > `step`: the
+  /// partial-cut discard a survivor performs before adopting a dead
+  /// replica's store.
+  void discard_after(std::uint64_t step);
+
+  /// Move-out / install the full store contents (replication adoption).
+  [[nodiscard]] Contents export_contents() const;
+  void import_contents(Contents contents);
 
   /// Read a mirrored checkpoint file back (test/diagnostic helper).
   [[nodiscard]] static std::optional<MachineCheckpoint> read_file(
@@ -84,11 +124,12 @@ class CheckpointStore {
 
  private:
   std::size_t write_file_locked(PartitionId id, const MachineCheckpoint& c);
-  void prune_snapshots_locked();
+  [[nodiscard]] std::uint64_t latest_complete_step_locked() const;
+  void prune_locked();
 
   mutable std::mutex mu_;
   std::string dir_;
-  std::vector<std::optional<MachineCheckpoint>> machines_;
+  std::vector<std::map<std::uint64_t, MachineCheckpoint>> machines_;
   std::map<std::uint64_t, ClusterSnapshot> snapshots_;
   ClusterSnapshot baseline_;
 };

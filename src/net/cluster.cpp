@@ -117,11 +117,17 @@ std::vector<Envelope> MachineContext::recv_async() {
     out.push_back(std::move(env));
   }
 
-  // Retry pump: retransmit unacked sends whose poll-count timeout expired;
-  // surface the ones that exhausted their budget.
+  // Retry pump: retransmit unacked sends whose backoff timeout expired;
+  // surface the ones that exhausted their budget. The timeout grows
+  // exponentially per attempt with deterministic per-link jitter, so a
+  // lossy link's retransmissions thin out and de-synchronize across links
+  // instead of hammering in lockstep every fixed interval.
+  const FaultPlan* plan = fabric.fault_plan();
+  const std::uint64_t retry_seed = plan != nullptr ? plan->seed() : 0;
   for (std::size_t i = 0; i < pending.size();) {
     PendingSend& p = pending[i];
-    if (++p.polls_since_send < kRetryAfterPolls) {
+    if (++p.polls_since_send <
+        retry_backoff_polls(retry_seed, id_, p.to, p.attempts)) {
       ++i;
       continue;
     }
@@ -162,6 +168,30 @@ std::vector<Envelope> MachineContext::recv_async() {
 
 std::vector<FailedSend> MachineContext::take_failed_async() {
   return std::exchange(proto_.failed, {});
+}
+
+std::uint32_t MachineContext::retry_backoff_polls(std::uint64_t seed,
+                                                  PartitionId from,
+                                                  PartitionId to,
+                                                  std::uint32_t attempt) {
+  const std::uint32_t n = attempt == 0 ? 1 : attempt;
+  // Bounded exponential base: 2, 4, 8, then capped at kRetryMaxPolls.
+  const std::uint32_t shift = std::min<std::uint32_t>(n - 1, 31);
+  const std::uint64_t raw = std::uint64_t{kRetryBasePolls} << shift;
+  const std::uint32_t base = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(raw, kRetryMaxPolls));
+  // SplitMix64-style finalizer over (seed, link, attempt): stateless, so a
+  // checkpoint-restored replay recomputes identical jitter — no RNG stream
+  // to snapshot. The directed link matters: from->to and to->from must not
+  // share a schedule or their retransmissions stay in phase.
+  std::uint64_t x = seed ^ 0x9e3779b97f4a7c15ULL;
+  x ^= (static_cast<std::uint64_t>(from) << 40) ^
+       (static_cast<std::uint64_t>(to) << 20) ^ n;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return base + static_cast<std::uint32_t>(x % (kRetryJitterPolls + 1));
 }
 
 void MachineContext::barrier() {
@@ -228,6 +258,20 @@ bool MachineContext::maybe_checkpoint(
     // progress 0 is the body entry point — the baseline snapshot already
     // covers it, so the first checkpoint waits for the interval.
     if (progress == 0 || progress < interval) return false;
+  }
+  // Death-mid-checkpoint-write simulation (HaltSpec::partial_from): this
+  // machine's blob for the cut at partial_step never reaches the store, so
+  // the armed halt leaves a partial cut behind. Keyed on (id, progress) —
+  // not on save arrival order — so the sweep is deterministic under any
+  // thread interleaving. The interval gate still advances: the machine
+  // believes it checkpointed.
+  if (cl.halt_armed_ && cl.halt_spec_.partial_from != kInvalidPartition &&
+      progress == cl.halt_spec_.partial_step &&
+      id_ >= cl.halt_spec_.partial_from) {
+    has_last_ckpt_ = true;
+    last_ckpt_step_ = superstep_;
+    last_ckpt_tick_ = tick_;
+    return false;
   }
   WallTimer timer;
   PacketWriter w;
@@ -348,14 +392,28 @@ void Cluster::set_recovery(RecoveryOptions opts) {
 
 void Cluster::on_barrier_complete() {
   ++barrier_count_;
-  if (!recovery_enabled_) return;
-  ClusterSnapshot snap;
-  snap.links = fabric_.snapshot_links();
-  snap.clock_ns.reserve(clocks_.size());
-  for (const SimClock& c : clocks_) snap.clock_ns.push_back(c.nanos());
-  snap.step_start_ns = step_start_ns_;
-  store_.save_cluster_snapshot(barrier_count_, std::move(snap));
+  if (recovery_enabled_) {
+    ClusterSnapshot snap;
+    snap.links = fabric_.snapshot_links();
+    snap.clock_ns.reserve(clocks_.size());
+    for (const SimClock& c : clocks_) snap.clock_ns.push_back(c.nanos());
+    snap.step_start_ns = step_start_ns_;
+    store_.save_cluster_snapshot(barrier_count_, std::move(snap));
+  }
   if (crash_pending_.load(std::memory_order_relaxed)) return;
+  // Replica fail-stop: reuse the crash unwind — every machine is parked at
+  // this barrier, so flagging crash_pending_ makes all of them throw
+  // MachineCrash here; run() then sees halt_fired_ and escalates to
+  // ReplicaDead instead of restoring.
+  if (halt_armed_ && barrier_count_ >= halt_spec_.at_superstep) {
+    halt_armed_ = false;
+    halt_fired_ = true;
+    crashed_machine_ = kInvalidPartition;
+    crash_superstep_ = barrier_count_;
+    crash_pending_.store(true, std::memory_order_release);
+    return;
+  }
+  if (!recovery_enabled_) return;
   for (PartitionId m = 0; m < num_machines(); ++m) {
     if (consume_crash(m, barrier_count_)) break;
   }
@@ -409,14 +467,67 @@ void Cluster::run(const std::function<void(MachineContext&)>& body) {
 
 void Cluster::run(const std::function<void(MachineContext&)>& body,
                   const RunHooks& hooks) {
+  CGRAPH_CHECK_MSG(!halted_,
+                   "this replica is halted (ReplicaDead); it cannot run again");
   ensure_compute_pools();
   begin_run();
   for (std::uint32_t attempt = 0;; ++attempt) {
     CGRAPH_CHECK_MSG(attempt < kMaxRecoveryAttempts,
                      "crash recovery did not converge (kMaxRecoveryAttempts)");
     if (!run_once(body)) return;
+    if (halt_fired_) {
+      // Whole-replica fail-stop: do NOT restore — the replica is dead. The
+      // crash flag is cleared so export_resume_package() callers see a
+      // quiescent store, and halted_ makes the death sticky.
+      halt_fired_ = false;
+      halted_ = true;
+      crash_pending_.store(false, std::memory_order_release);
+      throw ReplicaDead{crash_superstep_};
+    }
     restore_from_checkpoint(hooks);
   }
+}
+
+void Cluster::arm_halt(HaltSpec spec) {
+  CGRAPH_CHECK_MSG(!halted_, "cannot arm a halt on an already-dead replica");
+  if (spec.at_superstep == 0) spec.at_superstep = 1;
+  halt_spec_ = spec;
+  halt_armed_ = true;
+}
+
+ClusterResumePackage Cluster::export_resume_package() const {
+  ClusterResumePackage pkg;
+  pkg.machines = num_machines();
+  pkg.step = store_.latest_complete_step();
+  CheckpointStore::Contents c = store_.export_contents();
+  // Discard the partial tail: blobs/snapshots newer than the last complete
+  // cut belong to a checkpoint write the halt interrupted. A survivor must
+  // never see them — restoring a mixed-step cut would not be a consistent
+  // state.
+  for (auto& history : c.machines) {
+    history.erase(history.upper_bound(pkg.step), history.end());
+  }
+  c.snapshots.erase(c.snapshots.upper_bound(pkg.step), c.snapshots.end());
+  if (pkg.step == 0) {
+    pkg.snapshot = c.baseline;
+  } else {
+    const auto it = c.snapshots.find(pkg.step);
+    CGRAPH_CHECK_MSG(it != c.snapshots.end(),
+                     "missing cluster snapshot at the complete cut");
+    pkg.snapshot = it->second;
+  }
+  pkg.store = std::move(c);
+  return pkg;
+}
+
+void Cluster::arm_resume(ClusterResumePackage pkg) {
+  CGRAPH_CHECK_MSG(!halted_, "a dead replica cannot adopt work");
+  CGRAPH_CHECK_MSG(recovery_enabled_,
+                   "arm_resume requires recovery (the adopted blobs are "
+                   "picked up via restore_checkpoint)");
+  CGRAPH_CHECK_MSG(pkg.machines == num_machines(),
+                   "resume package machine count mismatch");
+  resume_pending_ = std::make_unique<ClusterResumePackage>(std::move(pkg));
 }
 
 void Cluster::begin_run() {
@@ -430,6 +541,31 @@ void Cluster::begin_run() {
   }
   telemetry_supersteps_at_run_start_ = telemetry_.supersteps.size();
   if (!recovery_enabled_) return;
+  if (resume_pending_ != nullptr) {
+    // Adoption: install the dead donor's store (partial tail already
+    // discarded at export) and roll this cluster forward to the donor's
+    // last complete cut. Machine bodies find the blobs via
+    // restore_checkpoint() and resume mid-run; this replica's own FaultPlan
+    // governs the remainder, which is safe because query answers are
+    // fault-plan independent (the chaos invariant).
+    ClusterResumePackage pkg = std::move(*resume_pending_);
+    resume_pending_.reset();
+    store_.import_contents(std::move(pkg.store));
+    store_.set_dir(recovery_opts_.checkpoint_dir);
+    if (!pkg.snapshot.clock_ns.empty()) {
+      fabric_.restore_links(pkg.snapshot.links);
+      for (std::size_t i = 0; i < clocks_.size(); ++i) {
+        clocks_[i].set_nanos(pkg.snapshot.clock_ns[i]);
+      }
+      step_start_ns_ = pkg.snapshot.step_start_ns;
+    }
+    barrier_count_ = pkg.step;
+    // Pre-cut supersteps ran on the donor; pad this run's telemetry so
+    // per-level indices keep lining up with superstep numbers.
+    telemetry_.supersteps.resize(telemetry_supersteps_at_run_start_ +
+                                 pkg.step);
+    return;
+  }
   store_.reset(num_machines());
   store_.set_dir(recovery_opts_.checkpoint_dir);
   ClusterSnapshot base;

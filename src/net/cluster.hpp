@@ -96,6 +96,41 @@ struct MachineCrash {
   std::uint64_t superstep = 0;
 };
 
+/// Fail-stop of a whole replica cluster, thrown out of Cluster::run() when
+/// an armed halt fires. Unlike MachineCrash (one machine dies, the cluster
+/// recovers itself), a ReplicaDead escapes run(): the replica is gone and
+/// stays gone, and the caller (the ReplicaRouter) fails the in-flight work
+/// over to a surviving replica via export_resume_package()/arm_resume().
+struct ReplicaDead {
+  /// Barrier count at which the halt fired (supersteps completed).
+  std::uint64_t superstep = 0;
+};
+
+/// Whole-replica kill schedule (Cluster::arm_halt): the replica-level
+/// analogue of a FaultPlan crash entry. Deterministic in the superstep
+/// count, so replica-kill sweeps are reproducible.
+struct HaltSpec {
+  /// Fire at the first completed barrier >= this count.
+  std::uint64_t at_superstep = 1;
+  /// Optional death-mid-checkpoint-write simulation: machines with
+  /// id >= partial_from skip the store write at exactly `partial_step`,
+  /// leaving a partial (incomplete) cut behind for the survivor to
+  /// discard. kInvalidPartition disables the partial-write simulation.
+  PartitionId partial_from = kInvalidPartition;
+  std::uint64_t partial_step = 0;
+};
+
+/// Everything a surviving replica needs to adopt a dead replica's run: the
+/// donor's checkpoint store with the partial tail already discarded, the
+/// cluster snapshot at the last complete cut (or the baseline when the
+/// donor never completed a cut), and the cut step itself.
+struct ClusterResumePackage {
+  PartitionId machines = 0;
+  std::uint64_t step = 0;  // last complete barrier cut (0 = from scratch)
+  ClusterSnapshot snapshot;
+  CheckpointStore::Contents store;
+};
+
 /// Knobs for crash recovery (Cluster::set_recovery).
 struct RecoveryOptions {
   /// Checkpoint every `checkpoint_interval` supersteps (engine loop
@@ -169,10 +204,25 @@ struct AsyncProtocolState {
 /// Per-machine execution handle passed to the machine body.
 class MachineContext {
  public:
-  /// recv_async() polls between retransmissions of an unacked packet.
-  static constexpr std::uint32_t kRetryAfterPolls = 3;
+  /// Async retransmission backoff: attempt n waits
+  /// min(kRetryMaxPolls, kRetryBasePolls << (n-1)) polls plus a
+  /// deterministic jitter in [0, kRetryJitterPolls], hashed pure from
+  /// (fault seed, link, attempt) — see retry_backoff_polls(). Bounded
+  /// exponential backoff spreads retransmission bursts across links while
+  /// keeping chaos replays bit-exact (no global RNG state involved).
+  static constexpr std::uint32_t kRetryBasePolls = 2;
+  static constexpr std::uint32_t kRetryMaxPolls = 10;
+  static constexpr std::uint32_t kRetryJitterPolls = 3;
   /// Transmission attempts per async packet before it is declared failed.
   static constexpr std::uint32_t kMaxAsyncAttempts = 24;
+
+  /// Polls to wait before retransmitting `attempt` (1-based) on the
+  /// directed link `from -> to` under fault seed `seed`. Pure function of
+  /// its arguments: a restored replay re-computes identical timeouts.
+  [[nodiscard]] static std::uint32_t retry_backoff_polls(std::uint64_t seed,
+                                                         PartitionId from,
+                                                         PartitionId to,
+                                                         std::uint32_t attempt);
 
   MachineContext(Cluster& cluster, PartitionId id);
 
@@ -326,6 +376,28 @@ class Cluster {
     return store_;
   }
 
+  // -- Replica fail-stop (replication layer) -----------------------------
+
+  /// Arm a whole-replica kill: the next run() throws ReplicaDead at the
+  /// first completed barrier >= spec.at_superstep and the cluster is
+  /// permanently halted. Optionally simulates dying mid-checkpoint-write
+  /// (see HaltSpec). Must be called while no run() is executing.
+  void arm_halt(HaltSpec spec);
+  [[nodiscard]] bool halt_armed() const { return halt_armed_; }
+  /// True once a halt fired: the replica is dead and run() must not be
+  /// called again.
+  [[nodiscard]] bool halted() const { return halted_; }
+
+  /// Export this (dead) replica's last complete cut for adoption by a
+  /// survivor: the partial checkpoint tail — blobs newer than the last cut
+  /// at which every machine saved — is discarded here, never shipped.
+  [[nodiscard]] ClusterResumePackage export_resume_package() const;
+  /// Install a dead replica's package: the next run() resumes from the
+  /// donor's cut (machine bodies pick the blobs up via
+  /// restore_checkpoint()) instead of starting fresh. Requires recovery to
+  /// be enabled and a matching machine count.
+  void arm_resume(ClusterResumePackage pkg);
+
   /// Clear every machine's persistent reliable-async protocol state
   /// (pending retransmissions, surfaced failures, dedup windows). Engines
   /// call this alongside fabric().reset_delivery_state() at run start; a
@@ -421,6 +493,16 @@ class Cluster {
   /// in the (const, shared) FaultPlan.
   std::mutex crash_mu_;
   std::unordered_set<std::uint64_t> consumed_crashes_;
+
+  // -- Replica fail-stop runtime -----------------------------------------
+  // halt_armed_/halt_spec_ are written outside runs (arm_halt) and cleared
+  // by the barrier completion callback while every machine thread is
+  // parked, so machine-thread reads (maybe_checkpoint) never race them.
+  bool halt_armed_ = false;
+  HaltSpec halt_spec_;
+  bool halt_fired_ = false;  // set by the completion callback, read by run()
+  bool halted_ = false;      // sticky: this replica is dead
+  std::unique_ptr<ClusterResumePackage> resume_pending_;
 };
 
 }  // namespace cgraph

@@ -69,6 +69,14 @@ const char* to_string(TraceEventPhase phase) {
       return "direction_choice";
     case TraceEventPhase::kIndexProbe:
       return "index_probe";
+    case TraceEventPhase::kReplicaRoute:
+      return "replica_route";
+    case TraceEventPhase::kHeartbeatMiss:
+      return "heartbeat_miss";
+    case TraceEventPhase::kReplicaFailover:
+      return "replica_failover";
+    case TraceEventPhase::kQueryFailedOver:
+      return "query_failed_over";
   }
   return "unknown";
 }

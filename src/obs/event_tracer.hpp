@@ -58,6 +58,14 @@ enum class TraceEventPhase : std::uint8_t {
   kIndexProbe,       // instant: reachability-index probe at admission
                      //   (a = verdict: 0 unreachable / 1 reachable /
                      //   2 unknown, b = probe sim seconds)
+  kReplicaRoute,     // instant: batch routed to a replica
+                     //   (a = replica chosen, b = owning partition)
+  kHeartbeatMiss,    // instant: replica missed a heartbeat
+                     //   (a = replica, b = consecutive misses)
+  kReplicaFailover,  // instant: batch failed over to a survivor
+                     //   (a = dead replica, b = surviving replica)
+  kQueryFailedOver,  // instant: admitted query survived a replica loss and
+                     //   completed on a survivor (a = dead, b = survivor)
 };
 
 [[nodiscard]] const char* to_string(TraceEventPhase phase);

@@ -20,6 +20,8 @@ const char* anomaly_reason(TraceEventPhase phase) {
       return "expired";
     case TraceEventPhase::kQueryReexecuted:
       return "reexecuted";
+    case TraceEventPhase::kQueryFailedOver:
+      return "failed_over";
     default:
       return nullptr;
   }
@@ -125,6 +127,15 @@ void FlightRecorder::ingest(const std::vector<TraceEvent>& events) {
   }
 }
 
+void FlightRecorder::add_service_record(std::string reason,
+                                        std::vector<TraceEvent> events) {
+  FlightRecord rec;
+  rec.query = -1;
+  rec.reason = std::move(reason);
+  rec.events = std::move(events);
+  anomalies_.push_back(std::move(rec));
+}
+
 std::size_t FlightRecorder::write_dumps(const std::string& dir) const {
   if (anomalies_.empty()) return 0;
   std::error_code ec;
@@ -132,8 +143,11 @@ std::size_t FlightRecorder::write_dumps(const std::string& dir) const {
   std::size_t written = 0;
   for (const FlightRecord& rec : anomalies_) {
     if (written >= opts_.max_dumps) break;
-    const std::string path = dir + "/flight_q" + std::to_string(rec.query) +
-                             "_" + rec.reason + ".json";
+    const std::string path =
+        rec.query < 0
+            ? dir + "/flight_service_" + rec.reason + ".json"
+            : dir + "/flight_q" + std::to_string(rec.query) + "_" +
+                  rec.reason + ".json";
     std::ofstream out(path);
     if (!out) {
       CGRAPH_LOG_WARN("flight recorder: cannot write %s", path.c_str());

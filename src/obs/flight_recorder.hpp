@@ -30,10 +30,13 @@ struct FlightRecorderOptions {
   std::string config;
 };
 
-/// One anomalous query's complete trace.
+/// One anomalous query's complete trace. Service-level records (a degraded
+/// shutdown, a replica loss) use query = -1 and carry the service-track
+/// events instead of a per-query span tree.
 struct FlightRecord {
   std::int64_t query = -1;
-  std::string reason;  // "shed" | "expired" | "reexecuted"
+  std::string reason;  // "shed" | "expired" | "reexecuted" | "failed_over"
+                       //  | service-level reasons ("degraded", ...)
   std::vector<TraceEvent> events;
 };
 
@@ -55,8 +58,16 @@ class FlightRecorder {
     return recent_;
   }
 
+  /// Append a service-level anomaly record (query = -1): degraded-mode
+  /// shutdown, replica loss, and similar run-scoped conditions that have
+  /// no single owning query. `events` is typically the replica/service
+  /// subset of a tracer snapshot (may be empty — the record still dumps
+  /// with the run configuration, which is the repro recipe).
+  void add_service_record(std::string reason, std::vector<TraceEvent> events);
+
   /// Write one JSON dump per anomaly into `dir` (created if missing),
-  /// named flight_q<query>_<reason>.json. Returns files written.
+  /// named flight_q<query>_<reason>.json — service-level records (query
+  /// < 0) as flight_service_<reason>.json. Returns files written.
   std::size_t write_dumps(const std::string& dir) const;
 
  private:

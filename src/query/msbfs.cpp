@@ -518,6 +518,14 @@ MsBfsBatchResult run_distributed_msbfs_core(
       dedup.deserialize(pr);
       bf.deserialize(pr);
       pulling = pr.read<std::uint8_t>() != 0;
+      if (mc.id() == 0) {
+        result.total_levels = static_cast<Depth>(pr.read<std::uint32_t>());
+        for (std::size_t q = 0; q < Q; ++q) {
+          result.levels[q] = static_cast<Depth>(pr.read<std::uint32_t>());
+          result.completion_wall_seconds[q] = pr.read<double>();
+          result.completion_sim_seconds[q] = pr.read<double>();
+        }
+      }
     } else {
       for (std::size_t q = 0; q < Q; ++q) {
         for (VertexId source : batch.seeds[q]) {
@@ -557,6 +565,18 @@ MsBfsBatchResult run_distributed_msbfs_core(
         dedup.serialize(pw);
         bf.serialize(pw);
         pw.write<std::uint8_t>(pulling ? 1 : 0);
+        if (mc.id() == 0) {
+          // Machine 0 owns the per-query completion metadata. A restore on
+          // this cluster keeps `result` alive by reference, but a surviving
+          // replica adopting this cut starts with zeroed result arrays, so
+          // pre-cut completions must travel inside the blob.
+          pw.write<std::uint32_t>(result.total_levels);
+          for (std::size_t q = 0; q < Q; ++q) {
+            pw.write<std::uint32_t>(result.levels[q]);
+            pw.write<double>(result.completion_wall_seconds[q]);
+            pw.write<double>(result.completion_sim_seconds[q]);
+          }
+        }
       });
 
       const WordRow expand = expand_mask_for_level(batch.ks, level);

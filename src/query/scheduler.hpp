@@ -15,6 +15,7 @@
 // the degradation the paper reports at 350 concurrent queries (Fig. 12).
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <optional>
 #include <span>
@@ -124,6 +125,19 @@ class BatchExecutor {
   }
   [[nodiscard]] std::size_t batches_executed() const {
     return batches_executed_;
+  }
+
+  /// Replicated serving: N replicas implement ONE logical service, so the
+  /// cross-batch memory-retention model ("every query returns with found
+  /// paths") is global, not per-replica. After a batch lands on one
+  /// replica, the ReplicaRouter mirrors that executor's accounting onto
+  /// the idle peers so whichever replica executes the next batch sees the
+  /// same modeled footprint (and thus the same slowdown — keeping the
+  /// timing model independent of routing history).
+  void sync_memory_model(std::uint64_t retained_result_bytes,
+                         std::uint64_t peak_memory_bytes) {
+    retained_result_bytes_ = retained_result_bytes;
+    peak_memory_bytes_ = std::max(peak_memory_bytes_, peak_memory_bytes);
   }
 
  private:

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "obs/event_tracer.hpp"
+#include "query/replica_router.hpp"
 #include "util/assert.hpp"
 
 namespace cgraph {
@@ -151,6 +152,25 @@ class ServicePipeline {
           r.execute_sim_seconds = probe_sim;
           r.response_sim_seconds = probe_sim;
           index_hits_.inc();
+          if (opts_.router != nullptr) {
+            // Attribution only: the bypass lane reads shared immutable
+            // index state, so routing the hit to a healthy replica never
+            // touches the execution timeline (stays deterministic).
+            const std::size_t pr = opts_.router->route_point(
+                static_cast<std::uint64_t>(arrival_query.id));
+            if (obs::tracing_enabled()) {
+              obs::TraceEvent rev;
+              rev.phase = obs::TraceEventPhase::kReplicaRoute;
+              rev.kind = obs::TraceEventKind::kInstant;
+              rev.machine = obs::TraceEvent::kAdmissionTrack;
+              rev.query = static_cast<std::int64_t>(arrival_query.id);
+              rev.sim_seconds = t;
+              rev.a = static_cast<double>(pr);
+              rev.b = static_cast<double>(
+                  opts_.router->owner_partition(arrival_query.source));
+              obs::trace(rev);
+            }
+          }
           continue;
         }
         index_misses_.inc();
@@ -310,40 +330,183 @@ class ServicePipeline {
 
     double finish = start;
     if (!live.empty()) {
+      ReplicaRouter* router = opts_.router;
       std::vector<KHopQuery> batch;
-      batch.reserve(live.size());
-      for (const PendingQuery& pq : live) {
-        batch.push_back(arrivals_[pq.submission].query);
-      }
-      // Engine events carry batch-relative sim times; the batch context
-      // re-bases them onto the service's absolute sim axis (the batch
-      // starts at `start`) and stamps the batch id. One batch executes at
-      // a time, so the single global context is race-free even pipelined.
-      obs::EventTracer* tracer = obs::EventTracer::current();
-      if (tracer != nullptr) {
-        tracer->set_batch_context(static_cast<std::int64_t>(sb.index), start);
-      }
       // Point-query fallbacks (index probe returned unknown) are resolved
       // from the batch's final visited plane: target row, this query's bit
       // column. Only the bit-parallel engine exposes a plane.
       bool want_visited = false;
-      if (opts_.scheduler.use_bit_parallel) {
-        for (const KHopQuery& q : batch) {
-          if (q.is_point()) {
-            want_visited = true;
+      const auto rebuild_batch = [&] {
+        batch.clear();
+        batch.reserve(live.size());
+        for (const PendingQuery& pq : live) {
+          batch.push_back(arrivals_[pq.submission].query);
+        }
+        want_visited = false;
+        if (opts_.scheduler.use_bit_parallel) {
+          for (const KHopQuery& q : batch) {
+            if (q.is_point()) {
+              want_visited = true;
+              break;
+            }
+          }
+        }
+      };
+      rebuild_batch();
+
+      // Engine events carry batch-relative sim times; the batch context
+      // re-bases them onto the service's absolute sim axis and stamps the
+      // batch id. One batch executes at a time (even across replicas:
+      // server_free_ serializes dispatch), so the single global context is
+      // race-free even pipelined.
+      obs::EventTracer* tracer = obs::EventTracer::current();
+      QueryBitRows visited_plane;
+      BatchExecutor::Outcome out;
+      // Failover penalty on the batch's sim timeline: sim time burnt on
+      // attempts whose replica died, minus the prefix the survivor adopted
+      // from the last complete checkpoint cut. An attempt's events map to
+      // absolute time `start + wasted + <replica-relative sim>` — after an
+      // adoption the survivor's clocks resume at the cut, so the mapping
+      // stays continuous across the handoff.
+      double wasted = 0;
+      std::size_t last_dead = ServiceBatchRecord::kNoReplica;
+      std::size_t last_survivor = ServiceBatchRecord::kNoReplica;
+
+      if (router == nullptr) {
+        if (tracer != nullptr) {
+          tracer->set_batch_context(static_cast<std::int64_t>(sb.index),
+                                    start);
+        }
+        out = executor_.execute(batch,
+                                want_visited ? &visited_plane : nullptr);
+        if (tracer != nullptr) tracer->clear_batch_context();
+      } else {
+        const auto trace_route = [&](std::size_t replica) {
+          if (!obs::tracing_enabled()) return;
+          obs::TraceEvent ev;
+          ev.phase = obs::TraceEventPhase::kReplicaRoute;
+          ev.kind = obs::TraceEventKind::kInstant;
+          ev.machine = obs::TraceEvent::kExecutorTrack;
+          ev.batch = static_cast<std::int64_t>(sb.index);
+          ev.sim_seconds = start + wasted;
+          ev.a = static_cast<double>(replica);
+          ev.b = static_cast<double>(
+              router->owner_partition(batch.front().source));
+          obs::trace(ev);
+        };
+        // Failure-detector sweep at dispatch: a replica killed during an
+        // earlier batch shows up as heartbeat misses here, before routing.
+        for (const ReplicaRouter::HeartbeatMiss& miss :
+             router->poll_heartbeats()) {
+          if (!obs::tracing_enabled()) break;
+          obs::TraceEvent ev;
+          ev.phase = obs::TraceEventPhase::kHeartbeatMiss;
+          ev.kind = obs::TraceEventKind::kInstant;
+          ev.machine = obs::TraceEvent::kExecutorTrack;
+          ev.batch = static_cast<std::int64_t>(sb.index);
+          ev.sim_seconds = start;
+          ev.a = static_cast<double>(miss.replica);
+          ev.b = static_cast<double>(miss.consecutive);
+          obs::trace(ev);
+        }
+        std::size_t r = router->route_batch(
+            static_cast<std::uint64_t>(sb.index), batch.front().source);
+        trace_route(r);
+        for (;;) {
+          if (tracer != nullptr) {
+            tracer->set_batch_context(static_cast<std::int64_t>(sb.index),
+                                      start + wasted);
+          }
+          try {
+            out = router->executor(r).execute(
+                batch, want_visited ? &visited_plane : nullptr);
+            if (tracer != nullptr) tracer->clear_batch_context();
+            router->on_batch_success(r);
+            rec.replica = r;
             break;
+          } catch (const ReplicaDead&) {
+            if (tracer != nullptr) tracer->clear_batch_context();
+            ReplicaRouter::FailoverPlan plan = router->plan_failover(r);
+            ++rec.failovers;
+            last_dead = plan.dead;
+            last_survivor = plan.survivor;
+            const double t_fail = start + wasted + plan.dead_sim_seconds;
+            if (obs::tracing_enabled()) {
+              obs::TraceEvent ev;
+              ev.phase = obs::TraceEventPhase::kReplicaFailover;
+              ev.kind = obs::TraceEventKind::kInstant;
+              ev.machine = obs::TraceEvent::kExecutorTrack;
+              ev.batch = static_cast<std::int64_t>(sb.index);
+              ev.sim_seconds = t_fail;
+              ev.a = static_cast<double>(plan.dead);
+              ev.b = static_cast<double>(plan.survivor);
+              obs::trace(ev);
+            }
+            // Re-dispatch gate: a member whose deadline has passed by the
+            // failover instant, or whose failover budget is spent, is
+            // never re-executed on another replica — it is counted shed
+            // (batch_index set marks it a failover shed, not an admission
+            // shed). Keeps retries bounded under cascading deaths.
+            const std::uint32_t budget =
+                opts_.failover_budget > 0
+                    ? opts_.failover_budget
+                    : static_cast<std::uint32_t>(router->num_replicas() - 1);
+            std::vector<PendingQuery> keep;
+            keep.reserve(live.size());
+            for (const PendingQuery& pq : live) {
+              ServiceQueryRecord& qr = result_.queries[pq.submission];
+              const bool over_deadline =
+                  opts_.deadline_seconds > 0 &&
+                  t_fail - pq.arrival > opts_.deadline_seconds;
+              if (over_deadline || qr.failover_attempts >= budget) {
+                qr.outcome = ServiceOutcome::kShed;
+                qr.batch_index = sb.index;
+                qr.queue_wait_sim_seconds = t_fail - pq.arrival;
+                ++rec.failover_shed;
+                if (obs::tracing_enabled()) {
+                  obs::TraceEvent ev;
+                  ev.phase = obs::TraceEventPhase::kQueryShed;
+                  ev.kind = obs::TraceEventKind::kInstant;
+                  ev.machine = obs::TraceEvent::kExecutorTrack;
+                  ev.query = static_cast<std::int64_t>(qr.id);
+                  ev.batch = static_cast<std::int64_t>(sb.index);
+                  ev.sim_seconds = t_fail;
+                  ev.a = t_fail - pq.arrival;
+                  obs::trace(ev);
+                }
+              } else {
+                ++qr.failover_attempts;
+                keep.push_back(pq);
+              }
+            }
+            const bool membership_changed = keep.size() != live.size();
+            live = std::move(keep);
+            // Adoption requires the survivor to resume the *same* batch:
+            // checkpoint blobs encode per-query planes for the sealed
+            // membership, so a shrunk batch must re-execute from scratch.
+            if (plan.can_adopt && !membership_changed && plan.cut_step > 0) {
+              router->adopt(plan);
+              wasted += plan.dead_sim_seconds - plan.cut_sim_seconds;
+            } else {
+              wasted += plan.dead_sim_seconds;
+            }
+            if (live.empty()) break;  // everything shed at failover
+            if (membership_changed) rebuild_batch();
+            r = plan.survivor;
+            trace_route(r);
           }
         }
       }
-      QueryBitRows visited_plane;
-      BatchExecutor::Outcome out = executor_.execute(
-          batch, want_visited ? &visited_plane : nullptr);
-      if (tracer != nullptr) tracer->clear_batch_context();
-      const double makespan = out.result.sim_seconds * out.slowdown;
+
+      // live emptied mid-failover <=> nothing executed: the batch burnt
+      // the dead attempts' time but produced no answers.
+      const double makespan =
+          live.empty() ? wasted
+                       : out.result.sim_seconds * out.slowdown + wasted;
       finish = start + makespan;
       rec.makespan_sim_seconds = makespan;
 
-      if (obs::tracing_enabled()) {
+      if (obs::tracing_enabled() && !live.empty()) {
         obs::TraceEvent ev;
         ev.phase = obs::TraceEventPhase::kBatchExecute;
         ev.kind = obs::TraceEventKind::kSpan;
@@ -363,8 +526,11 @@ class ServicePipeline {
         r.outcome = ServiceOutcome::kCompleted;
         r.batch_index = sb.index;
         r.queue_wait_sim_seconds = start - live[i].arrival;
+        // Answers are released when the batch commits, so the failover
+        // penalty is borne by every member — including queries that had
+        // already completed on the dead replica before the adopted cut.
         r.execute_sim_seconds =
-            out.result.completion_sim_seconds[i] * out.slowdown;
+            out.result.completion_sim_seconds[i] * out.slowdown + wasted;
         r.response_sim_seconds =
             r.queue_wait_sim_seconds + r.execute_sim_seconds;
         r.visited = out.result.visited[i];
@@ -429,14 +595,28 @@ class ServicePipeline {
             rx.sim_seconds = start;
             obs::trace(rx);
           }
+          if (r.failover_attempts > 0) {
+            obs::TraceEvent fo;
+            fo.phase = obs::TraceEventPhase::kQueryFailedOver;
+            fo.kind = obs::TraceEventKind::kInstant;
+            fo.machine = obs::TraceEvent::kExecutorTrack;
+            fo.query = static_cast<std::int64_t>(r.id);
+            fo.batch = static_cast<std::int64_t>(sb.index);
+            fo.sim_seconds = live[i].arrival + r.response_sim_seconds;
+            fo.a = static_cast<double>(last_dead);
+            fo.b = static_cast<double>(last_survivor);
+            obs::trace(fo);
+          }
         }
       }
 
-      obs::BatchTrace bt = std::move(out.trace);
-      bt.index = sb.index;
-      bt.width = live.size();
-      bt.wait_sim_seconds = start;
-      result_.telemetry.batches.push_back(std::move(bt));
+      if (!live.empty()) {
+        obs::BatchTrace bt = std::move(out.trace);
+        bt.index = sb.index;
+        bt.width = live.size();
+        bt.wait_sim_seconds = start;
+        result_.telemetry.batches.push_back(std::move(bt));
+      }
     }
 
     server_free_ = finish;
@@ -478,12 +658,18 @@ class ServicePipeline {
     s.index_misses = index_miss_tally_;
     s.index_fallbacks = index_fallback_tally_;
     s.batches = result_.batches.size();
+    for (const ServiceBatchRecord& b : result_.batches) {
+      s.failovers += b.failovers;
+      s.failover_shed += b.failover_shed;
+    }
 
     double last_arrival = arrivals_.empty()
                               ? 0
                               : arrivals_.back().arrival_sim_seconds;
     result_.makespan_sim_seconds = std::max(last_finish_, last_arrival);
-    result_.peak_memory_bytes = executor_.peak_memory_bytes();
+    result_.peak_memory_bytes = opts_.router != nullptr
+                                    ? opts_.router->peak_memory_bytes()
+                                    : executor_.peak_memory_bytes();
   }
 
   std::span<const TimedQuery> arrivals_;
@@ -542,6 +728,12 @@ void publish_service_metrics(obs::MetricsRegistry& reg,
   reg.gauge("cgraph_service_peak_queue_depth",
             "Peak admitted-but-unstarted queries of the latest run")
       .set(static_cast<double>(s.peak_queue_depth));
+  if (s.failovers > 0 || s.failover_shed > 0) {
+    reg.counter("cgraph_service_failover_shed_total",
+                "Admitted queries dropped at failover re-dispatch "
+                "(deadline passed or failover budget exhausted)")
+        .inc(static_cast<double>(s.failover_shed));
+  }
 
   obs::LogHistogram& response = reg.histogram(
       "cgraph_service_response_seconds",
@@ -611,6 +803,9 @@ ServiceRunResult run_query_service(Cluster& cluster,
   publish_service_metrics(registry, result);
   if (opts.index != nullptr && opts.index->mode() != IndexMode::kOff) {
     publish_index_metrics(registry, *opts.index);
+  }
+  if (opts.router != nullptr) {
+    opts.router->publish_metrics(registry);
   }
   return result;
 }

@@ -35,6 +35,8 @@
 
 namespace cgraph {
 
+class ReplicaRouter;
+
 /// Why a submitted query left the service.
 enum class ServiceOutcome : std::uint8_t {
   /// Rejected at admission: the bounded queue was full.
@@ -74,6 +76,17 @@ struct ServiceOptions {
   /// is resolved from the batch's visited plane (bit-parallel engine
   /// only). nullptr disables the fast path entirely.
   const ReachIndex* index = nullptr;
+  /// Replicated serving (DESIGN.md §14): when set, batches are routed
+  /// through the router's replicas instead of the single `cluster`
+  /// argument, and a replica death mid-batch fails the admitted batch over
+  /// to a survivor (adopting the dead replica's last complete checkpoint
+  /// cut when the batch membership is unchanged). nullptr = single-cluster
+  /// service, exactly the pre-replication behavior.
+  ReplicaRouter* router = nullptr;
+  /// Per-query failover budget: re-dispatches to another replica allowed
+  /// per admitted query before it is counted shed. 0 = one less than the
+  /// router's replica count (every query may survive any single loss).
+  std::uint32_t failover_budget = 0;
 };
 
 struct ServiceQueryRecord {
@@ -101,6 +114,11 @@ struct ServiceQueryRecord {
   /// (aggregate query, or a fallback under the non-bit-parallel engine,
   /// which has no visited plane to read the target bit from).
   std::int8_t reachable = -1;
+  /// Times this query was re-dispatched to another replica after a replica
+  /// death. A query dropped at failover time (deadline passed or budget
+  /// exhausted) ends kShed with batch_index set — distinguishing a
+  /// failover shed from an admission shed (batch_index == kNoBatch).
+  std::uint32_t failover_attempts = 0;
 };
 
 struct ServiceBatchRecord {
@@ -113,6 +131,14 @@ struct ServiceBatchRecord {
   /// Ids actually executed, in execution (policy) order — the admitted
   /// set the bit-exactness guarantee speaks about.
   std::vector<QueryId> executed;
+  /// Replica that completed the batch (kNoReplica when the service runs
+  /// without a router, or every member was dropped before execution).
+  static constexpr std::size_t kNoReplica = ~std::size_t{0};
+  std::size_t replica = kNoReplica;
+  /// Replica deaths absorbed while this batch was in flight.
+  std::size_t failovers = 0;
+  /// Members dropped at failover time (deadline/budget), counted shed.
+  std::size_t failover_shed = 0;
 };
 
 struct ServiceStats {
@@ -131,13 +157,20 @@ struct ServiceStats {
   std::uint64_t index_fallbacks = 0;
   std::uint64_t batches = 0;
   std::size_t peak_queue_depth = 0;
+  /// Replica deaths absorbed mid-batch (cgraph_replica_failover_total).
+  std::uint64_t failovers = 0;
+  /// Queries dropped at failover re-dispatch because their deadline had
+  /// passed or their failover budget was exhausted. A subset of `shed`:
+  /// a deadline-expired query is never re-executed on another replica.
+  std::uint64_t failover_shed = 0;
 
   /// The counter identities the service must keep:
   ///   submitted = admitted + shed + index_answered;
-  ///   admitted  = completed + expired.
+  ///   admitted  = completed + expired;
+  ///   failover_shed <= shed.
   [[nodiscard]] bool identities_hold() const {
     return submitted == admitted + shed + index_answered &&
-           admitted == completed + expired;
+           admitted == completed + expired && failover_shed <= shed;
   }
 };
 

@@ -126,6 +126,9 @@ TEST(Service, AcceptanceSweepCleanChaosCrash) {
       EXPECT_EQ(run.stats.shed, 0u);
       EXPECT_EQ(run.stats.expired, 0u);
       EXPECT_EQ(run.stats.completed, arrivals.size());
+      // Without a router there are no replicas to fail over between.
+      EXPECT_EQ(run.stats.failovers, 0u);
+      EXPECT_EQ(run.stats.failover_shed, 0u);
       EXPECT_GT(run.stats.batches, 1u);
 
       for (const TimedQuery& tq : arrivals) {
