@@ -599,6 +599,63 @@ int main(int argc, char** argv) {
                 trav.sim_seconds / index.probe_sim_seconds());
   }
 
+  // --- Mutation arm (DESIGN.md §15): the same seeded 64-wide k-hop batch
+  // answered on a frozen graph (mutation_frozen: the trace folded into the
+  // tiled CSR by compaction) and on shards still carrying the identical
+  // trace as uncompacted per-partition delta events (mutation_stream: the
+  // merged base+delta scan every hot loop runs while writers stream).
+  // Both arms replay the same seeded trace over the same partition, the
+  // runner aborts unless the two visited planes are bit-identical, and
+  // ci/validate_bench.py gates the committed pair: the delta overlay may
+  // cost at most 50% more sim time than the compacted equivalent.
+  // edges_scanned differs legitimately — tombstoned base edges are still
+  // examined (then skipped) by the streaming scan.
+  {
+    MutationTraceOptions topt;
+    topt.seed = cfg.seed + 3;
+    topt.num_epochs = 3;
+    topt.ops_per_epoch = std::max<std::size_t>(
+        32, static_cast<std::size_t>(sg.graph.num_edges()) / 64);
+    topt.delete_fraction = 0.25;
+    const MutationTrace trace = generate_mutation_trace(sg.graph, topt);
+
+    ShardedGraph stream = make_dataset_sharded(
+        "FRS-100B", cfg.scale_shift, cfg.machines, /*build_in_edges=*/false);
+    ShardedGraph frozen = make_dataset_sharded(
+        "FRS-100B", cfg.scale_shift, cfg.machines, /*build_in_edges=*/false);
+    for (std::size_t e = 0; e < trace.epochs.size(); ++e) {
+      apply_trace_epoch(std::span(stream.shards), trace, e);
+      apply_trace_epoch(std::span(frozen.shards), trace, e);
+    }
+    for (auto& shard : frozen.shards) shard.compact();
+
+    Cluster mut_cluster(cfg.machines, paper_cost_model());
+    const std::size_t width = std::min<std::size_t>(64, probe.size());
+    SchedulerOptions one_batch;
+    one_batch.batch_width = width;
+    const auto frozen_run = run_concurrent_queries(
+        mut_cluster, frozen.shards, frozen.partition,
+        std::span(probe.data(), width), one_batch);
+    const auto stream_run = run_concurrent_queries(
+        mut_cluster, stream.shards, stream.partition,
+        std::span(probe.data(), width), one_batch);
+    for (std::size_t i = 0; i < frozen_run.queries.size(); ++i) {
+      CGRAPH_CHECK_MSG(
+          frozen_run.queries[i].visited == stream_run.queries[i].visited,
+          "delta overlay changed a query answer vs the compacted graph");
+    }
+    micro.push_back({"mutation_frozen", frozen_run.total_sim_seconds,
+                     frozen_run.total_edges_scanned});
+    micro.push_back({"mutation_stream", stream_run.total_sim_seconds,
+                     stream_run.total_edges_scanned});
+    std::printf("\nmutation arm (%zu ops over %zu epochs, width %zu): "
+                "frozen %.4fs sim / stream %.4fs sim (%+.1f%%)\n",
+                trace.num_ops(), trace.epochs.size(), width,
+                frozen_run.total_sim_seconds, stream_run.total_sim_seconds,
+                (stream_run.total_sim_seconds /
+                     frozen_run.total_sim_seconds - 1.0) * 100.0);
+  }
+
   // --- Failover arm (DESIGN.md §14): the same open-loop stream served by
   // a 2-replica router, steady vs with the first batch's replica killed
   // mid-execution. Both runs are sim-domain and seeded, so the pair is

@@ -13,6 +13,7 @@ SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 
 cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DCGRAPH_SANITIZE=address
 cmake --build "$BUILD_DIR" --target test_obs test_scheduler test_chaos \
-  test_hybrid test_index test_replica baseline_runner -j "$(nproc)"
+  test_hybrid test_index test_replica test_mutation baseline_runner \
+  -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R '^(test_obs|test_scheduler|test_chaos|test_hybrid|test_index|test_replica|bench_baseline_smoke)$'
+  -R '^(test_obs|test_scheduler|test_chaos|test_hybrid|test_index|test_replica|test_mutation|bench_baseline_smoke)$'

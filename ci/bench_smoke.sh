@@ -27,6 +27,38 @@ python3 "$SRC_DIR/ci/validate_bench.py" --schema "$SCHEMA" \
 python3 "$SRC_DIR/ci/validate_bench.py" --schema "$SCHEMA" \
   --strict-overhead "$SRC_DIR/BENCH_trace_overhead.json"
 
+# Unit check: a committed baseline that lacks an arm the candidate has
+# (the normal state right after baseline_runner grows a new sweep) must be
+# a reported skip with exit 0, never a KeyError traceback. Exercise it by
+# diffing the committed artifact against a copy with one micro arm and one
+# rate row removed.
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT INT TERM
+python3 - "$SRC_DIR/BENCH_fig12.json" "$TMP_DIR/baseline_missing_arm.json" <<'EOF'
+import json, sys
+with open(sys.argv[1], encoding="utf-8") as f:
+    data = json.load(f)
+data["micro"] = [m for m in data.get("micro", [])
+                 if m.get("name") != "index_hit"]
+data["rows"] = data.get("rows", [])[1:]
+with open(sys.argv[2], "w", encoding="utf-8") as f:
+    json.dump(data, f)
+EOF
+MISSING_OUT="$TMP_DIR/missing_arm.out"
+python3 "$SRC_DIR/ci/validate_bench.py" --schema "$SCHEMA" \
+  --baseline "$TMP_DIR/baseline_missing_arm.json" \
+  "$SRC_DIR/BENCH_fig12.json" >"$MISSING_OUT" 2>&1 || {
+    echo "bench smoke: FAIL missing-arm baseline must not fail the gate" >&2
+    cat "$MISSING_OUT" >&2
+    exit 1
+  }
+grep -q "validate_bench: SKIP" "$MISSING_OUT" || {
+    echo "bench smoke: FAIL missing-arm baseline must report a skip" >&2
+    cat "$MISSING_OUT" >&2
+    exit 1
+  }
+echo "bench smoke: missing-arm skip check OK"
+
 cmake -B "$BUILD_DIR" -S "$SRC_DIR"
 cmake --build "$BUILD_DIR" --target baseline_runner -j "$(nproc)"
 

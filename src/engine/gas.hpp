@@ -62,8 +62,14 @@ struct GasResult {
 /// per vertex over the Cluster's compute pool (set_compute_threads /
 /// $CGRAPH_THREADS); each vertex's gather fold runs wholly on one thread
 /// in edge order, so values are bit-identical for any thread count.
+/// `snapshot_epoch` pins the mutation snapshot the whole run reads
+/// (kEpochHead = the shards' epoch at entry): gather folds walk the
+/// merged base+delta parent lists in the same globally sorted order a
+/// compacted rebuild would produce, and scatter divides by the live
+/// out-degree at that epoch, so values are bit-identical to running on
+/// the equivalent frozen graph.
 GasResult run_gas(Cluster& cluster, const std::vector<SubgraphShard>& shards,
                   const RangePartition& partition, const GasProgram& program,
-                  std::uint64_t iterations);
+                  std::uint64_t iterations, Epoch snapshot_epoch = kEpochHead);
 
 }  // namespace cgraph

@@ -1,0 +1,142 @@
+#include "gen/mutation_trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace cgraph {
+
+namespace {
+
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t bounded(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+  double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+};
+
+}  // namespace
+
+MutationTrace generate_mutation_trace(const Graph& base,
+                                      const MutationTraceOptions& opts) {
+  CGRAPH_CHECK(base.num_vertices() >= 2);
+  SplitMix64 rng{opts.seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL};
+  const VertexId n = base.num_vertices();
+
+  // Live-edge model for delete targeting: base edges are live unless a
+  // trace op deleted them; trace inserts become live. Last write wins,
+  // exactly mirroring the delta-set visibility rule.
+  std::map<std::pair<VertexId, VertexId>, bool> overrides;
+  std::vector<std::pair<VertexId, VertexId>> inserted;  // live trace inserts
+
+  const auto base_has = [&](VertexId s, VertexId t) {
+    const auto nbrs = base.out_neighbors(s);
+    return std::binary_search(nbrs.begin(), nbrs.end(), t);
+  };
+
+  MutationTrace trace;
+  trace.epochs.resize(opts.num_epochs);
+  for (std::size_t ep = 0; ep < opts.num_epochs; ++ep) {
+    std::vector<MutationOp>& batch = trace.epochs[ep];
+    batch.reserve(opts.ops_per_epoch);
+    for (std::size_t i = 0; i < opts.ops_per_epoch; ++i) {
+      const bool want_delete = rng.unit() < opts.delete_fraction;
+      if (want_delete) {
+        // Prefer a live trace insert half the time; otherwise sample a
+        // base edge that is still live. Bounded retries keep generation
+        // O(ops) even on sparse graphs; a failed draw degrades to insert.
+        MutationOp op{MutationKind::kDeleteEdge, 0, 0};
+        bool found = false;
+        if (!inserted.empty() && (rng.next() & 1) != 0) {
+          const std::size_t j = rng.bounded(inserted.size());
+          op.src = inserted[j].first;
+          op.dst = inserted[j].second;
+          inserted.erase(inserted.begin() + static_cast<std::ptrdiff_t>(j));
+          found = true;
+        } else {
+          for (int attempt = 0; attempt < 32 && !found; ++attempt) {
+            const auto v = static_cast<VertexId>(rng.bounded(n));
+            const auto deg = base.out_degree(v);
+            if (deg == 0) continue;
+            const auto t = base.out_neighbors(
+                v)[static_cast<std::size_t>(rng.bounded(deg))];
+            const auto it = overrides.find({v, t});
+            if (it != overrides.end() && !it->second) continue;  // dead
+            op.src = v;
+            op.dst = t;
+            found = true;
+          }
+        }
+        if (found) {
+          overrides[{op.src, op.dst}] = false;
+          batch.push_back(op);
+          continue;
+        }
+      }
+      // Insert: a random non-self pair. Re-inserting an existing edge is
+      // legal (idempotent under last-write-wins) but usually avoided so
+      // inserts actually grow the reachable set.
+      MutationOp op{MutationKind::kInsertEdge, 0, 0};
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        op.src = static_cast<VertexId>(rng.bounded(n));
+        op.dst = static_cast<VertexId>(rng.bounded(n));
+        if (op.src == op.dst) continue;
+        const auto it = overrides.find({op.src, op.dst});
+        const bool live = it != overrides.end()
+                              ? it->second
+                              : base_has(op.src, op.dst);
+        if (!live || attempt == 31) break;
+      }
+      if (op.src == op.dst) op.dst = (op.src + 1) % n;
+      overrides[{op.src, op.dst}] = true;
+      inserted.push_back({op.src, op.dst});
+      batch.push_back(op);
+    }
+  }
+  return trace;
+}
+
+EdgeList apply_mutation_trace(const Graph& base, const MutationTrace& trace,
+                              std::size_t upto_epochs) {
+  CGRAPH_CHECK(upto_epochs <= trace.epochs.size());
+  std::map<std::pair<VertexId, VertexId>, bool> overrides;
+  for (std::size_t ep = 0; ep < upto_epochs; ++ep) {
+    for (const MutationOp& op : trace.epochs[ep]) {
+      overrides[{op.src, op.dst}] = op.kind == MutationKind::kInsertEdge;
+    }
+  }
+  EdgeList el;
+  for (VertexId v = 0; v < base.num_vertices(); ++v) {
+    for (VertexId t : base.out_neighbors(v)) {
+      const auto it = overrides.find({v, t});
+      if (it != overrides.end() && !it->second) continue;  // deleted
+      el.add(v, t);
+    }
+  }
+  for (const auto& [edge, present] : overrides) {
+    if (present && !std::binary_search(base.out_neighbors(edge.first).begin(),
+                                       base.out_neighbors(edge.first).end(),
+                                       edge.second)) {
+      el.add(edge.first, edge.second);
+    }
+  }
+  return el;
+}
+
+void apply_trace_epoch(std::span<SubgraphShard> shards,
+                       const MutationTrace& trace, std::size_t epoch_index) {
+  CGRAPH_CHECK(epoch_index < trace.epochs.size());
+  apply_mutations(shards, trace.epochs[epoch_index],
+                  static_cast<Epoch>(epoch_index + 1));
+}
+
+}  // namespace cgraph

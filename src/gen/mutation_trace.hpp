@@ -1,0 +1,57 @@
+// Seeded, deterministically replayable edge-mutation traces (DESIGN.md
+// §15). A trace is a sequence of epochs, each a batch of insert/delete
+// ops drawn from a SplitMix64 stream: inserts pick fresh vertex pairs,
+// deletes pick edges that are actually live (base edges not yet deleted,
+// or earlier trace inserts), so delete-heavy traces exercise tombstones
+// rather than no-ops. The same (base graph, options) always yields the
+// same trace on every machine, thread count, and crash replay — which is
+// what lets the chaos/crash/replica suites extend to mutating runs and
+// compare against a serial reference applying the identical trace.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/graph.hpp"
+#include "graph/mutation.hpp"
+#include "graph/shard.hpp"
+
+namespace cgraph {
+
+struct MutationTraceOptions {
+  std::uint64_t seed = 1;
+  std::size_t num_epochs = 4;
+  std::size_t ops_per_epoch = 16;
+  /// Fraction of ops that are deletes (of currently-live edges).
+  double delete_fraction = 0.0;
+};
+
+struct MutationTrace {
+  /// epochs[i] is the batch applied at Epoch i + 1 (epoch 0 = base graph).
+  std::vector<std::vector<MutationOp>> epochs;
+
+  [[nodiscard]] std::size_t num_ops() const {
+    std::size_t n = 0;
+    for (const auto& e : epochs) n += e.size();
+    return n;
+  }
+};
+
+[[nodiscard]] MutationTrace generate_mutation_trace(
+    const Graph& base, const MutationTraceOptions& opts);
+
+/// Serial reference: the base graph's edge list with the first
+/// `upto_epochs` trace batches applied, last-write-wins per edge. Rebuild
+/// a Graph from it to get the ground-truth view at that epoch.
+[[nodiscard]] EdgeList apply_mutation_trace(const Graph& base,
+                                            const MutationTrace& trace,
+                                            std::size_t upto_epochs);
+
+/// Apply trace batch `epoch_index` (0-based) to the shards at
+/// Epoch epoch_index + 1.
+void apply_trace_epoch(std::span<SubgraphShard> shards,
+                       const MutationTrace& trace, std::size_t epoch_index);
+
+}  // namespace cgraph

@@ -1,0 +1,84 @@
+#include "graph/delta.hpp"
+
+#include <algorithm>
+
+namespace cgraph {
+
+void DeltaEdgeSet::reset(VertexRange range) {
+  range_ = range;
+  events_.assign(range.size(), {});
+  has_delete_.assign(range.size(), 0);
+  num_events_ = 0;
+}
+
+void DeltaEdgeSet::add_event(VertexId v, VertexId neighbor, Epoch epoch,
+                             bool insert, bool in_base) {
+  const std::size_t i = index_of(v);
+  std::vector<Event>& evs = events_[i];
+  CGRAPH_CHECK_MSG(evs.empty() || evs.back().epoch <= epoch,
+                   "mutation events must arrive in epoch order");
+  evs.push_back({neighbor, epoch, insert, in_base});
+  if (!insert) has_delete_[i] = 1;
+  ++num_events_;
+}
+
+bool DeltaEdgeSet::edge_deleted(VertexId v, VertexId neighbor,
+                                Epoch at) const {
+  const std::span<const Event> evs = events(v);
+  for (std::size_t i = evs.size(); i-- > 0;) {
+    const Event& e = evs[i];
+    if (e.epoch > at || e.neighbor != neighbor) continue;
+    return !e.insert;  // newest event at or before `at` wins
+  }
+  return false;
+}
+
+std::vector<VertexId> DeltaEdgeSet::extras_sorted(VertexId v, Epoch at) const {
+  std::vector<VertexId> extras;
+  for_each_extra(v, at, [&](VertexId t) { extras.push_back(t); });
+  std::sort(extras.begin(), extras.end());
+  extras.erase(std::unique(extras.begin(), extras.end()), extras.end());
+  return extras;
+}
+
+namespace {
+
+inline std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t z = h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t DeltaEdgeSet::fingerprint(Epoch at) const {
+  std::uint64_t h = 0x8f3ad1c6b52e9d47ULL;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    for (const Event& e : events_[i]) {
+      if (e.epoch > at) continue;
+      h = mix64(h, range_.begin + i);
+      h = mix64(h, e.neighbor);
+      h = mix64(h, e.epoch);
+      h = mix64(h, (e.insert ? 2ULL : 0ULL) | (e.in_base ? 1ULL : 0ULL));
+    }
+  }
+  return h;
+}
+
+void DeltaEdgeSet::clear() {
+  for (std::vector<Event>& evs : events_) evs.clear();
+  std::fill(has_delete_.begin(), has_delete_.end(), std::uint8_t{0});
+  num_events_ = 0;
+}
+
+std::size_t DeltaEdgeSet::memory_bytes() const {
+  std::size_t bytes = events_.capacity() * sizeof(std::vector<Event>) +
+                      has_delete_.capacity();
+  for (const std::vector<Event>& evs : events_) {
+    bytes += evs.capacity() * sizeof(Event);
+  }
+  return bytes;
+}
+
+}  // namespace cgraph

@@ -1,0 +1,127 @@
+// DeltaEdgeSet: the per-partition mutation side-structure the hot loops
+// scan alongside the tiled base CSR/CSC (DESIGN.md §15).
+//
+// Every edge mutation is recorded as an *event* (neighbor, epoch, kind)
+// appended to the owning vertex's list in epoch order. Visibility at a
+// snapshot epoch E is last-event-wins: the newest event with epoch <= E
+// decides (insert -> present, delete -> absent); a neighbor with no event
+// at or before E keeps its base-structure state. Events are tagged with
+// whether the edge exists in the base structure, so the traversal loops
+// can compose the two sides without membership probes:
+//
+//   base scan   — skip neighbor t when edge_deleted(v, t, E);
+//   extra scan  — for_each_extra(v, E) yields exactly the neighbors that
+//                 are present at E but absent from the base structure
+//                 (in_base events never appear here), so base + extras is
+//                 duplicate-free.
+//
+// Lists stay tiny between compactions (compaction folds them into the
+// rebuilt base structure and clears the set), so the O(events) scans per
+// touched vertex are cheap; vertices without events are gated out by a
+// one-byte lookup and frozen runs never take the branch at all.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/mutation.hpp"
+#include "graph/types.hpp"
+#include "util/assert.hpp"
+
+namespace cgraph {
+
+class DeltaEdgeSet {
+ public:
+  struct Event {
+    VertexId neighbor = 0;
+    Epoch epoch = 0;
+    bool insert = false;
+    bool in_base = false;  // (v, neighbor) exists in the base structure
+  };
+
+  DeltaEdgeSet() = default;
+
+  /// (Re)initialize for vertices in `range`; drops all events.
+  void reset(VertexRange range);
+
+  /// Append an event for local vertex v. Epochs must be nondecreasing per
+  /// vertex (the trace applies in epoch order).
+  void add_event(VertexId v, VertexId neighbor, Epoch epoch, bool insert,
+                 bool in_base);
+
+  [[nodiscard]] bool empty() const { return num_events_ == 0; }
+  [[nodiscard]] std::size_t num_events() const { return num_events_; }
+  [[nodiscard]] const VertexRange& range() const { return range_; }
+
+  [[nodiscard]] bool has_events(VertexId v) const {
+    const std::size_t i = index_of(v);
+    return i < events_.size() && !events_[i].empty();
+  }
+
+  /// Any delete event recorded for v (at any epoch) — the cheap gate that
+  /// decides whether a base scan needs per-neighbor tombstone checks.
+  [[nodiscard]] bool has_deletes(VertexId v) const {
+    const std::size_t i = index_of(v);
+    return i < has_delete_.size() && has_delete_[i] != 0;
+  }
+
+  [[nodiscard]] std::span<const Event> events(VertexId v) const {
+    const std::size_t i = index_of(v);
+    if (i >= events_.size()) return {};
+    return events_[i];
+  }
+
+  /// True when the newest event for (v, neighbor) at or before `at` is a
+  /// delete — i.e. a base edge the snapshot must not see.
+  [[nodiscard]] bool edge_deleted(VertexId v, VertexId neighbor,
+                                  Epoch at) const;
+
+  /// Neighbors present at `at` that the base structure does not hold:
+  /// non-base events whose last write at or before `at` is an insert.
+  /// Emission order is event-append order (deterministic per trace).
+  template <typename Fn>
+  void for_each_extra(VertexId v, Epoch at, Fn&& fn) const {
+    const std::span<const Event> evs = events(v);
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+      const Event& e = evs[i];
+      if (e.epoch > at || e.in_base || !e.insert) continue;
+      bool superseded = false;
+      for (std::size_t j = i + 1; j < evs.size(); ++j) {
+        if (evs[j].epoch <= at && evs[j].neighbor == e.neighbor) {
+          superseded = true;
+          break;
+        }
+      }
+      if (!superseded) fn(e.neighbor);
+    }
+  }
+
+  /// for_each_extra, materialized sorted and unique — for merge walks that
+  /// must preserve a globally sorted neighbor order (the CSC gather side).
+  [[nodiscard]] std::vector<VertexId> extras_sorted(VertexId v,
+                                                    Epoch at) const;
+
+  /// Order-sensitive content hash over every event visible at `at`; equal
+  /// traces applied to equal bases produce equal fingerprints on any
+  /// machine/thread count/replay. Folded into the checkpoint delta tail.
+  [[nodiscard]] std::uint64_t fingerprint(Epoch at) const;
+
+  /// Drop all events (compaction folded them into the base structure).
+  void clear();
+
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  [[nodiscard]] std::size_t index_of(VertexId v) const {
+    CGRAPH_DCHECK(range_.contains(v));
+    return v - range_.begin;
+  }
+
+  VertexRange range_;
+  std::vector<std::vector<Event>> events_;  // indexed by v - range_.begin
+  std::vector<std::uint8_t> has_delete_;
+  std::size_t num_events_ = 0;
+};
+
+}  // namespace cgraph

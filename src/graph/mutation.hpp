@@ -1,0 +1,42 @@
+// Streaming mutation primitives (DESIGN.md §15, ROADMAP item 3).
+//
+// The graph is no longer frozen at ingestion: edges are inserted and
+// deleted in *epochs*. An epoch is a monotonically increasing sequence
+// number over batches of mutations; every query runs against a snapshot
+// epoch E and sees exactly the edges visible at E — base edges not yet
+// deleted at E plus delta inserts applied at or before E — while writers
+// append events for later epochs. `kEpochHead` is the sentinel "whatever
+// the shards' current epoch is", resolved by the engines at batch start.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace cgraph {
+
+/// Mutation sequence number. Epoch 0 is the ingested base graph; the
+/// first applied mutation batch is epoch 1.
+using Epoch = std::uint64_t;
+
+/// Snapshot sentinel: resolve to the shards' current epoch at batch start.
+inline constexpr Epoch kEpochHead = ~0ULL;
+
+enum class MutationKind : std::uint8_t {
+  kInsertEdge,
+  kDeleteEdge,
+};
+
+[[nodiscard]] inline const char* to_string(MutationKind kind) {
+  return kind == MutationKind::kInsertEdge ? "insert" : "delete";
+}
+
+/// One directed-edge mutation. Vertex ids must already exist (the vertex
+/// set is fixed at ingestion; only the edge set streams).
+struct MutationOp {
+  MutationKind kind = MutationKind::kInsertEdge;
+  VertexId src = 0;
+  VertexId dst = 0;
+};
+
+}  // namespace cgraph

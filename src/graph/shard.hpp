@@ -8,11 +8,14 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "graph/delta.hpp"
 #include "graph/edge_set.hpp"
 #include "graph/graph.hpp"
+#include "graph/mutation.hpp"
 #include "graph/partition.hpp"
 #include "graph/types.hpp"
 
@@ -94,7 +97,101 @@ class SubgraphShard {
 
   [[nodiscard]] std::size_t memory_bytes() const;
 
+  // ---- streaming mutations (DESIGN.md §15) ----
+
+  /// Newest mutation epoch applied to this shard (0 = frozen base graph).
+  [[nodiscard]] Epoch epoch() const { return epoch_; }
+
+  /// Pending (uncompacted) delta events on either edge direction. Frozen
+  /// runs gate every delta branch on this.
+  [[nodiscard]] bool has_mutations() const {
+    return !delta_out_.empty() || !delta_in_.empty();
+  }
+
+  [[nodiscard]] const DeltaEdgeSet& delta_out() const { return delta_out_; }
+  [[nodiscard]] const DeltaEdgeSet& delta_in() const { return delta_in_; }
+
+  /// Record one edge mutation at `epoch` (>= the shard's current epoch).
+  /// The out-side event lands on the shard owning `src`, the in-side event
+  /// on the shard owning `dst`; a shard owning both records both.
+  void apply_mutation(const MutationOp& op, Epoch epoch);
+
+  /// Advance the epoch without recording events (this shard saw none of
+  /// the batch's ops, but the graph-wide epoch still moved).
+  void advance_epoch(Epoch epoch);
+
+  /// Fold every delta event into rebuilt base structures (out-sets, CSC,
+  /// boundary, degrees) and clear the deltas. The shard's edge view at
+  /// `epoch()` is unchanged — only its representation compacts.
+  void compact();
+
+  /// Order-sensitive hash of the shard's delta state visible at `at`
+  /// (epoch + both event logs). Written as the checkpoint delta tail and
+  /// checked on restore/adoption so a resumed run can never silently read
+  /// a different mutation state than the one checkpointed.
+  [[nodiscard]] std::uint64_t mutation_fingerprint(Epoch at) const;
+
+  /// Out-neighbors of local vertex s visible at epoch `at`, in globally
+  /// ascending destination order (the same order a compacted rebuild
+  /// would yield): base neighbors minus tombstones, merged with delta
+  /// extras. fn(dst).
+  template <typename Fn>
+  void for_each_out_neighbor_at(VertexId s, Epoch at, Fn&& fn) const {
+    merged_scan(out_sets_, delta_out_, s, at, fn);
+  }
+
+  /// In-parents (global ids) of local vertex v_global visible at `at`,
+  /// globally ascending — the CSC row merged with in-side delta extras.
+  template <typename Fn>
+  void for_each_in_parent_at(VertexId v_global, Epoch at, Fn&& fn) const {
+    const std::span<const VertexId> base =
+        in_csr_.neighbors(local_index(v_global));
+    merged_walk(base, delta_in_, v_global, at, fn);
+  }
+
  private:
+  template <typename Fn>
+  void merged_scan(const EdgeSetGrid& grid, const DeltaEdgeSet& delta,
+                   VertexId v, Epoch at, Fn&& fn) const {
+    const bool has_base = grid.num_rows() > 0;
+    if (!delta.has_events(v)) {
+      if (has_base) grid.for_each_neighbor(v, fn);
+      return;
+    }
+    // Blocks ascend by destination stripe and rows are dst-sorted within a
+    // block, so the flattened base row is globally sorted: merge-walk it
+    // against the (sorted, base-disjoint) extras.
+    const std::vector<VertexId> extras = delta.extras_sorted(v, at);
+    std::size_t e = 0;
+    const bool deletes = delta.has_deletes(v);
+    if (has_base) {
+      grid.for_each_neighbor(v, [&](VertexId t) {
+        while (e < extras.size() && extras[e] < t) fn(extras[e++]);
+        if (deletes && delta.edge_deleted(v, t, at)) return;
+        fn(t);
+      });
+    }
+    while (e < extras.size()) fn(extras[e++]);
+  }
+
+  template <typename Fn>
+  void merged_walk(std::span<const VertexId> base, const DeltaEdgeSet& delta,
+                   VertexId v, Epoch at, Fn&& fn) const {
+    if (!delta.has_events(v)) {
+      for (VertexId t : base) fn(t);
+      return;
+    }
+    const std::vector<VertexId> extras = delta.extras_sorted(v, at);
+    std::size_t e = 0;
+    const bool deletes = delta.has_deletes(v);
+    for (VertexId t : base) {
+      while (e < extras.size() && extras[e] < t) fn(extras[e++]);
+      if (deletes && delta.edge_deleted(v, t, at)) continue;
+      fn(t);
+    }
+    while (e < extras.size()) fn(extras[e++]);
+  }
+
   PartitionId id_ = kInvalidPartition;
   VertexRange local_range_;
   VertexId num_global_vertices_ = 0;
@@ -103,7 +200,26 @@ class SubgraphShard {
   EdgeSetGrid in_sets_;  // optional tiled view of the in-edges
   std::vector<VertexId> boundary_out_;
   std::vector<EdgeIndex> out_degree_;  // per local vertex
+  EdgeSetOptions edge_set_opts_;  // remembered for compaction rebuilds
+  bool built_in_edges_ = false;
+  bool built_in_sets_ = false;
+  DeltaEdgeSet delta_out_;  // key = local src, neighbors = global dsts
+  DeltaEdgeSet delta_in_;   // key = local dst, neighbors = global srcs
+  Epoch epoch_ = 0;
 };
+
+/// Apply one mutation batch across every shard at `epoch` and advance all
+/// shard epochs (shards untouched by the batch still move forward, so the
+/// graph-wide snapshot epoch stays single-valued).
+void apply_mutations(std::span<SubgraphShard> shards,
+                     std::span<const MutationOp> ops, Epoch epoch);
+
+/// The shards' shared current epoch (they advance in lockstep).
+[[nodiscard]] Epoch current_epoch(std::span<const SubgraphShard> shards);
+
+/// Combined mutation fingerprint over all shards at `at`.
+[[nodiscard]] std::uint64_t mutation_fingerprint(
+    std::span<const SubgraphShard> shards, Epoch at);
 
 /// Build all shards of a graph at once (the loader step of the simulated
 /// cluster).

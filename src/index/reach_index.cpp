@@ -90,11 +90,19 @@ IndexVerdict ReachIndex::query(VertexId s, VertexId t, Depth k,
   // Constrained queries carry semantics (weight/label budgets) the index
   // does not model; answering them here would be unsound by construction.
   if (constrained) return IndexVerdict::kUnknown;
+  // The zero-hop path s == t is reachable for every k >= 0 regardless of
+  // index mode, build state, or epoch — answering it up front keeps the
+  // trivially-reachable self query out of the label machinery (and out of
+  // the traversal engine when the index is off, empty, or stale).
+  if (s == t) return IndexVerdict::kReachable;
   if (opts_.mode == IndexMode::kOff || scc_.num_vertices == 0) {
     return IndexVerdict::kUnknown;
   }
   CGRAPH_CHECK(s < scc_.num_vertices && t < scc_.num_vertices);
-  if (s == t) return IndexVerdict::kReachable;  // zero-hop path
+  // A superseded snapshot can no longer prove anything about the live
+  // graph: inserts break kUnreachable, deletes break kReachable. Fall
+  // back to traversal until the offline rebuild.
+  if (stale()) return IndexVerdict::kUnknown;
 
   const VertexId cs = scc_.component[s];
   const VertexId ct = scc_.component[t];
@@ -154,6 +162,7 @@ inline std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
 std::uint64_t ReachIndex::fingerprint() const {
   std::uint64_t h = 0x1d8e4e27c47d124fULL;
   h = mix64(h, static_cast<std::uint64_t>(opts_.mode));
+  h = mix64(h, built_epoch_);
   h = mix64(h, scc_.num_vertices);
   h = mix64(h, scc_.num_components);
   for (const VertexId c : scc_.component) h = mix64(h, c);

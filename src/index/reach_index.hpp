@@ -26,11 +26,14 @@
 // across rebuilds, machines, thread counts, and crash replays.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string_view>
 
 #include "graph/graph.hpp"
+#include "graph/mutation.hpp"
 #include "index/backbone.hpp"
 #include "index/grail.hpp"
 #include "index/scc.hpp"
@@ -119,12 +122,50 @@ class ReachIndex {
            gates_.memory_bytes();
   }
 
+  // ---- epoch invalidation (DESIGN.md §15) ----
+  //
+  // The index is built against one snapshot epoch. Once the graph moves
+  // past it (observe_epoch reports a newer epoch), every conclusive
+  // verdict except the epoch-invariant s == t flips to kUnknown — the
+  // service's traversal fallback then answers against live shards — until
+  // an offline rebuild publishes a fresh index via set_built_epoch.
+
+  /// Snapshot epoch the labels/gates were computed against.
+  [[nodiscard]] Epoch built_epoch() const { return built_epoch_; }
+
+  /// Stamp the snapshot epoch of the current structures (after build or
+  /// an offline rebuild). Also raises the observed epoch to match.
+  void set_built_epoch(Epoch epoch) {
+    built_epoch_ = epoch;
+    observe_epoch(epoch);
+  }
+
+  /// Tell the index the graph reached `epoch` (monotonic max; callable
+  /// from any thread — probes read it with relaxed atomics).
+  void observe_epoch(Epoch epoch) const {
+    Epoch cur = observed_epoch_->load(std::memory_order_relaxed);
+    while (epoch > cur &&
+           !observed_epoch_->compare_exchange_weak(
+               cur, epoch, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// True when the observed graph epoch superseded the built snapshot.
+  [[nodiscard]] bool stale() const {
+    return observed_epoch_->load(std::memory_order_relaxed) > built_epoch_;
+  }
+
  private:
   IndexOptions opts_{.mode = IndexMode::kOff};
   SccCondensation scc_;
   GrailLabels labels_;
   GateIndex gates_;
   IndexBuildStats stats_;
+  Epoch built_epoch_ = 0;
+  // Shared (not per-copy): supersession is a fact about the graph, and
+  // keeping it behind a pointer preserves the index's value semantics.
+  std::shared_ptr<std::atomic<Epoch>> observed_epoch_ =
+      std::make_shared<std::atomic<Epoch>>(0);
 };
 
 /// Publish the index's build-side series (cgraph_index_build_seconds,

@@ -130,6 +130,22 @@ void CheckpointStore::import_contents(Contents contents) {
   machines_ = std::move(contents.machines);
   snapshots_ = std::move(contents.snapshots);
   baseline_ = std::move(contents.baseline);
+  // The donor trimmed its partial tail before export, but its history
+  // below the adopted cut rides along — prune it so repeated failovers
+  // cannot accrete dead blobs in the survivor.
+  prune_locked();
+}
+
+std::size_t CheckpointStore::total_blob_entries() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t n = 0;
+  for (const auto& history : machines_) n += history.size();
+  return n;
+}
+
+std::size_t CheckpointStore::num_cluster_snapshots() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return snapshots_.size();
 }
 
 std::optional<MachineCheckpoint> CheckpointStore::read_file(
@@ -186,7 +202,32 @@ void CheckpointStore::prune_locked() {
   // 0); newer-than-complete entries are the partial tail and must be kept
   // until the cut they belong to completes or a survivor discards them.
   const std::uint64_t complete = latest_complete_step_locked();
-  if (complete == 0) return;  // baseline restarts still possible
+  if (complete == 0) {
+    // No complete cut yet: either the first cut is still in flight, or an
+    // async engine is saving at per-machine progress values that never
+    // line up into one. The only live reads here are each machine's
+    // *newest* blob (async resume) and the baseline (staged restart); a
+    // blob below its own machine's newest can never complete a cut later
+    // either, because saves are monotone and some machine is already past
+    // it. Everything but the newest entry per machine is garbage — the
+    // early-return this branch used to take let async histories (and the
+    // per-barrier snapshot map) grow without bound across long runs.
+    std::uint64_t min_newest = ~0ULL;
+    for (auto& history : machines_) {
+      if (history.size() > 1) {
+        history.erase(history.begin(), std::prev(history.end()));
+      }
+      min_newest = std::min(
+          min_newest,
+          history.empty() ? std::uint64_t{0} : history.rbegin()->first);
+    }
+    if (!machines_.empty() && min_newest > 0 && min_newest != ~0ULL) {
+      // Snapshots below every machine's newest save belong to cuts that
+      // are provably dead (incomplete and passed by all machines).
+      snapshots_.erase(snapshots_.begin(), snapshots_.lower_bound(min_newest));
+    }
+    return;
+  }
   for (auto& history : machines_) {
     history.erase(history.begin(), history.lower_bound(complete));
   }

@@ -118,6 +118,15 @@ class CheckpointStore {
   [[nodiscard]] Contents export_contents() const;
   void import_contents(Contents contents);
 
+  /// Total machine blob entries across all histories — the boundedness
+  /// invariant: at most one entry per machine below the latest complete
+  /// cut (or per machine total when no cut has completed), plus the
+  /// in-flight partial tail.
+  [[nodiscard]] std::size_t total_blob_entries() const;
+
+  /// Retained cluster snapshots (same boundedness argument).
+  [[nodiscard]] std::size_t num_cluster_snapshots() const;
+
   /// Read a mirrored checkpoint file back (test/diagnostic helper).
   [[nodiscard]] static std::optional<MachineCheckpoint> read_file(
       const std::string& path);

@@ -28,10 +28,17 @@ struct VisitTask {
 
 MsBfsBatchResult run_distributed_khop(
     Cluster& cluster, const std::vector<SubgraphShard>& shards,
-    const RangePartition& partition, std::span<const KHopQuery> batch) {
+    const RangePartition& partition, std::span<const KHopQuery> batch,
+    Epoch snapshot_epoch) {
   const std::size_t Q = batch.size();
   CGRAPH_CHECK(Q > 0);
   CGRAPH_CHECK(shards.size() == cluster.num_machines());
+  // Pin the snapshot the whole batch reads (DESIGN.md §15); see
+  // run_distributed_msbfs for the isolation argument.
+  const Epoch epoch = snapshot_epoch == kEpochHead
+                          ? current_epoch(std::span<const SubgraphShard>(
+                                shards.data(), shards.size()))
+                          : snapshot_epoch;
 
   MsBfsBatchResult result;
   result.visited.assign(Q, 0);
@@ -140,6 +147,12 @@ MsBfsBatchResult run_distributed_khop(
         std::copy(words.begin(), words.end(), visited[q].data());
         frontier[q] = pr.read_vector<VertexId>();
       }
+      const auto ck_epoch = pr.read<std::uint64_t>();
+      const auto ck_fp = pr.read<std::uint64_t>();
+      CGRAPH_CHECK_MSG(ck_epoch == epoch &&
+                           ck_fp == shard.mutation_fingerprint(epoch),
+                       "checkpoint delta tail mismatch: a restored run "
+                       "must see the snapshot the blob was cut against");
     } else {
       for (std::size_t q = 0; q < Q; ++q) {
         if (range.contains(batch[q].source)) {
@@ -176,6 +189,10 @@ MsBfsBatchResult run_distributed_khop(
           pw.write_span<VertexId>(
               {frontier[q].data(), frontier[q].size()});
         }
+        // Delta tail: the snapshot this blob was cut against (see the
+        // bit-parallel engine's checkpoint for the adoption argument).
+        pw.write<std::uint64_t>(epoch);
+        pw.write<std::uint64_t>(shard.mutation_fingerprint(epoch));
       });
       const bool tracing = obs::tracing_enabled();
       const double scan_sim_t0 = tracing ? mc.clock().seconds() : 0.0;
@@ -198,7 +215,10 @@ MsBfsBatchResult run_distributed_khop(
               if (batch[q].k <= level) continue;  // s.hops == k: stop
               chunk_tasks += frontier[q].size();
               for (VertexId s : frontier[q]) {
-                shard.out_sets().for_each_neighbor(s, [&](VertexId t) {
+                // Merged view: tiled base edges minus tombstones plus
+                // delta inserts at the pinned epoch. Falls through to the
+                // plain tile scan for vertices with no events.
+                shard.for_each_out_neighbor_at(s, epoch, [&](VertexId t) {
                   ++chunk_edges;
                   if (range.contains(t)) {
                     ++chunk_tnset;

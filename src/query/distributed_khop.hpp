@@ -22,10 +22,13 @@
 namespace cgraph {
 
 /// Runs the batch with per-query task queues. Result layout matches the
-/// bit-parallel engine so harnesses can swap engines.
+/// bit-parallel engine so harnesses can swap engines. `snapshot_epoch`
+/// selects the mutation snapshot the scatter reads (kEpochHead pins the
+/// shards' epoch at entry), exactly as in run_distributed_msbfs.
 MsBfsBatchResult run_distributed_khop(Cluster& cluster,
                                       const std::vector<SubgraphShard>& shards,
                                       const RangePartition& partition,
-                                      std::span<const KHopQuery> batch);
+                                      std::span<const KHopQuery> batch,
+                                      Epoch snapshot_epoch = kEpochHead);
 
 }  // namespace cgraph

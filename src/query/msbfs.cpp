@@ -382,8 +382,16 @@ MsBfsBatchResult msbfs_batch_core(const Graph& graph,
 MsBfsBatchResult run_distributed_msbfs_core(
     Cluster& cluster, const std::vector<SubgraphShard>& shards,
     const RangePartition& partition, const SeededBatch& batch,
-    const DirectionOptions& direction, QueryBitRows* visited_out) {
+    const DirectionOptions& direction, QueryBitRows* visited_out,
+    Epoch snapshot_epoch) {
   const std::size_t Q = batch.size();
+  // Resolve the snapshot: kEpochHead pins the batch to the shards' epoch
+  // at entry, so writers appending events for later epochs never change
+  // what this batch sees (snapshot isolation, DESIGN.md §15).
+  const Epoch epoch = snapshot_epoch == kEpochHead
+                          ? current_epoch(std::span<const SubgraphShard>(
+                                shards.data(), shards.size()))
+                          : snapshot_epoch;
   CGRAPH_CHECK(Q > 0);
   CGRAPH_CHECK_MSG(Q <= QueryBitRows::kMaxBatchWords * kWordBits,
                    "batch exceeds bit-parallel capacity");
@@ -489,6 +497,13 @@ MsBfsBatchResult run_distributed_msbfs_core(
     for (EdgeIndex d : degrees) my_total_out_edges += d;
     const bool can_pull = shard.has_in_edges();
 
+    // Delta edge-sets overlaying the tiled base structures (DESIGN.md §15).
+    // When the shard carries no uncompacted events every gate below is a
+    // dead branch and the scan is byte-for-byte the frozen path.
+    const DeltaEdgeSet& dout = shard.delta_out();
+    const DeltaEdgeSet& din = shard.delta_in();
+    const bool mutating = shard.has_mutations();
+
     // Discover bits are OR-ed (idempotent), so duplicated packets cannot
     // corrupt state — the filter keeps delivery exactly-once so the
     // dedup-suppression counters reconcile under fault plans.
@@ -526,6 +541,12 @@ MsBfsBatchResult run_distributed_msbfs_core(
           result.completion_sim_seconds[q] = pr.read<double>();
         }
       }
+      const auto ck_epoch = pr.read<std::uint64_t>();
+      const auto ck_fp = pr.read<std::uint64_t>();
+      CGRAPH_CHECK_MSG(ck_epoch == epoch &&
+                           ck_fp == shard.mutation_fingerprint(epoch),
+                       "checkpoint delta tail mismatch: a restored run "
+                       "must see the snapshot the blob was cut against");
     } else {
       for (std::size_t q = 0; q < Q; ++q) {
         for (VertexId source : batch.seeds[q]) {
@@ -577,6 +598,12 @@ MsBfsBatchResult run_distributed_msbfs_core(
             pw.write<double>(result.completion_sim_seconds[q]);
           }
         }
+        // Delta tail: pins the snapshot this blob was cut against. A
+        // rollback on this cluster (or a surviving replica adopting the
+        // cut) must replay against byte-identical mutation state, or the
+        // replayed scans would diverge from the pre-crash ones.
+        pw.write<std::uint64_t>(epoch);
+        pw.write<std::uint64_t>(shard.mutation_fingerprint(epoch));
       });
 
       const WordRow expand = expand_mask_for_level(batch.ks, level);
@@ -656,7 +683,9 @@ MsBfsBatchResult run_distributed_msbfs_core(
                   if (!row_masked_any(row, expand, W, masked)) continue;
                   const auto nbrs = es.neighbors(v);
                   chunk_edges += nbrs.size();
+                  const bool vdel = mutating && dout.has_deletes(v);
                   for (VertexId t : nbrs) {
+                    if (vdel && dout.edge_deleted(v, t, epoch)) continue;
                     if (range.contains(t)) {
                       bf.discover_atomic(t - range.begin, masked.data());
                     } else {
@@ -690,10 +719,30 @@ MsBfsBatchResult run_distributed_msbfs_core(
         pull_stats = parallel_ranges(
             pool, nlocal, [&](std::size_t vb, std::size_t ve) {
               std::uint64_t chunk_examined = 0;
+              std::vector<VertexId> merged;
               for (std::size_t v = vb; v < ve; ++v) {
-                chunk_examined +=
-                    bf.pull_row(v, expand.data(), shard.in_csr().neighbors(v),
-                                range.begin, range.end);
+                const VertexId vg =
+                    range.begin + static_cast<VertexId>(v);
+                if (mutating && din.has_events(vg)) {
+                  // Rows with in-side delta events pull from a merged
+                  // parent list — base parents minus tombstones plus
+                  // inserted parents, in the same globally sorted order
+                  // a compacted rebuild would produce — so the examined
+                  // count (and every downstream bit) matches the frozen
+                  // equivalent graph exactly.
+                  merged.clear();
+                  shard.for_each_in_parent_at(
+                      vg, epoch, [&](VertexId p) { merged.push_back(p); });
+                  chunk_examined += bf.pull_row(
+                      v, expand.data(),
+                      std::span<const VertexId>(merged.data(),
+                                                merged.size()),
+                      range.begin, range.end);
+                } else {
+                  chunk_examined += bf.pull_row(
+                      v, expand.data(), shard.in_csr().neighbors(v),
+                      range.begin, range.end);
+                }
               }
               pull_examined_acc.fetch_add(chunk_examined,
                                           std::memory_order_relaxed);
@@ -724,8 +773,10 @@ MsBfsBatchResult run_distributed_msbfs_core(
                   if (!row_masked_any(row, expand, W, masked)) continue;
                   const auto nbrs = es.neighbors(v);
                   chunk_edges += nbrs.size();
+                  const bool vdel = mutating && dout.has_deletes(v);
                   for (VertexId t : nbrs) {
                     if (range.contains(t)) continue;  // pull covered it
+                    if (vdel && dout.edge_deleted(v, t, epoch)) continue;
                     Word* acc = remote_acc.data() +
                                 static_cast<std::size_t>(t) * W;
                     for (std::size_t w = 0; w < W; ++w) {
@@ -746,6 +797,44 @@ MsBfsBatchResult run_distributed_msbfs_core(
               }
             });
       }
+      // --- Delta extras: edges inserted after ingestion live in the
+      // per-partition event sets, not the tiled base structures; feed
+      // them through the *identical* local / remote discovery paths
+      // (OR-discovery is idempotent and commutative, and the remote
+      // accumulator is indexed by global id, so a brand-new boundary
+      // destination needs no boundary-list changes). The pass is serial
+      // — per-vertex event lists are tiny — which also pins a
+      // deterministic extras count across thread counts. In pull mode
+      // local extras were already covered by the merged-parent pull
+      // rows above, so only boundary targets push here.
+      if (mutating && !dout.empty()) {
+        WordRow masked;
+        std::uint64_t extra_edges = 0;
+        for (VertexId v = range.begin; v < range.end; ++v) {
+          if (!dout.has_events(v)) continue;
+          const Word* row = bf.frontier().row(v - range.begin);
+          if (!row_masked_any(row, expand, W, masked)) continue;
+          dout.for_each_extra(v, epoch, [&](VertexId t) {
+            if (range.contains(t)) {
+              if (pulling) return;
+              bf.discover_atomic(t - range.begin, masked.data());
+              ++extra_edges;
+            } else {
+              Word* acc =
+                  remote_acc.data() + static_cast<std::size_t>(t) * W;
+              for (std::size_t w = 0; w < W; ++w) {
+                if (masked[w] != 0) atomic_or_word(&acc[w], masked[w]);
+              }
+              if (touched_bm.atomic_test_and_set(t)) {
+                touched.push_back(t);
+              }
+              ++extra_edges;
+            }
+          });
+        }
+        edges_acc.fetch_add(extra_edges, std::memory_order_relaxed);
+      }
+
       const std::uint64_t pull_examined =
           pull_examined_acc.load(std::memory_order_relaxed);
       const std::uint64_t level_edges =
@@ -1016,19 +1105,21 @@ MsBfsBatchResult msbfs_batch(const Graph& graph,
 MsBfsBatchResult run_distributed_msbfs(
     Cluster& cluster, const std::vector<SubgraphShard>& shards,
     const RangePartition& partition, std::span<const KHopQuery> batch,
-    const DirectionOptions& direction, QueryBitRows* visited_out) {
+    const DirectionOptions& direction, QueryBitRows* visited_out,
+    Epoch snapshot_epoch) {
   return run_distributed_msbfs_core(cluster, shards, partition,
                                     to_seeded(batch), direction,
-                                    visited_out);
+                                    visited_out, snapshot_epoch);
 }
 
 MsBfsBatchResult run_distributed_msbfs(
     Cluster& cluster, const std::vector<SubgraphShard>& shards,
     const RangePartition& partition, std::span<const MultiKHopQuery> batch,
-    const DirectionOptions& direction, QueryBitRows* visited_out) {
+    const DirectionOptions& direction, QueryBitRows* visited_out,
+    Epoch snapshot_epoch) {
   return run_distributed_msbfs_core(cluster, shards, partition,
                                     to_seeded(batch), direction,
-                                    visited_out);
+                                    visited_out, snapshot_epoch);
 }
 
 }  // namespace cgraph

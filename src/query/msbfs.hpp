@@ -101,17 +101,25 @@ MsBfsBatchResult msbfs_batch(const Graph& graph,
 /// recovery replay compose with either direction unchanged. visited_out
 /// (when non-null) is assembled from every machine's local rows at global
 /// offsets.
+///
+/// \param snapshot_epoch Mutation snapshot the batch reads (DESIGN.md
+///                §15): base structures plus every delta event with epoch
+///                <= snapshot_epoch. kEpochHead (the default) pins the
+///                shards' epoch at entry, so writers appending events for
+///                later epochs never change what an in-flight batch sees.
 MsBfsBatchResult run_distributed_msbfs(
     Cluster& cluster, const std::vector<SubgraphShard>& shards,
     const RangePartition& partition, std::span<const KHopQuery> batch,
     const DirectionOptions& direction = {},
-    QueryBitRows* visited_out = nullptr);
+    QueryBitRows* visited_out = nullptr,
+    Epoch snapshot_epoch = kEpochHead);
 
 /// Multi-source distributed variant (see the single-machine overload).
 MsBfsBatchResult run_distributed_msbfs(
     Cluster& cluster, const std::vector<SubgraphShard>& shards,
     const RangePartition& partition, std::span<const MultiKHopQuery> batch,
     const DirectionOptions& direction = {},
-    QueryBitRows* visited_out = nullptr);
+    QueryBitRows* visited_out = nullptr,
+    Epoch snapshot_epoch = kEpochHead);
 
 }  // namespace cgraph

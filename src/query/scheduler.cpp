@@ -71,9 +71,9 @@ BatchExecutor::Outcome BatchExecutor::execute(
   out.result = opts_.use_bit_parallel
                    ? run_distributed_msbfs(cluster_, shards_, partition_,
                                            batch, opts_.direction,
-                                           visited_out)
+                                           visited_out, opts_.snapshot_epoch)
                    : run_distributed_khop(cluster_, shards_, partition_,
-                                          batch);
+                                          batch, opts_.snapshot_epoch);
   if (cluster_.recovery_stats().crashes > crashes_before) {
     cluster_.add_queries_reexecuted(batch.size());
     out.reexecuted = true;

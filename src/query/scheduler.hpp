@@ -71,6 +71,11 @@ struct SchedulerOptions {
   /// Registry receiving this run's spans and counters; nullptr uses the
   /// process-global registry (tests pass a private one).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Mutation snapshot every batch reads (DESIGN.md §15). kEpochHead (the
+  /// default) resolves to the shards' epoch when each batch starts, so a
+  /// service interleaving queries with trace replay runs each batch
+  /// against one consistent snapshot while writers proceed.
+  Epoch snapshot_epoch = kEpochHead;
 };
 
 [[nodiscard]] const char* to_string(BatchPolicy policy);

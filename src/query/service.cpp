@@ -52,6 +52,7 @@ class ServicePipeline {
                   const ServiceOptions& opts, obs::MetricsRegistry& registry,
                   ServiceRunResult& result)
       : arrivals_(arrivals),
+        shards_(shards),
         opts_(opts),
         executor_(cluster, shards, partition, opts.scheduler),
         result_(result),
@@ -127,6 +128,12 @@ class ServicePipeline {
       // deterministic.
       const KHopQuery& arrival_query = arrivals_[i].query;
       if (opts_.index != nullptr && arrival_query.is_point()) {
+        // Epoch handshake (DESIGN.md §15): tell the index how far the
+        // shards have advanced before probing. A superseded index then
+        // answers kUnknown for every conclusive verdict except s == t,
+        // routing the query to the traversal fallback against live shards.
+        opts_.index->observe_epoch(current_epoch(
+            std::span<const SubgraphShard>(shards_.data(), shards_.size())));
         const IndexVerdict verdict = opts_.index->query(
             arrival_query.source, arrival_query.target, arrival_query.k);
         const double probe_sim = opts_.index->probe_sim_seconds();
@@ -673,6 +680,7 @@ class ServicePipeline {
   }
 
   std::span<const TimedQuery> arrivals_;
+  const std::vector<SubgraphShard>& shards_;
   const ServiceOptions& opts_;
   BatchExecutor executor_;
   ServiceRunResult& result_;
@@ -803,6 +811,30 @@ ServiceRunResult run_query_service(Cluster& cluster,
   publish_service_metrics(registry, result);
   if (opts.index != nullptr && opts.index->mode() != IndexMode::kOff) {
     publish_index_metrics(registry, *opts.index);
+  }
+  // Mutation-layer gauges (DESIGN.md §15): epoch the shards have reached,
+  // uncompacted delta events awaiting the next compaction, and the bytes
+  // those event sets hold.
+  {
+    const std::span<const SubgraphShard> sv(shards.data(), shards.size());
+    std::uint64_t events = 0;
+    std::uint64_t bytes = 0;
+    for (const SubgraphShard& s : shards) {
+      events += s.delta_out().num_events() + s.delta_in().num_events();
+      bytes += s.delta_out().memory_bytes() + s.delta_in().memory_bytes();
+    }
+    registry
+        .gauge("cgraph_mutation_epoch",
+               "Highest mutation epoch applied to the serving shards")
+        .set(static_cast<double>(current_epoch(sv)));
+    registry
+        .gauge("cgraph_mutation_delta_events",
+               "Uncompacted delta edge events across all shards")
+        .set(static_cast<double>(events));
+    registry
+        .gauge("cgraph_mutation_delta_bytes",
+               "Resident bytes of the per-shard delta edge-sets")
+        .set(static_cast<double>(bytes));
   }
   if (opts.router != nullptr) {
     opts.router->publish_metrics(registry);

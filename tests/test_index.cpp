@@ -123,6 +123,43 @@ TEST(IndexUnit, ChainVerdictsPerMode) {
   EXPECT_EQ(ReachIndex().query(0, 3), IndexVerdict::kUnknown);
 }
 
+// Regression: s == t is a structural truth (every vertex reaches itself
+// in zero hops), so a *point* probe must answer kReachable up front — for
+// any k >= 0, in every mode including kOff, on a default-constructed
+// index, and on a stale one. Constrained queries keep their routing
+// invariant: the index has no constraint knowledge, so even the identity
+// pair stays kUnknown through the constrained entry point.
+TEST(IndexUnit, SelfReachableUpFrontInEveryMode) {
+  EdgeList e;
+  e.add(0, 1);
+  const Graph g = Graph::build(std::move(e), 3);
+
+  for (const IndexMode mode : {IndexMode::kOff, IndexMode::kGrail,
+                               IndexMode::kGates, IndexMode::kFull}) {
+    IndexOptions io;
+    io.mode = mode;
+    const ReachIndex index = ReachIndex::build(g, io);
+    for (const Depth k : {Depth{0}, Depth{1}, kUnvisitedDepth}) {
+      EXPECT_EQ(index.query(2, 2, k), IndexVerdict::kReachable)
+          << "mode=" << to_string(mode) << " k=" << unsigned{k}
+          << " (isolated vertex: no labels/gates needed)";
+    }
+    EXPECT_EQ(index.query(2, 2, kUnvisitedDepth, /*constrained=*/true),
+              IndexVerdict::kUnknown)
+        << "mode=" << to_string(mode);
+  }
+  // Default-constructed (never built) index: identity still holds.
+  EXPECT_EQ(ReachIndex().query(1, 1), IndexVerdict::kReachable);
+  EXPECT_EQ(ReachIndex().query(1, 1, 0), IndexVerdict::kReachable);
+  // A stale index (superseded build epoch) must shed every conclusive
+  // verdict except the identity, which no mutation can falsify.
+  const ReachIndex stale = ReachIndex::build(g, {});
+  stale.observe_epoch(7);
+  ASSERT_TRUE(stale.stale());
+  EXPECT_EQ(stale.query(0, 1), IndexVerdict::kUnknown);
+  EXPECT_EQ(stale.query(1, 1, 0), IndexVerdict::kReachable);
+}
+
 TEST(IndexUnit, SameSccReachableOnlyUnbounded) {
   EdgeList e;
   e.add(0, 1);

@@ -418,6 +418,112 @@ TEST(ReplicaFailover, PartialCheckpointWriteDiscardedOnAdoption) {
 }
 
 // ---------------------------------------------------------------------------
+// Satellite: checkpoint blob histories stay bounded.
+// ---------------------------------------------------------------------------
+
+// Regression: the store used to retain every blob a machine ever saved.
+// The invariant now: once a barrier cut completes, at most one restore
+// target per machine survives at-or-below it (plus any in-flight partial
+// tail above), and cluster snapshots are trimmed the same way — so a
+// long-running service holds O(machines) checkpoint memory, not O(steps).
+TEST(CheckpointStoreBounded, HistoryTrimmedToLatestCompleteCut) {
+  CheckpointStore store;
+  store.reset(3);
+  store.set_baseline(ClusterSnapshot{});
+  for (std::uint64_t step = 1; step <= 50; ++step) {
+    store.save_cluster_snapshot(step, ClusterSnapshot{});
+    for (PartitionId m = 0; m < 3; ++m) {
+      MachineCheckpoint c;
+      c.step = step;
+      store.save_machine(m, std::move(c));
+    }
+    ASSERT_EQ(store.latest_complete_step(), step);
+    ASSERT_EQ(store.total_blob_entries(), 3u)
+        << "one restore target per machine at step " << step;
+    ASSERT_LE(store.num_cluster_snapshots(), 2u);
+  }
+  EXPECT_TRUE(store.machine_at(0, 50).has_value());
+  EXPECT_FALSE(store.machine_at(0, 49).has_value())
+      << "blobs below the complete cut must be pruned";
+
+  // An interrupted write leaves a partial tail above the cut: retained
+  // (it may yet complete) but never a restore target, and bounded to one
+  // extra entry per machine.
+  MachineCheckpoint tail;
+  tail.step = 51;
+  store.save_machine(0, std::move(tail));
+  EXPECT_EQ(store.latest_complete_step(), 50u);
+  EXPECT_EQ(store.total_blob_entries(), 4u);
+}
+
+// The complete == 0 branch (no barrier cut ever finished, e.g. divergent
+// async saves): keep only each machine's newest blob. Import runs the
+// same pruning, so an adopted store is bounded no matter what the donor
+// accumulated.
+TEST(CheckpointStoreBounded, DivergentSavesKeepNewestPerMachine) {
+  CheckpointStore store;
+  store.reset(3);
+  // Machine 2 never saves, so no complete cut can exist.
+  for (std::uint64_t step = 1; step <= 10; ++step) {
+    MachineCheckpoint c;
+    c.step = step;
+    store.save_machine(0, std::move(c));
+  }
+  MachineCheckpoint c1;
+  c1.step = 4;
+  store.save_machine(1, std::move(c1));
+  EXPECT_EQ(store.latest_complete_step(), 0u);
+  EXPECT_EQ(store.total_blob_entries(), 2u) << "newest-per-machine only";
+  EXPECT_TRUE(store.machine_at(0, 10).has_value());
+  EXPECT_FALSE(store.machine_at(0, 9).has_value());
+
+  CheckpointStore adopted;
+  adopted.reset(3);
+  adopted.import_contents(store.export_contents());
+  EXPECT_EQ(adopted.total_blob_entries(), 2u)
+      << "import must prune whatever the donor held";
+}
+
+// End-to-end: after deep batches on a recovery-enabled cluster (a blob
+// per machine per superstep flows through save_machine), the store ends
+// bounded by machines, not supersteps — including across repeated batches
+// on the same cluster and across a failover adoption.
+TEST(CheckpointStoreBounded, LongRunServiceHoldsBoundedBlobHistory) {
+  const PartitionId machines = 3;
+  World w(machines);
+  ReplicaSet rs(machines, 2, /*chaos=*/false, /*seed=*/5);
+  Cluster& cluster = *rs.replicas[0];
+  SchedulerOptions sched;
+  BatchExecutor exec(cluster, w.shards, w.partition, sched);
+  const auto queries = make_random_queries(w.graph, 8, /*k=*/6, /*seed=*/3);
+  std::uint64_t steps_total = 0;
+  std::size_t blobs_round0 = 0, snaps_round0 = 0;
+  for (int round = 0; round < 3; ++round) {
+    exec.execute(queries);
+    steps_total += cluster.telemetry().supersteps.size();
+    const CheckpointStore& store = cluster.checkpoint_store();
+    EXPECT_LE(store.total_blob_entries(), std::size_t{machines} * 2)
+        << "round " << round;
+    if (round == 0) {
+      blobs_round0 = store.total_blob_entries();
+      snaps_round0 = store.num_cluster_snapshots();
+      // Snapshots above the complete cut are bounded by the checkpoint
+      // interval, not the run length — a handful, never per-superstep.
+      EXPECT_LE(snaps_round0, std::size_t{4});
+    } else {
+      // And none of it accretes across batches on a long-lived service.
+      EXPECT_LE(store.total_blob_entries(), blobs_round0)
+          << "round " << round;
+      EXPECT_LE(store.num_cluster_snapshots(), snaps_round0)
+          << "round " << round;
+    }
+  }
+  ASSERT_GT(steps_total, std::uint64_t{machines} * 2)
+      << "the bound must be tighter than the superstep count for the "
+         "assertion to mean anything";
+}
+
+// ---------------------------------------------------------------------------
 // Satellite: failover budget + admission deadline at re-dispatch.
 // ---------------------------------------------------------------------------
 
